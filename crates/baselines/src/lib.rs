@@ -1,0 +1,29 @@
+//! # netlock-baselines
+//!
+//! The comparison systems of the paper's evaluation, each built from
+//! scratch on the same simulation substrate:
+//!
+//! - [`rdma`] — one-sided-verb NIC model (ConnectX-3-like atomics bound)
+//! - [`dslr`] — DSLR: RDMA Lamport-bakery, FCFS, decentralized
+//! - [`drtm`] — DrTM: CAS fail-and-retry exclusive locks, lease reads
+//! - [`netchain`] — NetChain: switch-only exclusive locks, client retry
+//! - [`server_only`] — traditional centralized server lock manager
+//!   (the NetLock rack with zero switch-resident locks)
+//!
+//! Every baseline exposes `build_*` + `measure_*` returning the shared
+//! [`netlock_core::harness::RunStats`], so the figure harnesses compare
+//! like with like.
+
+#![warn(missing_docs)]
+
+pub mod dslr;
+pub mod drtm;
+pub mod netchain;
+pub mod rdma;
+pub mod server_only;
+
+pub use dslr::{build_dslr, measure_dslr, DslrClient, DslrClientConfig, DslrRack};
+pub use drtm::{build_drtm, measure_drtm, DrtmClient, DrtmClientConfig, DrtmRack};
+pub use netchain::{build_netchain, measure_netchain, NcClient, NcClientConfig, NcRack, NcSwitch};
+pub use rdma::{RdmaMsg, RdmaNicConfig, RdmaServer};
+pub use server_only::build_server_only;

@@ -1,0 +1,111 @@
+//! Traditional server-only centralized lock manager.
+//!
+//! This is the "centralized, server-based" corner of the paper's design
+//! space (Figure 1) and the right-hand bars of Figure 9: the same
+//! NetLock rack, but with *zero* locks in the switch — the ToR switch
+//! only routes, every request is processed by a lock-server CPU. Reuses
+//! the full `netlock-core` stack, so the only difference from NetLock
+//! is the allocation.
+
+use netlock_core::prelude::*;
+use netlock_proto::LockId;
+use netlock_server::ServerConfig;
+
+/// Build a server-only rack: all of `locks` are server-resident,
+/// spread round-robin over `lock_servers` servers with `cores` each.
+pub fn build_server_only(
+    seed: u64,
+    lock_servers: usize,
+    cores: usize,
+    locks: &[LockId],
+) -> Rack {
+    let mut rack = Rack::build(RackConfig {
+        seed,
+        lock_servers,
+        server: ServerConfig {
+            cores,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let stats: Vec<LockStats> = locks
+        .iter()
+        .enumerate()
+        .map(|(i, &lock)| LockStats {
+            lock,
+            rate: 1.0,
+            contention: 1,
+            home_server: i % lock_servers,
+        })
+        .collect();
+    // Capacity 0 → everything lands in `in_server`.
+    let alloc = knapsack_allocate(&stats, 0);
+    rack.program(&alloc);
+    rack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlock_proto::LockMode;
+
+    #[test]
+    fn all_grants_come_from_servers() {
+        let locks: Vec<LockId> = (0..32).map(LockId).collect();
+        let mut rack = build_server_only(1, 2, 8, &locks);
+        for _ in 0..2 {
+            rack.add_txn_client(
+                TxnClientConfig {
+                    workers: 4,
+                    ..Default::default()
+                },
+                Box::new(SingleLockSource {
+                    locks: locks.clone(),
+                    mode: LockMode::Exclusive,
+                    think: SimDuration::ZERO,
+                }),
+            );
+        }
+        let stats = warmup_and_measure(
+            &mut rack,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(10),
+        );
+        assert!(stats.txns > 200, "txns = {}", stats.txns);
+        assert_eq!(stats.grants_switch, 0);
+        assert_eq!(stats.grants_server, stats.grants);
+    }
+
+    #[test]
+    fn server_cpu_bound_scales_with_cores() {
+        let locks: Vec<LockId> = (0..512).map(LockId).collect();
+        let run = |cores: usize| {
+            let mut rack = build_server_only(2, 1, cores, &locks);
+            for _ in 0..4 {
+                rack.add_txn_client(
+                    TxnClientConfig {
+                        workers: 64,
+                        ..Default::default()
+                    },
+                    Box::new(SingleLockSource {
+                        locks: locks.clone(),
+                        mode: LockMode::Exclusive,
+                        think: SimDuration::ZERO,
+                    }),
+                );
+            }
+            warmup_and_measure(
+                &mut rack,
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(10),
+            )
+            .lock_rps()
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert!(
+            eight > one * 3.0,
+            "8 cores should be much faster: 1 core {one} vs 8 cores {eight}"
+        );
+    }
+}

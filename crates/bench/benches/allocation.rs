@@ -1,0 +1,56 @@
+//! Benchmarks of the control-plane memory allocator (Algorithm 3):
+//! how fast the knapsack allocation runs at realistic lock counts, and
+//! the quality gap vs the random strawman.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netlock_proto::LockId;
+use netlock_switch::control::{knapsack_allocate, random_allocate, LockStats};
+
+fn skewed_stats(n: usize) -> Vec<LockStats> {
+    (0..n)
+        .map(|i| LockStats {
+            lock: LockId(i as u32),
+            // Zipf-ish rates: hot head, long tail.
+            rate: 1_000.0 / (i as f64 + 1.0),
+            contention: 4 + (i % 32) as u32,
+            home_server: i % 4,
+        })
+        .collect()
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocation");
+    for n in [1_000usize, 10_000, 100_000] {
+        let stats = skewed_stats(n);
+        g.bench_with_input(BenchmarkId::new("knapsack", n), &stats, |b, stats| {
+            b.iter(|| black_box(knapsack_allocate(stats, 100_000)));
+        });
+    }
+    let stats = skewed_stats(10_000);
+    g.bench_function("random_10000", |b| {
+        b.iter(|| black_box(random_allocate(&stats, 100_000, 7)));
+    });
+    g.finish();
+}
+
+fn bench_quality(c: &mut Criterion) {
+    // Not a speed benchmark: asserts the quality gap stays large, so a
+    // regression in the allocator shows up in `cargo bench` output.
+    let stats = skewed_stats(10_000);
+    let cap = 5_000;
+    let knap = knapsack_allocate(&stats, cap).objective(&stats);
+    let rand = random_allocate(&stats, cap, 7).objective(&stats);
+    assert!(
+        knap > 2.0 * rand,
+        "knapsack objective {knap} should dominate random {rand}"
+    );
+    let mut g = c.benchmark_group("allocation_quality");
+    g.bench_function("objective_evaluation", |b| {
+        let alloc = knapsack_allocate(&stats, cap);
+        b.iter(|| black_box(alloc.objective(&stats)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_knapsack, bench_quality);
+criterion_main!(benches);

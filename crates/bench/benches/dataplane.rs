@@ -1,0 +1,99 @@
+//! Benchmarks of the full switch data-plane state machine — the cost
+//! the simulator charges per NetLock packet, and a sanity check that
+//! the model itself is cheap enough to simulate line-rate traffic.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netlock_proto::{
+    ClientAddr, LockId, LockMode, LockRequest, NetLockMsg, Priority, ReleaseRequest, TenantId,
+    TxnId,
+};
+use netlock_switch::control::{apply_allocation, knapsack_allocate, LockStats};
+use netlock_switch::priority::PriorityLayout;
+use netlock_switch::shared_queue::SharedQueueLayout;
+use netlock_switch::DataPlane;
+
+fn acquire(lock: u32, txn: u64, mode: LockMode) -> NetLockMsg {
+    NetLockMsg::Acquire(LockRequest {
+        lock: LockId(lock),
+        mode,
+        txn: TxnId(txn),
+        client: ClientAddr(1),
+        tenant: TenantId(0),
+        priority: Priority(0),
+        issued_at_ns: 0,
+    })
+}
+
+fn release(lock: u32, txn: u64, mode: LockMode) -> NetLockMsg {
+    NetLockMsg::Release(ReleaseRequest {
+        lock: LockId(lock),
+        txn: TxnId(txn),
+        mode,
+        client: ClientAddr(1),
+        priority: Priority(0),
+    })
+}
+
+fn fcfs_dp(locks: u32) -> DataPlane {
+    let mut dp = DataPlane::new_fcfs(&SharedQueueLayout::small(8, 16_384, locks as usize));
+    let stats: Vec<LockStats> = (0..locks)
+        .map(|l| LockStats {
+            lock: LockId(l),
+            rate: 1.0,
+            contention: 64,
+            home_server: 0,
+        })
+        .collect();
+    apply_allocation(&mut dp, &knapsack_allocate(&stats, 16_384 * 8));
+    dp
+}
+
+fn bench_fcfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataplane_fcfs");
+    g.bench_function("uncontended_acquire_release", |b| {
+        let mut dp = fcfs_dp(512);
+        let mut i = 0u64;
+        b.iter(|| {
+            let lock = (i % 512) as u32;
+            let a = dp.process(acquire(lock, i, LockMode::Exclusive), 0);
+            let r = dp.process(release(lock, i, LockMode::Exclusive), 0);
+            i += 1;
+            black_box((a.len(), r.len()))
+        });
+    });
+    g.bench_function("contended_handoff", |b| {
+        // One lock, a standing queue of 8: each iteration releases the
+        // head (grant handoff) and enqueues a replacement.
+        let mut dp = fcfs_dp(4);
+        for i in 0..8 {
+            dp.process(acquire(0, i, LockMode::Exclusive), 0);
+        }
+        let mut i = 8u64;
+        b.iter(|| {
+            let r = dp.process(release(0, i - 8, LockMode::Exclusive), 0);
+            dp.process(acquire(0, i, LockMode::Exclusive), 0);
+            i += 1;
+            black_box(r.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_priority(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataplane_priority");
+    g.bench_function("two_level_acquire_release", |b| {
+        let mut dp = DataPlane::new_priority(&PriorityLayout::new(2, 128, 16));
+        dp.directory_mut().set_switch_resident(LockId(0), 0, 0);
+        let mut i = 0u64;
+        b.iter(|| {
+            let a = dp.process(acquire(0, i, LockMode::Exclusive), 0);
+            let r = dp.process(release(0, i, LockMode::Exclusive), 0);
+            i += 1;
+            black_box((a.len(), r.len()))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fcfs, bench_priority);
+criterion_main!(benches);

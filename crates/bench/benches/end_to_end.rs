@@ -1,0 +1,61 @@
+//! End-to-end simulation benchmarks: scaled-down versions of each
+//! figure's experiment, so `cargo bench` tracks the wall-clock cost of
+//! the whole reproduction and any performance regression in the
+//! simulator or the systems under test.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netlock_bench::{fig08, fig09, fig10, fig13, fig14, fig15, TimeScale};
+use netlock_sim::SimDuration;
+
+fn tiny() -> TimeScale {
+    TimeScale {
+        warmup: SimDuration::from_millis(1),
+        measure: SimDuration::from_millis(2),
+    }
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("fig08a_shared_point", |b| {
+        b.iter(|| black_box(fig08::run_8a(tiny()).len()));
+    });
+    g.bench_function("fig09_switch_point", |b| {
+        b.iter(|| black_box(fig09::run_switch(fig09::Workload::Shared, tiny())));
+    });
+    g.finish();
+}
+
+fn bench_tpcc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_tpcc");
+    g.sample_size(10);
+    g.bench_function("fig10_netlock_low_contention", |b| {
+        b.iter(|| {
+            let results = fig10::run_comparison(2, 2, false, tiny());
+            black_box(results.len())
+        });
+    });
+    g.bench_function("fig13_knapsack_point", |b| {
+        b.iter(|| black_box(fig13::run_policy(false, tiny()).stats.txns));
+    });
+    g.bench_function("fig14_memory_point", |b| {
+        b.iter(|| {
+            black_box(fig14::run_think_sweep(SimDuration::ZERO, &[1_000], tiny()).len())
+        });
+    });
+    g.bench_function("fig15_failure_timeline", |b| {
+        b.iter(|| {
+            let r = fig15::run_failure(
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(500),
+            );
+            black_box(r.series.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro, bench_tpcc);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Runs every figure harness in sequence (the full reproduction).
+use netlock_bench::TimeScale;
+use netlock_sim::SimDuration;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let micro = TimeScale {
+        warmup: SimDuration::from_millis(1),
+        measure: SimDuration::from_millis(5),
+    };
+    let fig9 = TimeScale {
+        warmup: SimDuration::from_millis(1),
+        measure: SimDuration::from_millis(3),
+    };
+    netlock_bench::fig08::run_and_print(micro);
+    println!();
+    netlock_bench::fig09::run_and_print(fig9);
+    println!();
+    netlock_bench::fig10::run_and_print(10, 2, TimeScale::full());
+    println!();
+    netlock_bench::fig10::run_and_print(6, 6, TimeScale::full());
+    println!();
+    netlock_bench::fig12::run_and_print();
+    println!();
+    netlock_bench::fig13::run_and_print(TimeScale::full());
+    println!();
+    let fig14 = TimeScale {
+        warmup: SimDuration::from_millis(5),
+        measure: SimDuration::from_millis(25),
+    };
+    netlock_bench::fig14::run_and_print(fig14);
+    println!();
+    netlock_bench::fig15::run_and_print();
+    eprintln!("# all figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+}

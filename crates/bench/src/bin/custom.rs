@@ -1,0 +1,112 @@
+//! Custom experiment runner: sweep any NetLock TPC-C configuration
+//! without writing code.
+//!
+//! ```text
+//! cargo run --release -p netlock-bench --bin custom -- \
+//!     clients=10 servers=2 workers=16 slots=100000 contention=low \
+//!     warmup_ms=10 measure_ms=50 seed=42 [alloc=random] [think_us=5]
+//! ```
+//!
+//! Prints a single TSV row (plus header) with throughput, latency and
+//! the switch's share of grants — the same metrics the paper reports.
+
+use netlock_bench::{build_netlock_tpcc, TpccRackSpec};
+use netlock_core::prelude::*;
+use netlock_sim::SimDuration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: custom [key=value ...]\n\
+         keys:\n\
+           clients=N       client machines (default 10)\n\
+           servers=N       lock servers (default 2)\n\
+           workers=N       transaction workers per client (default 16)\n\
+           slots=N         switch memory budget in queue slots (default 100000)\n\
+           contention=low|high   TPC-C setting (default low)\n\
+           alloc=knapsack|random allocation policy (default knapsack)\n\
+           think_us=N      override every txn's think time (default: per-type)\n\
+           cold=N          cold locks offered to the allocator (default 0)\n\
+           warmup_ms=N     warmup window, simulated ms (default 10)\n\
+           measure_ms=N    measurement window, simulated ms (default 50)\n\
+           seed=N          simulation seed (default 42)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut spec = TpccRackSpec::default();
+    let mut warmup = SimDuration::from_millis(10);
+    let mut measure = SimDuration::from_millis(50);
+    for arg in std::env::args().skip(1) {
+        let Some((key, value)) = arg.split_once('=') else {
+            eprintln!("bad argument: {arg}");
+            usage();
+        };
+        let parse = |v: &str| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad number in {arg}");
+                usage()
+            })
+        };
+        match key {
+            "clients" => spec.clients = parse(value) as usize,
+            "servers" => spec.lock_servers = parse(value) as usize,
+            "workers" => spec.workers_per_client = parse(value) as usize,
+            "slots" => spec.switch_slots = parse(value) as u32,
+            "contention" => match value {
+                "low" => spec.high_contention = false,
+                "high" => spec.high_contention = true,
+                _ => usage(),
+            },
+            "alloc" => match value {
+                "knapsack" => spec.random_alloc = false,
+                "random" => spec.random_alloc = true,
+                _ => usage(),
+            },
+            "think_us" => {
+                spec.think_override = Some(SimDuration::from_micros(parse(value)));
+            }
+            "cold" => spec.cold_locks_in_stats = parse(value) as u32,
+            "warmup_ms" => warmup = SimDuration::from_millis(parse(value)),
+            "measure_ms" => measure = SimDuration::from_millis(parse(value)),
+            "seed" => spec.seed = parse(value),
+            "help" | "-h" | "--help" => usage(),
+            _ => {
+                eprintln!("unknown key: {key}");
+                usage();
+            }
+        }
+    }
+    if spec.clients == 0 || spec.lock_servers == 0 || spec.workers_per_client == 0 {
+        eprintln!("clients, servers and workers must be positive");
+        usage();
+    }
+
+    eprintln!(
+        "# {} clients × {} workers, {} servers, {} slots, {} contention, {} allocation",
+        spec.clients,
+        spec.workers_per_client,
+        spec.lock_servers,
+        spec.switch_slots,
+        if spec.high_contention { "high" } else { "low" },
+        if spec.random_alloc { "random" } else { "knapsack" },
+    );
+    let mut rack = build_netlock_tpcc(&spec);
+    let stats = warmup_and_measure(&mut rack, warmup, measure);
+    let lock_lat = stats.lock_latency_summary();
+    let txn_lat = stats.txn_latency_summary();
+    println!(
+        "lock_mrps\ttxn_ktps\tswitch_share\tlock_p50_us\tlock_p99_us\ttxn_avg_us\ttxn_p99_us\tretries"
+    );
+    println!(
+        "{:.3}\t{:.1}\t{:.3}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{}",
+        stats.lock_rps() / 1e6,
+        stats.tps() / 1e3,
+        stats.switch_share(),
+        lock_lat.p50_us(),
+        lock_lat.p99_us(),
+        txn_lat.avg_us(),
+        txn_lat.p99_us(),
+        stats.retries,
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 10 (TPC-C comparison, 10 clients + 2 lock servers).
+use netlock_bench::TimeScale;
+
+fn main() {
+    let scale = TimeScale::full();
+    println!("# scaling: {} warmup, {} measure (simulated time)", scale.warmup, scale.measure);
+    netlock_bench::fig10::run_and_print(10, 2, scale);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 11 (TPC-C comparison, 6 clients + 6 lock servers).
+use netlock_bench::TimeScale;
+
+fn main() {
+    let scale = TimeScale::full();
+    println!("# scaling: {} warmup, {} measure (simulated time)", scale.warmup, scale.measure);
+    netlock_bench::fig10::run_and_print(6, 6, scale);
+}

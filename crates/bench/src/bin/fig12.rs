@@ -1,0 +1,5 @@
+//! Regenerates Figure 12 (policy support: differentiation + isolation).
+fn main() {
+    println!("# scaling: 2 s simulated series, 100 ms sampling; think time 500 us");
+    netlock_bench::fig12::run_and_print();
+}

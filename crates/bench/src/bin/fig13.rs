@@ -1,0 +1,8 @@
+//! Regenerates Figure 13 (knapsack vs random memory allocation).
+use netlock_bench::TimeScale;
+
+fn main() {
+    let scale = TimeScale::full();
+    println!("# scaling: {} warmup, {} measure (simulated time)", scale.warmup, scale.measure);
+    netlock_bench::fig13::run_and_print(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 15 (switch failure and reactivation).
+fn main() {
+    println!("# scaling: 6 s simulated timeline (paper: 20 s), 200 ms sampling");
+    netlock_bench::fig15::run_and_print();
+}

@@ -1,0 +1,165 @@
+//! Figure 9: one lock switch vs one lock server with 1–8 cores.
+//!
+//! Ten client machines generate three microbenchmark workloads —
+//! shared locks, exclusive locks without contention, and exclusive
+//! locks with contention (5000 locks) — against (i) the lock switch
+//! and (ii) a lock server configured with 1..=8 cores. As in the
+//! paper, the switch is *not* saturated by ten clients; the server
+//! saturates at its core count × per-core rate.
+
+use netlock_baselines::server_only::build_server_only;
+use netlock_core::prelude::*;
+use netlock_proto::{LockId, LockMode};
+
+use crate::common::{mrps, TimeScale};
+
+/// Client machines.
+pub const CLIENTS: usize = 10;
+/// Lock-set size for the contended workload.
+pub const CONTENDED_LOCKS: u32 = 5_000;
+
+/// The three workloads of the figure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// All-shared requests.
+    Shared,
+    /// Exclusive, disjoint per-client lock ranges.
+    ExclusiveNoContention,
+    /// Exclusive, 5000 locks shared by every client.
+    ExclusiveContention,
+}
+
+impl Workload {
+    /// All three, in figure order.
+    pub fn all() -> [Workload; 3] {
+        [
+            Workload::Shared,
+            Workload::ExclusiveNoContention,
+            Workload::ExclusiveContention,
+        ]
+    }
+
+    /// Label used in the TSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Shared => "shared",
+            Workload::ExclusiveNoContention => "exclusive_no_contention",
+            Workload::ExclusiveContention => "exclusive_contention",
+        }
+    }
+}
+
+fn add_clients(rack: &mut Rack, workload: Workload, total_locks: u32) {
+    let per_client = total_locks / CLIENTS as u32;
+    for c in 0..CLIENTS {
+        let (locks, mode): (Vec<LockId>, LockMode) = match workload {
+            Workload::Shared => ((0..total_locks).map(LockId).collect(), LockMode::Shared),
+            Workload::ExclusiveNoContention => (
+                (c as u32 * per_client..(c as u32 + 1) * per_client)
+                    .map(LockId)
+                    .collect(),
+                LockMode::Exclusive,
+            ),
+            Workload::ExclusiveContention => (
+                (0..CONTENDED_LOCKS).map(LockId).collect(),
+                LockMode::Exclusive,
+            ),
+        };
+        rack.add_micro_client(MicroClientConfig {
+            rate_rps: 18e6,
+            locks,
+            mode,
+            ..Default::default()
+        });
+    }
+}
+
+/// Throughput (MRPS) of the lock switch for one workload.
+pub fn run_switch(workload: Workload, scale: TimeScale) -> f64 {
+    let total_locks = 6_000u32;
+    let mut rack = Rack::build(RackConfig {
+        seed: 9,
+        lock_servers: 1,
+        ..Default::default()
+    });
+    let lock_count = match workload {
+        Workload::ExclusiveContention => CONTENDED_LOCKS,
+        _ => total_locks,
+    };
+    let stats: Vec<LockStats> = (0..lock_count)
+        .map(|l| LockStats {
+            lock: LockId(l),
+            rate: 1.0,
+            contention: (100_000 / lock_count).min(4_096),
+            home_server: 0,
+        })
+        .collect();
+    rack.program(&knapsack_allocate(&stats, 100_000));
+    add_clients(&mut rack, workload, total_locks);
+    let stats = warmup_and_measure(&mut rack, scale.warmup, scale.measure);
+    mrps(stats.lock_rps())
+}
+
+/// Throughput (MRPS) of a lock server with `cores` cores.
+pub fn run_server(workload: Workload, cores: usize, scale: TimeScale) -> f64 {
+    let total_locks = 6_000u32;
+    let lock_count = match workload {
+        Workload::ExclusiveContention => CONTENDED_LOCKS,
+        _ => total_locks,
+    };
+    let locks: Vec<LockId> = (0..lock_count).map(LockId).collect();
+    let mut rack = build_server_only(9, 1, cores, &locks);
+    add_clients(&mut rack, workload, total_locks);
+    let stats = warmup_and_measure(&mut rack, scale.warmup, scale.measure);
+    mrps(stats.lock_rps())
+}
+
+/// Print the figure as TSV.
+pub fn run_and_print(scale: TimeScale) {
+    println!("# Figure 9: lock switch vs lock server (1-8 cores), 10 clients");
+    println!("system\tcores\tworkload\tthroughput_mrps");
+    for wl in Workload::all() {
+        let t = run_switch(wl, scale);
+        println!("switch\t-\t{}\t{:.2}", wl.label(), t);
+    }
+    for wl in Workload::all() {
+        for cores in 1..=8 {
+            let t = run_server(wl, cores, scale);
+            println!("server\t{}\t{}\t{:.3}", cores, wl.label(), t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TimeScale {
+        TimeScale {
+            warmup: SimDuration::from_millis(1),
+            measure: SimDuration::from_millis(3),
+        }
+    }
+
+    #[test]
+    fn switch_beats_server_by_a_wide_margin() {
+        let sw = run_switch(Workload::Shared, tiny());
+        let srv = run_server(Workload::Shared, 8, tiny());
+        assert!(
+            sw > 5.0 * srv,
+            "paper reports ~7×: switch {sw} MRPS vs server {srv} MRPS"
+        );
+    }
+
+    #[test]
+    fn server_scales_with_cores() {
+        let one = run_server(Workload::ExclusiveNoContention, 1, tiny());
+        let eight = run_server(Workload::ExclusiveNoContention, 8, tiny());
+        assert!(
+            eight > 4.0 * one,
+            "8 cores should be ≫ 1 core: {one} vs {eight}"
+        );
+        // 8 cores ≈ 18 MRPS in the paper's testbed.
+        assert!((10.0..25.0).contains(&eight), "8-core server: {eight} MRPS");
+    }
+}

@@ -1,0 +1,169 @@
+//! Figures 10 and 11: system comparison under TPC-C.
+//!
+//! NetLock vs DSLR vs DrTM vs NetChain, in two deployments:
+//! - Figure 10: ten clients, two lock servers;
+//! - Figure 11: six clients, six lock servers.
+//!
+//! Each runs both TPC-C contention settings and reports lock
+//! throughput, transaction throughput, and average / 99th-percentile
+//! transaction latency.
+
+use netlock_baselines::{
+    build_drtm, build_dslr, build_netchain, measure_drtm, measure_dslr, measure_netchain,
+    DrtmClientConfig, DslrClientConfig, NcClientConfig, RdmaNicConfig,
+};
+use netlock_core::prelude::*;
+
+use crate::common::{build_netlock_tpcc, tpcc_sources, SystemResult, TimeScale, TpccRackSpec};
+
+/// Run the four systems for one deployment + contention setting.
+pub fn run_comparison(
+    clients: usize,
+    lock_servers: usize,
+    high_contention: bool,
+    scale: TimeScale,
+) -> Vec<SystemResult> {
+    run_comparison_with_workers(clients, lock_servers, high_contention, scale, 16)
+}
+
+/// [`run_comparison`] with an explicit per-client worker count (the
+/// offered load knob; the paper's clients saturate the systems).
+pub fn run_comparison_with_workers(
+    clients: usize,
+    lock_servers: usize,
+    high_contention: bool,
+    scale: TimeScale,
+    workers_per_client: usize,
+) -> Vec<SystemResult> {
+    let contention = if high_contention { "high" } else { "low" };
+    let spec = TpccRackSpec {
+        clients,
+        lock_servers,
+        high_contention,
+        workers_per_client,
+        ..Default::default()
+    };
+    let workers = spec.workers_per_client;
+    let mut results = Vec::new();
+
+    // DSLR: RDMA bakery on `lock_servers` RDMA nodes.
+    {
+        let mut rack = build_dslr(
+            spec.seed,
+            lock_servers,
+            DslrClientConfig {
+                workers,
+                ..Default::default()
+            },
+            RdmaNicConfig::default(),
+            tpcc_sources(&spec),
+        );
+        let stats = measure_dslr(&mut rack, scale.warmup, scale.measure);
+        results.push(SystemResult {
+            system: "DSLR",
+            contention,
+            stats,
+        });
+    }
+
+    // DrTM: CAS fail-and-retry on the same RDMA substrate.
+    {
+        let mut rack = build_drtm(
+            spec.seed,
+            lock_servers,
+            DrtmClientConfig {
+                workers,
+                ..Default::default()
+            },
+            RdmaNicConfig::default(),
+            tpcc_sources(&spec),
+        );
+        let stats = measure_drtm(&mut rack, scale.warmup, scale.measure);
+        results.push(SystemResult {
+            system: "DrTM",
+            contention,
+            stats,
+        });
+    }
+
+    // NetChain: switch-only exclusive locks, no lock servers.
+    {
+        let mut rack = build_netchain(
+            spec.seed,
+            100_000,
+            NcClientConfig {
+                workers,
+                ..Default::default()
+            },
+            tpcc_sources(&spec),
+        );
+        let stats = measure_netchain(&mut rack, scale.warmup, scale.measure);
+        results.push(SystemResult {
+            system: "NetChain",
+            contention,
+            stats,
+        });
+    }
+
+    // NetLock.
+    {
+        let mut rack = build_netlock_tpcc(&spec);
+        let stats = warmup_and_measure(&mut rack, scale.warmup, scale.measure);
+        results.push(SystemResult {
+            system: "NetLock",
+            contention,
+            stats,
+        });
+    }
+
+    results
+}
+
+/// Print one deployment (both contention settings) as TSV.
+pub fn run_and_print(clients: usize, lock_servers: usize, scale: TimeScale) {
+    // 32 workers/client ≈ the saturating offered load of the paper's
+    // DPDK clients.
+    let workers = 32;
+    println!(
+        "# System comparison under TPC-C: {clients} clients, {lock_servers} lock servers, {workers} workers/client"
+    );
+    println!("{}", SystemResult::tsv_header());
+    for high in [false, true] {
+        for r in run_comparison_with_workers(clients, lock_servers, high, scale, workers) {
+            println!("{}", r.tsv());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlock_sim::SimDuration;
+
+    #[test]
+    fn netlock_wins_the_comparison() {
+        let scale = TimeScale {
+            warmup: SimDuration::from_millis(2),
+            measure: SimDuration::from_millis(10),
+        };
+        let results = run_comparison(8, 2, false, scale);
+        let tps = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.system == name)
+                .map(|r| r.stats.tps())
+                .unwrap()
+        };
+        let netlock = tps("NetLock");
+        let dslr = tps("DSLR");
+        let drtm = tps("DrTM");
+        assert!(
+            netlock > 3.0 * dslr,
+            "NetLock {netlock} should beat DSLR {dslr} by a wide margin"
+        );
+        assert!(
+            netlock > drtm,
+            "NetLock {netlock} should beat DrTM {drtm}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 14: impact of switch memory size.
+//!
+//! (a) throughput vs memory slots for think times {0, 5, 10, 100 µs}:
+//! the think time bounds a slot's turnover rate, so longer transactions
+//! need more memory for the same throughput.
+//!
+//! (b) throughput vs memory slots for knapsack vs random allocation:
+//! the knapsack allocator reaches peak throughput with a fraction of
+//! the memory the random allocator wastes.
+
+use netlock_core::prelude::*;
+use netlock_sim::SimDuration;
+
+use crate::common::{build_netlock_tpcc, mrps, TimeScale, TpccRackSpec};
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryPoint {
+    /// Switch memory (queue slots).
+    pub slots: u32,
+    /// Lock throughput (MRPS).
+    pub lock_mrps: f64,
+}
+
+/// Panel (a): memory sweep at a fixed think time.
+pub fn run_think_sweep(
+    think: SimDuration,
+    slots_points: &[u32],
+    scale: TimeScale,
+) -> Vec<MemoryPoint> {
+    slots_points
+        .iter()
+        .map(|&slots| {
+            let mut rack = build_netlock_tpcc(&TpccRackSpec {
+                clients: 10,
+                lock_servers: 2,
+                switch_slots: slots,
+                think_override: Some(think),
+                ..Default::default()
+            });
+            let stats = warmup_and_measure(&mut rack, scale.warmup, scale.measure);
+            MemoryPoint {
+                slots,
+                lock_mrps: mrps(stats.lock_rps()),
+            }
+        })
+        .collect()
+}
+
+/// Panel (b): memory sweep for one allocation policy (cold tail in the
+/// allocator input, as in Figure 13).
+pub fn run_alloc_sweep(random: bool, slots_points: &[u32], scale: TimeScale) -> Vec<MemoryPoint> {
+    slots_points
+        .iter()
+        .map(|&slots| {
+            let mut rack = build_netlock_tpcc(&TpccRackSpec {
+                clients: 10,
+                lock_servers: 2,
+                switch_slots: slots,
+                random_alloc: random,
+                cold_locks_in_stats: 20_000,
+                ..Default::default()
+            });
+            let stats = warmup_and_measure(&mut rack, scale.warmup, scale.measure);
+            MemoryPoint {
+                slots,
+                lock_mrps: mrps(stats.lock_rps()),
+            }
+        })
+        .collect()
+}
+
+/// Print both panels as TSV.
+pub fn run_and_print(scale: TimeScale) {
+    println!("# Figure 14(a): throughput vs switch memory, by think time");
+    println!("think_us\tslots\tthroughput_mrps");
+    let slots_a = [100u32, 250, 500, 1_000, 2_000, 4_000];
+    for &think_us in &[0u64, 5, 10, 100] {
+        for p in run_think_sweep(SimDuration::from_micros(think_us), &slots_a, scale) {
+            println!("{}\t{}\t{:.3}", think_us, p.slots, p.lock_mrps);
+        }
+    }
+    println!();
+    println!("# Figure 14(b): throughput vs switch memory, by allocation policy");
+    println!("policy\tslots\tthroughput_mrps");
+    let slots_b = [1_000u32, 2_500, 5_000, 10_000, 20_000, 40_000];
+    for (label, random) in [("knapsack", false), ("random", true)] {
+        for p in run_alloc_sweep(random, &slots_b, scale) {
+            println!("{}\t{}\t{:.3}", label, p.slots, p.lock_mrps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TimeScale {
+        TimeScale {
+            warmup: SimDuration::from_millis(3),
+            measure: SimDuration::from_millis(12),
+        }
+    }
+
+    #[test]
+    fn more_memory_helps_until_saturation() {
+        let pts = run_think_sweep(SimDuration::ZERO, &[100, 2_000], tiny());
+        assert!(
+            pts[1].lock_mrps > pts[0].lock_mrps,
+            "2000 slots {} should beat 100 slots {}",
+            pts[1].lock_mrps,
+            pts[0].lock_mrps
+        );
+    }
+
+    #[test]
+    fn long_think_time_needs_more_memory() {
+        // At a fixed small memory, 100 µs transactions achieve much
+        // lower throughput than 0 µs ones (slot turnover bound).
+        let fast = run_think_sweep(SimDuration::ZERO, &[1_000], tiny());
+        let slow = run_think_sweep(SimDuration::from_micros(100), &[1_000], tiny());
+        assert!(
+            fast[0].lock_mrps > 1.25 * slow[0].lock_mrps,
+            "think 0 {} vs think 100us {}",
+            fast[0].lock_mrps,
+            slow[0].lock_mrps
+        );
+    }
+
+    #[test]
+    fn knapsack_reaches_peak_with_less_memory() {
+        let knap = run_alloc_sweep(false, &[2_500], tiny());
+        let rand = run_alloc_sweep(true, &[2_500], tiny());
+        assert!(
+            knap[0].lock_mrps > rand[0].lock_mrps,
+            "knapsack {} vs random {} at 2500 slots",
+            knap[0].lock_mrps,
+            rand[0].lock_mrps
+        );
+    }
+}

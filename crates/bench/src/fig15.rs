@@ -1,0 +1,138 @@
+//! Figure 15: failure handling.
+//!
+//! TPC-C runs steadily; the switch is stopped (drops everything,
+//! retains no state), then reactivated with wiped registers and a
+//! reprogrammed directory, exactly like §6.5's experiment. Clients
+//! keep retrying during the outage; leases clear stranded holders.
+//! Throughput drops to zero during the outage and returns to the
+//! pre-failure level right after reactivation.
+
+use netlock_core::prelude::*;
+use netlock_sim::{SimDuration, TimeSeries};
+use netlock_switch::SwitchNode;
+
+use crate::common::{build_netlock_tpcc, tpcc_allocation, TpccRackSpec};
+
+/// The failure experiment's timeline and result.
+#[derive(Clone, Debug)]
+pub struct FailureResult {
+    /// TPS over time.
+    pub series: TimeSeries,
+    /// When the switch was stopped.
+    pub fail_at: SimDuration,
+    /// When the switch was reactivated.
+    pub revive_at: SimDuration,
+}
+
+/// Run the failure timeline: fail at `fail_at`, revive at `revive_at`,
+/// sample every `interval` until `total`.
+pub fn run_failure(
+    fail_at: SimDuration,
+    revive_at: SimDuration,
+    interval: SimDuration,
+    total: SimDuration,
+) -> FailureResult {
+    assert!(fail_at < revive_at && revive_at < total);
+    let spec = TpccRackSpec {
+        clients: 10,
+        lock_servers: 2,
+        workers_per_client: 4,
+        think_override: Some(SimDuration::from_micros(500)),
+        retry_timeout: SimDuration::from_millis(10),
+        ..Default::default()
+    };
+    let mut rack = build_netlock_tpcc(&spec);
+    let switch = rack.switch;
+    let alloc = tpcc_allocation(&spec);
+
+    let mut series = TimeSeries::new();
+    let mut last: u64 = 0;
+    let mut failed = false;
+    let mut revived = false;
+    let mut t = SimDuration::ZERO;
+    while t < total {
+        let next = t + interval;
+        // Apply failure events inside this window at the right instant.
+        if !failed && fail_at >= t && fail_at < next {
+            rack.sim.run_until(netlock_sim::SimTime(fail_at.as_nanos()));
+            rack.sim.fail_node(switch);
+            failed = true;
+        }
+        if !revived && revive_at >= t && revive_at < next {
+            rack.sim.run_until(netlock_sim::SimTime(revive_at.as_nanos()));
+            rack.sim.revive_node(switch);
+            // "The switch retains none of its former state or register
+            // values": wipe and reprogram, as the control plane would.
+            let n_servers = rack.lock_servers.len();
+            rack.sim.with_node::<SwitchNode, _>(switch, |s| {
+                s.reboot();
+                s.dataplane_mut().set_default_servers(n_servers);
+                netlock_switch::control::apply_allocation(s.dataplane_mut(), &alloc);
+            });
+            revived = true;
+        }
+        rack.sim.run_until(netlock_sim::SimTime(next.as_nanos()));
+        let now_total: u64 = txns_by_client(&rack).iter().sum();
+        series.push(rack.sim.now(), (now_total - last) as f64 / interval.as_secs_f64());
+        last = now_total;
+        t = next;
+    }
+    FailureResult {
+        series,
+        fail_at,
+        revive_at,
+    }
+}
+
+/// Print the throughput time series as TSV.
+pub fn run_and_print() {
+    let r = run_failure(
+        SimDuration::from_millis(2_000),
+        SimDuration::from_millis(3_000),
+        SimDuration::from_millis(200),
+        SimDuration::from_millis(6_000),
+    );
+    println!(
+        "# Figure 15: switch stopped at {:.1}s, reactivated at {:.1}s",
+        r.fail_at.as_secs_f64(),
+        r.revive_at.as_secs_f64()
+    );
+    println!("time_s\ttps");
+    for &(t, tps) in r.series.points() {
+        println!("{:.2}\t{:.0}", t.as_secs_f64(), tps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_drops_and_recovers() {
+        let r = run_failure(
+            SimDuration::from_millis(300),
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(1_200),
+        );
+        let pts = r.series.points();
+        // Window indices: [0,100),[100,200),... failure at 300 ms.
+        let before = pts[1].1.max(pts[2].1);
+        // Outage windows (300–500 ms): index 3 and 4.
+        let during = pts[3].1.min(pts[4].1);
+        // Recovery: last three windows.
+        let after = pts[pts.len() - 3..]
+            .iter()
+            .map(|p| p.1)
+            .fold(0.0f64, f64::max);
+        assert!(before > 1_000.0, "healthy throughput first: {before}");
+        assert!(
+            during < before * 0.2,
+            "outage must crater throughput: {during} vs {before}"
+        );
+        assert!(
+            after > before * 0.6,
+            "reactivation must restore throughput: {after} vs {before}"
+        );
+    }
+}

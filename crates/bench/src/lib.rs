@@ -1,0 +1,24 @@
+//! # netlock-bench
+//!
+//! Experiment harnesses that regenerate every figure of the paper's
+//! evaluation (§6). Each `figXX` module provides typed `run_*`
+//! functions (used by the Criterion benches and integration tests) and
+//! a `run_and_print` that emits the figure's rows as TSV (used by the
+//! `figXX` binaries). See DESIGN.md for the per-experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+
+pub use common::{
+    build_netlock_tpcc, tpcc_alloc_stats, tpcc_allocation, tpcc_sources, SystemResult, TimeScale,
+    TpccRackSpec,
+};

@@ -1,0 +1,572 @@
+//! Closed-loop transaction client (the TPC-C experiments' clients).
+//!
+//! Runs `workers` concurrent transaction contexts. Each worker loops:
+//! take a transaction from the workload source, acquire its locks one by
+//! one (sorted order — deadlock-free 2PL), think, release everything,
+//! repeat. Lost grants (packet loss, switch failure, quota drops) are
+//! handled by retransmission after `retry_timeout`; surplus grants from
+//! retries are released immediately so they cannot leak holders.
+//!
+//! Timers are guarded by a per-worker generation counter: every state
+//! transition invalidates outstanding timers, so a stale retry timer can
+//! never fire into a later phase of the transaction.
+
+use netlock_proto::{
+    ClientAddr, GrantMsg, Grantor, LockRequest, NetLockMsg, ReleaseRequest, TxnId,
+};
+use netlock_sim::{Context, Histogram, Node, NodeId, Packet, SimDuration, SimRng, SimTime};
+
+use crate::txn::{LockNeed, Transaction, TxnSource};
+
+/// Transaction client configuration.
+#[derive(Clone, Debug)]
+pub struct TxnClientConfig {
+    /// Concurrent transaction contexts.
+    pub workers: usize,
+    /// Client software + NIC delay on transmit.
+    pub tx_delay: SimDuration,
+    /// Client software + NIC delay on receive.
+    pub rx_delay: SimDuration,
+    /// Re-send an acquire if no grant arrives within this window.
+    pub retry_timeout: SimDuration,
+    /// Delay before the workers start issuing transactions (tenant
+    /// arrival time in the policy experiments).
+    pub start_delay: SimDuration,
+}
+
+impl Default for TxnClientConfig {
+    fn default() -> Self {
+        TxnClientConfig {
+            workers: 16,
+            tx_delay: SimDuration::from_nanos(2_500),
+            rx_delay: SimDuration::from_nanos(2_500),
+            retry_timeout: SimDuration::from_millis(20),
+            start_delay: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Transaction client counters.
+#[derive(Clone, Debug, Default)]
+pub struct TxnClientStats {
+    /// Transactions completed.
+    pub txns: u64,
+    /// Lock grants received and consumed.
+    pub grants: u64,
+    /// Grants that came from the switch data plane.
+    pub grants_switch: u64,
+    /// Grants that came from a lock server.
+    pub grants_server: u64,
+    /// Acquire retransmissions.
+    pub retries: u64,
+    /// Surplus grants released (stale transactions or retry duplicates).
+    pub stale_grants: u64,
+    /// End-to-end transaction latency (ns).
+    pub txn_latency: Histogram,
+    /// Per-lock acquire→grant latency (ns).
+    pub wait_latency: Histogram,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Acquiring { next: usize, acquire_sent: SimTime },
+    Thinking,
+}
+
+#[derive(Debug)]
+struct Worker {
+    txn: Transaction,
+    txn_id: TxnId,
+    started: SimTime,
+    phase: Phase,
+    held: Vec<LockNeed>,
+    /// Per-worker transaction sequence (encoded into txn ids).
+    seq: u64,
+    /// Timer-staleness guard; bumped on every state transition.
+    timer_gen: u64,
+}
+
+/// The closed-loop transaction client node.
+pub struct TxnClient {
+    cfg: TxnClientConfig,
+    switch: NodeId,
+    source: Box<dyn TxnSource>,
+    workers: Vec<Worker>,
+    rng: SimRng,
+    stats: TxnClientStats,
+}
+
+const SEQ_BITS: u32 = 24;
+const WORKER_BITS: u32 = 16;
+const GEN_BITS: u32 = 32;
+
+impl TxnClient {
+    /// A client with `cfg.workers` contexts fed by `source`.
+    pub fn new(
+        cfg: TxnClientConfig,
+        switch: NodeId,
+        source: Box<dyn TxnSource>,
+        seed: u64,
+    ) -> TxnClient {
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.workers < (1 << WORKER_BITS), "too many workers");
+        TxnClient {
+            cfg,
+            switch,
+            source,
+            workers: Vec::new(),
+            rng: SimRng::new(seed),
+            stats: TxnClientStats::default(),
+        }
+    }
+
+    /// Counters (harness access).
+    pub fn stats(&self) -> &TxnClientStats {
+        &self.stats
+    }
+
+    /// Clear measurement state (end of warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = TxnClientStats::default();
+    }
+
+    /// Redirect future requests to a different lock switch (backup
+    /// switch failover, §4.5). In-flight requests to the old switch are
+    /// covered by the retry timeout.
+    pub fn set_switch(&mut self, switch: NodeId) {
+        self.switch = switch;
+    }
+
+    fn make_txn_id(me: NodeId, worker: usize, seq: u64) -> TxnId {
+        TxnId(
+            ((me.0 as u64) << (WORKER_BITS + SEQ_BITS))
+                | ((worker as u64) << SEQ_BITS)
+                | (seq & ((1 << SEQ_BITS) - 1)),
+        )
+    }
+
+    fn worker_of(txn: TxnId) -> usize {
+        ((txn.0 >> SEQ_BITS) as usize) & ((1 << WORKER_BITS) - 1)
+    }
+
+    /// Schedule a worker timer valid only for the current generation.
+    fn arm_timer(&mut self, worker: usize, delay: SimDuration, ctx: &mut Context<'_, NetLockMsg>) {
+        let gen = self.workers[worker].timer_gen & ((1 << GEN_BITS) - 1);
+        let token = ((worker as u64) << GEN_BITS) | gen;
+        ctx.set_timer(delay, token);
+    }
+
+    fn start_next_txn(&mut self, worker: usize, ctx: &mut Context<'_, NetLockMsg>) {
+        loop {
+            let txn = self.source.next_txn(&mut self.rng);
+            let me = ctx.self_id();
+            let w = &mut self.workers[worker];
+            w.seq += 1;
+            w.timer_gen += 1;
+            w.held.clear();
+            w.txn_id = Self::make_txn_id(me, worker, w.seq);
+            w.started = ctx.now();
+            if txn.locks.is_empty() {
+                // Degenerate lock-free transaction: completes instantly.
+                self.stats.txns += 1;
+                self.stats.txn_latency.record(0);
+                continue;
+            }
+            w.txn = txn;
+            w.phase = Phase::Acquiring {
+                next: 0,
+                acquire_sent: ctx.now(),
+            };
+            self.send_acquire(worker, ctx);
+            return;
+        }
+    }
+
+    fn send_acquire(&mut self, worker: usize, ctx: &mut Context<'_, NetLockMsg>) {
+        let now = ctx.now();
+        let me = ctx.self_id();
+        let (need, txn_id, tenant, priority) = {
+            let w = &mut self.workers[worker];
+            let Phase::Acquiring {
+                next,
+                ref mut acquire_sent,
+            } = w.phase
+            else {
+                return;
+            };
+            *acquire_sent = now;
+            w.timer_gen += 1;
+            (w.txn.locks[next], w.txn_id, w.txn.tenant, w.txn.priority)
+        };
+        let req = LockRequest {
+            lock: need.lock,
+            mode: need.mode,
+            txn: txn_id,
+            client: ClientAddr(me.0),
+            tenant,
+            priority,
+            issued_at_ns: now.as_nanos(),
+        };
+        ctx.send_after(self.switch, NetLockMsg::Acquire(req), self.cfg.tx_delay);
+        self.arm_timer(worker, self.cfg.retry_timeout, ctx);
+    }
+
+    fn release_surplus(&mut self, grant: &GrantMsg, ctx: &mut Context<'_, NetLockMsg>) {
+        self.stats.stale_grants += 1;
+        let rel = ReleaseRequest {
+            lock: grant.lock,
+            txn: grant.txn,
+            mode: grant.mode,
+            client: grant.client,
+            // The release must route to the level queue that granted it.
+            priority: grant.priority,
+        };
+        ctx.send_after(self.switch, NetLockMsg::Release(rel), self.cfg.tx_delay);
+    }
+
+    fn on_grant(&mut self, grant: GrantMsg, ctx: &mut Context<'_, NetLockMsg>) {
+        let worker = Self::worker_of(grant.txn);
+        if worker >= self.workers.len() || self.workers[worker].txn_id != grant.txn {
+            // Grant for a transaction this worker finished or abandoned.
+            self.release_surplus(&grant, ctx);
+            return;
+        }
+        let (next, acquire_sent) = match self.workers[worker].phase {
+            Phase::Acquiring { next, acquire_sent } => (next, acquire_sent),
+            Phase::Thinking => {
+                // Retry duplicate for a lock of the current txn (shared
+                // grants can duplicate); shed the surplus queue entry.
+                self.release_surplus(&grant, ctx);
+                return;
+            }
+        };
+        let expected = self.workers[worker].txn.locks[next];
+        if grant.lock != expected.lock {
+            // Duplicate grant for an earlier lock of this transaction.
+            self.release_surplus(&grant, ctx);
+            return;
+        }
+        self.stats.grants += 1;
+        match grant.grantor {
+            Grantor::Switch => self.stats.grants_switch += 1,
+            Grantor::Server => self.stats.grants_server += 1,
+        }
+        let wait = ctx.now().as_nanos() - acquire_sent.as_nanos() + self.cfg.rx_delay.as_nanos();
+        self.stats.wait_latency.record(wait);
+        self.workers[worker].held.push(expected);
+
+        let lock_count = self.workers[worker].txn.locks.len();
+        if next + 1 < lock_count {
+            self.workers[worker].phase = Phase::Acquiring {
+                next: next + 1,
+                acquire_sent: ctx.now(),
+            };
+            self.send_acquire(worker, ctx);
+        } else {
+            let think = self.workers[worker].txn.think;
+            self.workers[worker].phase = Phase::Thinking;
+            self.workers[worker].timer_gen += 1;
+            if think.is_zero() {
+                self.complete_txn(worker, ctx);
+            } else {
+                self.arm_timer(worker, self.cfg.rx_delay + think, ctx);
+            }
+        }
+    }
+
+    fn complete_txn(&mut self, worker: usize, ctx: &mut Context<'_, NetLockMsg>) {
+        let me = ctx.self_id();
+        let (txn_id, priority, held) = {
+            let w = &self.workers[worker];
+            (w.txn_id, w.txn.priority, w.held.clone())
+        };
+        for need in held {
+            let rel = ReleaseRequest {
+                lock: need.lock,
+                txn: txn_id,
+                mode: need.mode,
+                client: ClientAddr(me.0),
+                priority,
+            };
+            ctx.send_after(self.switch, NetLockMsg::Release(rel), self.cfg.tx_delay);
+        }
+        let started = self.workers[worker].started;
+        self.stats.txns += 1;
+        self.stats
+            .txn_latency
+            .record(ctx.now().as_nanos() - started.as_nanos());
+        self.start_next_txn(worker, ctx);
+    }
+}
+
+/// Timer token reserved for the delayed start (workers use tokens with
+/// a worker index < 2^16, so this cannot collide).
+const START_TOKEN: u64 = u64::MAX;
+
+impl Node<NetLockMsg> for TxnClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        let me = ctx.self_id();
+        for w in 0..self.cfg.workers {
+            self.workers.push(Worker {
+                txn: Transaction::new(vec![], SimDuration::ZERO),
+                txn_id: Self::make_txn_id(me, w, 0),
+                started: ctx.now(),
+                phase: Phase::Thinking,
+                held: Vec::new(),
+                seq: 0,
+                timer_gen: 0,
+            });
+        }
+        if self.cfg.start_delay.is_zero() {
+            for w in 0..self.cfg.workers {
+                self.start_next_txn(w, ctx);
+            }
+        } else {
+            ctx.set_timer(self.cfg.start_delay, START_TOKEN);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet<NetLockMsg>, ctx: &mut Context<'_, NetLockMsg>) {
+        match pkt.payload {
+            NetLockMsg::Grant(g) => self.on_grant(g, ctx),
+            NetLockMsg::DbReply { grant } => self.on_grant(grant, ctx),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, NetLockMsg>) {
+        if token == START_TOKEN {
+            for w in 0..self.cfg.workers {
+                self.start_next_txn(w, ctx);
+            }
+            return;
+        }
+        let worker = (token >> GEN_BITS) as usize;
+        let gen = token & ((1 << GEN_BITS) - 1);
+        if worker >= self.workers.len()
+            || (self.workers[worker].timer_gen & ((1 << GEN_BITS) - 1)) != gen
+        {
+            return; // invalidated by a state transition
+        }
+        match self.workers[worker].phase {
+            Phase::Acquiring { .. } => {
+                // Grant never arrived: retransmit the acquire.
+                self.stats.retries += 1;
+                self.send_acquire(worker, ctx);
+            }
+            Phase::Thinking => self.complete_txn(worker, ctx),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "txn-client"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::SingleLockSource;
+    use netlock_proto::{LockId, LockMode};
+    use netlock_sim::{LinkConfig, Simulator, Topology};
+    use netlock_switch::control::{apply_allocation, knapsack_allocate, LockStats};
+    use netlock_switch::shared_queue::SharedQueueLayout;
+    use netlock_switch::{DataPlane, SwitchConfig, SwitchNode};
+
+    fn build(
+        workers: usize,
+        locks: Vec<LockId>,
+        mode: LockMode,
+        think: SimDuration,
+    ) -> (Simulator<NetLockMsg>, NodeId, NodeId) {
+        let mut sim = Simulator::new(
+            Topology::new(LinkConfig::with_delay(SimDuration::from_nanos(1_200))),
+            11,
+        );
+        let mut dp = DataPlane::new_fcfs(&SharedQueueLayout::small(4, 256, 64));
+        let stats: Vec<LockStats> = locks
+            .iter()
+            .map(|&l| LockStats {
+                lock: l,
+                rate: 1.0,
+                contention: 16,
+                home_server: 0,
+            })
+            .collect();
+        apply_allocation(&mut dp, &knapsack_allocate(&stats, 1024));
+        let switch = sim.add_node(Box::new(SwitchNode::new(
+            dp,
+            SwitchConfig::default(),
+            vec![],
+        )));
+        let client = sim.add_node(Box::new(TxnClient::new(
+            TxnClientConfig {
+                workers,
+                ..Default::default()
+            },
+            switch,
+            Box::new(SingleLockSource { locks, mode, think }),
+            42,
+        )));
+        (sim, switch, client)
+    }
+
+    #[test]
+    fn workers_complete_transactions() {
+        let (mut sim, _sw, client) = build(
+            4,
+            (0..16).map(LockId).collect(),
+            LockMode::Exclusive,
+            SimDuration::ZERO,
+        );
+        sim.run_until(SimTime(SimDuration::from_millis(10).as_nanos()));
+        let txns = sim.read_node::<TxnClient, _>(client, |c| c.stats().txns);
+        assert!(txns > 100, "got {txns} txns");
+    }
+
+    #[test]
+    fn contention_reduces_throughput() {
+        let run = |nlocks: u32| {
+            let (mut sim, _sw, client) = build(
+                16,
+                (0..nlocks).map(LockId).collect(),
+                LockMode::Exclusive,
+                SimDuration::ZERO,
+            );
+            sim.run_until(SimTime(SimDuration::from_millis(20).as_nanos()));
+            sim.read_node::<TxnClient, _>(client, |c| c.stats().txns)
+        };
+        let contended = run(1);
+        let uncontended = run(64);
+        assert!(
+            uncontended > contended * 2,
+            "uncontended {uncontended} vs contended {contended}"
+        );
+    }
+
+    #[test]
+    fn think_time_slows_closed_loop() {
+        let fast = {
+            let (mut sim, _sw, c) = build(
+                2,
+                vec![LockId(0), LockId(1)],
+                LockMode::Shared,
+                SimDuration::ZERO,
+            );
+            sim.run_until(SimTime(SimDuration::from_millis(10).as_nanos()));
+            sim.read_node::<TxnClient, _>(c, |c| c.stats().txns)
+        };
+        let slow = {
+            let (mut sim, _sw, c) = build(
+                2,
+                vec![LockId(0), LockId(1)],
+                LockMode::Shared,
+                SimDuration::from_micros(100),
+            );
+            sim.run_until(SimTime(SimDuration::from_millis(10).as_nanos()));
+            sim.read_node::<TxnClient, _>(c, |c| c.stats().txns)
+        };
+        assert!(fast > slow * 2, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn multi_lock_txn_acquires_in_order() {
+        let locks = vec![LockId(3), LockId(1), LockId(2)];
+        let (mut sim, _sw, client) = {
+            let mut sim = Simulator::new(
+                Topology::new(LinkConfig::with_delay(SimDuration::from_nanos(1_200))),
+                5,
+            );
+            let mut dp = DataPlane::new_fcfs(&SharedQueueLayout::small(4, 256, 64));
+            let stats: Vec<LockStats> = (0..8)
+                .map(|l| LockStats {
+                    lock: LockId(l),
+                    rate: 1.0,
+                    contention: 16,
+                    home_server: 0,
+                })
+                .collect();
+            apply_allocation(&mut dp, &knapsack_allocate(&stats, 1024));
+            let switch = sim.add_node(Box::new(SwitchNode::new(
+                dp,
+                SwitchConfig::default(),
+                vec![],
+            )));
+            let needs: Vec<LockNeed> = locks
+                .iter()
+                .map(|&lock| LockNeed {
+                    lock,
+                    mode: LockMode::Exclusive,
+                })
+                .collect();
+            let client = sim.add_node(Box::new(TxnClient::new(
+                TxnClientConfig {
+                    workers: 3,
+                    ..Default::default()
+                },
+                switch,
+                Box::new(move |_rng: &mut SimRng| {
+                    Transaction::new(needs.clone(), SimDuration::ZERO)
+                }),
+                42,
+            )));
+            (sim, switch, client)
+        };
+        sim.run_until(SimTime(SimDuration::from_millis(20).as_nanos()));
+        let (txns, grants) =
+            sim.read_node::<TxnClient, _>(client, |c| (c.stats().txns, c.stats().grants));
+        assert!(txns > 50, "multi-lock txns complete: {txns}");
+        assert_eq!(grants, txns * 3, "three grants per transaction");
+    }
+
+    #[test]
+    fn grants_attributed_to_switch() {
+        let (mut sim, _sw, client) = build(
+            4,
+            (0..8).map(LockId).collect(),
+            LockMode::Shared,
+            SimDuration::ZERO,
+        );
+        sim.run_until(SimTime(SimDuration::from_millis(5).as_nanos()));
+        let (sw, srv) = sim.read_node::<TxnClient, _>(client, |c| {
+            (c.stats().grants_switch, c.stats().grants_server)
+        });
+        assert!(sw > 0);
+        assert_eq!(srv, 0, "all locks are switch-resident here");
+    }
+
+    #[test]
+    fn retry_recovers_from_total_loss() {
+        let (mut sim, switch, client) = build(
+            2,
+            vec![LockId(0)],
+            LockMode::Exclusive,
+            SimDuration::ZERO,
+        );
+        // Run a little, then kill the switch: grants stop.
+        sim.run_until(SimTime(SimDuration::from_millis(2).as_nanos()));
+        sim.fail_node(switch);
+        sim.run_until(SimTime(SimDuration::from_millis(30).as_nanos()));
+        // Revive with wiped state and reprogram the directory.
+        sim.revive_node(switch);
+        sim.with_node::<SwitchNode, _>(switch, |s| {
+            s.reboot();
+            let stats = vec![LockStats {
+                lock: LockId(0),
+                rate: 1.0,
+                contention: 16,
+                home_server: 0,
+            }];
+            apply_allocation(s.dataplane_mut(), &knapsack_allocate(&stats, 64));
+        });
+        let before = sim.read_node::<TxnClient, _>(client, |c| c.stats().txns);
+        sim.run_until(SimTime(SimDuration::from_millis(90).as_nanos()));
+        let (after, retries) =
+            sim.read_node::<TxnClient, _>(client, |c| (c.stats().txns, c.stats().retries));
+        assert!(retries > 0, "loss must trigger retries");
+        assert!(
+            after > before + 50,
+            "throughput must recover: {before}→{after}"
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Measurement harness: warmup, measure, collect.
+//!
+//! Every experiment follows the same shape: build a rack, program the
+//! directory, run a warmup window (queues fill, closed loops reach
+//! steady state), zero the client counters, run a measurement window,
+//! and aggregate. All durations are simulated time; wall-clock cost is
+//! proportional to event count, not to the simulated rates.
+
+use netlock_sim::{Histogram, LatencySummary, SimDuration, TimeSeries};
+use netlock_switch::SwitchNode;
+
+use crate::client_micro::MicroClient;
+use crate::client_txn::TxnClient;
+use crate::rack::{ClientKind, Rack};
+
+/// Aggregated results of one measurement window.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Measurement window length.
+    pub measured: SimDuration,
+    /// Acquire requests issued (micro clients only).
+    pub issued: u64,
+    /// Lock grants received by clients.
+    pub grants: u64,
+    /// Grants that came from the switch data plane.
+    pub grants_switch: u64,
+    /// Grants that came from lock servers.
+    pub grants_server: u64,
+    /// Transactions completed (txn clients only).
+    pub txns: u64,
+    /// Acquire retransmissions.
+    pub retries: u64,
+    /// Acquire→grant latency across all clients (ns).
+    pub lock_latency: Histogram,
+    /// Transaction latency across all clients (ns).
+    pub txn_latency: Histogram,
+}
+
+impl RunStats {
+    /// Lock throughput in requests/second (grants per second).
+    pub fn lock_rps(&self) -> f64 {
+        self.grants as f64 / self.measured.as_secs_f64().max(1e-12)
+    }
+
+    /// Transaction throughput in transactions/second.
+    pub fn tps(&self) -> f64 {
+        self.txns as f64 / self.measured.as_secs_f64().max(1e-12)
+    }
+
+    /// Lock-latency summary.
+    pub fn lock_latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_histogram(&self.lock_latency)
+    }
+
+    /// Transaction-latency summary.
+    pub fn txn_latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_histogram(&self.txn_latency)
+    }
+
+    /// Fraction of grants served by the switch.
+    pub fn switch_share(&self) -> f64 {
+        if self.grants == 0 {
+            0.0
+        } else {
+            self.grants_switch as f64 / self.grants as f64
+        }
+    }
+}
+
+/// Zero every client's counters (start of a measurement window).
+pub fn reset_clients(rack: &mut Rack) {
+    for &(id, kind) in &rack.clients.clone() {
+        match kind {
+            ClientKind::Micro => rack
+                .sim
+                .with_node::<MicroClient, _>(id, |c| c.reset_stats()),
+            ClientKind::Txn => rack.sim.with_node::<TxnClient, _>(id, |c| c.reset_stats()),
+        }
+    }
+}
+
+/// Aggregate client counters accumulated since the last reset.
+pub fn collect(rack: &Rack, measured: SimDuration) -> RunStats {
+    let mut out = RunStats {
+        measured,
+        ..Default::default()
+    };
+    for &(id, kind) in &rack.clients {
+        match kind {
+            ClientKind::Micro => rack.sim.read_node::<MicroClient, _>(id, |c| {
+                let s = c.stats();
+                out.issued += s.issued;
+                out.grants += s.grants;
+                out.grants_switch += s.grants; // switch-only path
+                out.lock_latency.merge(&s.latency);
+            }),
+            ClientKind::Txn => rack.sim.read_node::<TxnClient, _>(id, |c| {
+                let s = c.stats();
+                out.grants += s.grants;
+                out.grants_switch += s.grants_switch;
+                out.grants_server += s.grants_server;
+                out.txns += s.txns;
+                out.retries += s.retries;
+                out.lock_latency.merge(&s.wait_latency);
+                out.txn_latency.merge(&s.txn_latency);
+            }),
+        }
+    }
+    out
+}
+
+/// Run `warmup`, zero the counters, run `measure`, and aggregate.
+pub fn warmup_and_measure(rack: &mut Rack, warmup: SimDuration, measure: SimDuration) -> RunStats {
+    rack.sim.run_for(warmup);
+    reset_clients(rack);
+    rack.sim.run_for(measure);
+    collect(rack, measure)
+}
+
+/// Sample transaction throughput over time: run `intervals` windows of
+/// `interval` each, recording completed-transactions-per-second per
+/// window. Used by the policy (Fig. 12) and failure (Fig. 15) plots.
+pub fn tps_series(rack: &mut Rack, interval: SimDuration, intervals: usize) -> TimeSeries {
+    let mut series = TimeSeries::new();
+    let mut last = total_txns(rack);
+    for _ in 0..intervals {
+        rack.sim.run_for(interval);
+        let now_total = total_txns(rack);
+        let rate = (now_total - last) as f64 / interval.as_secs_f64();
+        series.push(rack.sim.now(), rate);
+        last = now_total;
+    }
+    series
+}
+
+/// Per-client transaction totals (for per-tenant series).
+pub fn txns_by_client(rack: &Rack) -> Vec<u64> {
+    rack.clients
+        .iter()
+        .map(|&(id, kind)| match kind {
+            ClientKind::Micro => rack.sim.read_node::<MicroClient, _>(id, |c| c.stats().grants),
+            ClientKind::Txn => rack.sim.read_node::<TxnClient, _>(id, |c| c.stats().txns),
+        })
+        .collect()
+}
+
+fn total_txns(rack: &Rack) -> u64 {
+    txns_by_client(rack).iter().sum()
+}
+
+/// Grants processed by the switch vs forwarded to servers, from the
+/// switch's own counters (Fig. 13a's breakdown).
+pub fn switch_breakdown(rack: &Rack) -> (u64, u64) {
+    rack.sim.read_node::<SwitchNode, _>(rack.switch, |s| {
+        let d = s.dataplane().stats();
+        (
+            d.grants_immediate + d.grants_on_release,
+            d.forwarded_server_locks + d.forwarded_overflow,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client_micro::MicroClientConfig;
+    use crate::rack::{EngineSpec, Rack, RackConfig};
+    use netlock_proto::{LockId, LockMode};
+    use netlock_switch::control::{knapsack_allocate, LockStats};
+    use netlock_switch::shared_queue::SharedQueueLayout;
+
+    fn micro_rack(nclients: usize) -> Rack {
+        let mut rack = Rack::build(RackConfig {
+            lock_servers: 1,
+            engine: EngineSpec::Fcfs(SharedQueueLayout::small(2, 64, 16)),
+            ..Default::default()
+        });
+        let locks: Vec<LockId> = (0..8).map(LockId).collect();
+        let stats: Vec<LockStats> = locks
+            .iter()
+            .map(|&lock| LockStats {
+                lock,
+                rate: 1.0,
+                contention: 8,
+                home_server: 0,
+            })
+            .collect();
+        let alloc = knapsack_allocate(&stats, 64);
+        rack.program(&alloc);
+        for _ in 0..nclients {
+            rack.add_micro_client(MicroClientConfig {
+                rate_rps: 200_000.0,
+                locks: locks.clone(),
+                mode: LockMode::Shared,
+                ..Default::default()
+            });
+        }
+        rack
+    }
+
+    #[test]
+    fn measure_excludes_warmup() {
+        let mut rack = micro_rack(2);
+        let stats = warmup_and_measure(
+            &mut rack,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(10),
+        );
+        // 2 clients × 200k for 10 ms ≈ 4000 grants.
+        assert!(
+            (3_000..5_000).contains(&stats.grants),
+            "grants = {}",
+            stats.grants
+        );
+        let rps = stats.lock_rps();
+        assert!(
+            (300_000.0..500_000.0).contains(&rps),
+            "rps = {rps}"
+        );
+        assert!(stats.lock_latency_summary().count > 0);
+        assert_eq!(stats.switch_share(), 1.0);
+    }
+
+    #[test]
+    fn tps_series_has_one_point_per_interval() {
+        let mut rack = micro_rack(1);
+        let series = tps_series(&mut rack, SimDuration::from_millis(1), 5);
+        assert_eq!(series.len(), 5);
+        // Steady state: roughly constant rate.
+        assert!(series.mean() > 100_000.0, "mean = {}", series.mean());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use netlock_sim::SimDuration;
+
+    #[test]
+    fn run_stats_rates() {
+        let mut s = RunStats {
+            measured: SimDuration::from_millis(10),
+            grants: 1_000,
+            txns: 100,
+            ..Default::default()
+        };
+        assert!((s.lock_rps() - 100_000.0).abs() < 1e-6);
+        assert!((s.tps() - 10_000.0).abs() < 1e-6);
+        // Switch share with no grants is defined as 0.
+        s.grants = 0;
+        assert_eq!(s.switch_share(), 0.0);
+        s.grants = 10;
+        s.grants_switch = 5;
+        assert_eq!(s.switch_share(), 0.5);
+    }
+
+    #[test]
+    fn zero_measure_window_is_safe() {
+        let s = RunStats {
+            measured: SimDuration::ZERO,
+            grants: 5,
+            ..Default::default()
+        };
+        assert!(s.lock_rps().is_finite());
+    }
+
+    #[test]
+    fn empty_latency_summaries() {
+        let s = RunStats::default();
+        assert_eq!(s.lock_latency_summary().count, 0);
+        assert_eq!(s.txn_latency_summary().p999_ns, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! # netlock-core
+//!
+//! NetLock: fast, centralized lock management with a programmable
+//! switch + lock-server co-design — reproduction of Yu et al.,
+//! SIGCOMM 2020, on a deterministic rack simulator.
+//!
+//! This crate is the integration layer and public API:
+//! - [`txn`] — transactions and workload sources
+//! - [`client_micro`] / [`client_txn`] — open-loop and closed-loop
+//!   clients with retry/lease-compatible behavior
+//! - [`db_server`] — the database server used by one-RTT mode (§4.1)
+//! - [`rack`] — assembles switch + servers + clients (Figure 2)
+//! - [`harness`] — warmup/measure/collect and time-series sampling
+//!
+//! ## Quick start
+//!
+//! ```
+//! use netlock_core::prelude::*;
+//! use netlock_proto::{LockId, LockMode};
+//!
+//! // One switch, two lock servers, all locks in switch memory.
+//! let mut rack = Rack::build(RackConfig::default());
+//! let locks: Vec<LockId> = (0..64).map(LockId).collect();
+//! let stats: Vec<LockStats> = locks.iter().map(|&lock| LockStats {
+//!     lock, rate: 1.0, contention: 16, home_server: 0,
+//! }).collect();
+//! rack.program(&knapsack_allocate(&stats, 10_000));
+//!
+//! // Four closed-loop clients issuing single-lock transactions.
+//! for _ in 0..4 {
+//!     rack.add_txn_client(
+//!         TxnClientConfig { workers: 4, ..Default::default() },
+//!         Box::new(SingleLockSource {
+//!             locks: locks.clone(),
+//!             mode: LockMode::Exclusive,
+//!             think: SimDuration::from_micros(5),
+//!         }),
+//!     );
+//! }
+//!
+//! let stats = warmup_and_measure(
+//!     &mut rack,
+//!     SimDuration::from_millis(1),
+//!     SimDuration::from_millis(5),
+//! );
+//! assert!(stats.txns > 0);
+//! assert!(stats.lock_latency_summary().p99_ns > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client_micro;
+pub mod client_txn;
+pub mod db_server;
+pub mod harness;
+pub mod rack;
+pub mod txn;
+
+/// Convenient single import for building experiments.
+pub mod prelude {
+    pub use crate::client_micro::{MicroClient, MicroClientConfig, MicroClientStats};
+    pub use crate::client_txn::{TxnClient, TxnClientConfig, TxnClientStats};
+    pub use crate::db_server::{DbServer, DbServerConfig};
+    pub use crate::harness::{
+        collect, reset_clients, switch_breakdown, tps_series, txns_by_client, warmup_and_measure,
+        RunStats,
+    };
+    pub use crate::rack::{ClientKind, EngineSpec, Rack, RackConfig};
+    pub use crate::txn::{LockNeed, SingleLockSource, Transaction, TxnSource};
+    pub use netlock_sim::{LatencySummary, SimDuration, SimTime};
+    pub use netlock_switch::control::{
+        knapsack_allocate, knapsack_allocate_bounded, random_allocate, Allocation, LockStats,
+    };
+}

@@ -1,0 +1,314 @@
+//! Rack assembly: one lock switch + lock servers + database servers +
+//! clients, wired per Figure 2 of the paper.
+//!
+//! Node-id conventions (asserted at build time):
+//! lock servers first, then the switch, then database servers, then
+//! clients. `ClientAddr(n)` addresses node `n`, which is how the switch
+//! and servers route grant notifications back.
+
+use netlock_proto::{LockId, NetLockMsg};
+use netlock_sim::{LinkConfig, NodeId, SimRng, Simulator, Topology};
+use netlock_server::{ServerConfig, ServerNode};
+use netlock_switch::control::{apply_allocation, Allocation};
+use netlock_switch::priority::PriorityLayout;
+use netlock_switch::shared_queue::SharedQueueLayout;
+use netlock_switch::{DataPlane, SwitchConfig, SwitchNode};
+
+use crate::client_micro::{MicroClient, MicroClientConfig};
+use crate::client_txn::{TxnClient, TxnClientConfig};
+use crate::db_server::{DbServer, DbServerConfig};
+use crate::txn::TxnSource;
+
+/// Which data-plane engine the switch is compiled with.
+#[derive(Clone, Debug)]
+pub enum EngineSpec {
+    /// FCFS shared-queue engine with this layout.
+    Fcfs(SharedQueueLayout),
+    /// Priority engine (service differentiation).
+    Priority(PriorityLayout),
+}
+
+/// Rack configuration.
+#[derive(Clone, Debug)]
+pub struct RackConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Number of lock servers.
+    pub lock_servers: usize,
+    /// Lock server parameters.
+    pub server: ServerConfig,
+    /// Switch parameters.
+    pub switch: SwitchConfig,
+    /// Data-plane engine and memory layout.
+    pub engine: EngineSpec,
+    /// Database servers (0 disables one-RTT mode regardless of the
+    /// switch setting).
+    pub db_servers: usize,
+    /// Intra-rack link parameters.
+    pub link: LinkConfig,
+}
+
+impl Default for RackConfig {
+    fn default() -> Self {
+        RackConfig {
+            seed: 1,
+            lock_servers: 2,
+            server: ServerConfig::default(),
+            switch: SwitchConfig::default(),
+            engine: EngineSpec::Fcfs(SharedQueueLayout::paper_default()),
+            db_servers: 0,
+            link: LinkConfig::default(),
+        }
+    }
+}
+
+/// What kind of client occupies a node (for stat collection).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientKind {
+    /// Open-loop microbenchmark client.
+    Micro,
+    /// Closed-loop transaction client.
+    Txn,
+}
+
+/// An assembled rack.
+pub struct Rack {
+    /// The simulator; run it via [`netlock_sim::Simulator::run_for`].
+    pub sim: Simulator<NetLockMsg>,
+    /// The ToR lock switch.
+    pub switch: NodeId,
+    /// Lock servers, by directory server index.
+    pub lock_servers: Vec<NodeId>,
+    /// Database servers (one-RTT mode).
+    pub db_servers: Vec<NodeId>,
+    /// Clients with their kinds, in creation order.
+    pub clients: Vec<(NodeId, ClientKind)>,
+    rng: SimRng,
+}
+
+impl Rack {
+    /// Build the rack (without clients; add them afterwards).
+    pub fn build(cfg: RackConfig) -> Rack {
+        let mut sim: Simulator<NetLockMsg> =
+            Simulator::new(Topology::new(cfg.link), cfg.seed);
+        // Lock servers first; they need the switch id, which will be the
+        // next node after them.
+        let predicted_switch = NodeId(cfg.lock_servers as u32);
+        let mut lock_servers = Vec::with_capacity(cfg.lock_servers);
+        for _ in 0..cfg.lock_servers {
+            let id = sim.add_node(Box::new(ServerNode::new(
+                cfg.server.clone(),
+                predicted_switch,
+            )));
+            lock_servers.push(id);
+        }
+        let dp = match &cfg.engine {
+            EngineSpec::Fcfs(layout) => DataPlane::new_fcfs(layout),
+            EngineSpec::Priority(layout) => DataPlane::new_priority(layout),
+        };
+        let mut db_ids = Vec::with_capacity(cfg.db_servers);
+        // Database server ids follow the switch.
+        for i in 0..cfg.db_servers {
+            db_ids.push(NodeId(predicted_switch.0 + 1 + i as u32));
+        }
+        let switch_node =
+            SwitchNode::new(dp, cfg.switch.clone(), lock_servers.clone()).with_db_servers(db_ids);
+        let switch = sim.add_node(Box::new(switch_node));
+        assert_eq!(switch, predicted_switch, "node ordering invariant broken");
+        let mut db_servers = Vec::with_capacity(cfg.db_servers);
+        for _ in 0..cfg.db_servers {
+            let id = sim.add_node(Box::new(DbServer::new(DbServerConfig::default())));
+            db_servers.push(id);
+        }
+        let mut rng = SimRng::new(cfg.seed ^ 0xC11E_57A7);
+        let _ = rng.next_u64();
+        Rack {
+            sim,
+            switch,
+            lock_servers,
+            db_servers,
+            clients: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Add an open-loop microbenchmark client.
+    pub fn add_micro_client(&mut self, cfg: MicroClientConfig) -> NodeId {
+        let id = self
+            .sim
+            .add_node(Box::new(MicroClient::new(cfg, self.switch)));
+        self.clients.push((id, ClientKind::Micro));
+        id
+    }
+
+    /// Add a closed-loop transaction client.
+    pub fn add_txn_client(&mut self, cfg: TxnClientConfig, source: Box<dyn TxnSource>) -> NodeId {
+        let seed = self.rng.next_u64();
+        let id = self
+            .sim
+            .add_node(Box::new(TxnClient::new(cfg, self.switch, source, seed)));
+        self.clients.push((id, ClientKind::Txn));
+        id
+    }
+
+    /// Program an FCFS allocation: switch regions + directory, and mark
+    /// server-resident locks as owned on their home servers. Locks with
+    /// no directory entry default-route to `hash(lock) % servers`.
+    pub fn program(&mut self, alloc: &Allocation) {
+        let n_servers = self.lock_servers.len();
+        self.sim.with_node::<SwitchNode, _>(self.switch, |s| {
+            s.dataplane_mut().set_default_servers(n_servers);
+            apply_allocation(s.dataplane_mut(), alloc);
+        });
+        for &(lock, home) in &alloc.in_server {
+            let server = self.lock_servers[home];
+            self.sim
+                .with_node::<ServerNode, _>(server, |s| s.own_lock(lock));
+        }
+    }
+
+    /// Program the priority engine's directory: lock → sequential qid.
+    pub fn program_priority(&mut self, locks: &[LockId]) {
+        self.sim.with_node::<SwitchNode, _>(self.switch, |s| {
+            for (qid, &lock) in locks.iter().enumerate() {
+                s.dataplane_mut()
+                    .directory_mut()
+                    .set_switch_resident(lock, qid, 0);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlock_switch::control::{knapsack_allocate, LockStats};
+
+    #[test]
+    fn build_orders_nodes_as_documented() {
+        let rack = Rack::build(RackConfig {
+            lock_servers: 3,
+            db_servers: 2,
+            ..Default::default()
+        });
+        assert_eq!(rack.lock_servers, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(rack.switch, NodeId(3));
+        assert_eq!(rack.db_servers, vec![NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn program_splits_ownership() {
+        let mut rack = Rack::build(RackConfig {
+            lock_servers: 2,
+            engine: EngineSpec::Fcfs(SharedQueueLayout::small(2, 8, 8)),
+            ..Default::default()
+        });
+        let stats = vec![
+            LockStats {
+                lock: LockId(1),
+                rate: 100.0,
+                contention: 8,
+                home_server: 0,
+            },
+            LockStats {
+                lock: LockId(2),
+                rate: 1.0,
+                contention: 16,
+                home_server: 1,
+            },
+        ];
+        // Capacity 8: lock 1 fits fully; lock 2 goes to server 1.
+        let alloc = knapsack_allocate(&stats, 8);
+        rack.program(&alloc);
+        let resident = rack
+            .sim
+            .read_node::<SwitchNode, _>(rack.switch, |s| s.dataplane().directory().switch_resident());
+        assert_eq!(resident.len(), 1);
+        assert_eq!(resident[0].0, LockId(1));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::client_micro::MicroClientConfig;
+    use crate::harness::{switch_breakdown, txns_by_client, warmup_and_measure};
+    use crate::txn::SingleLockSource;
+    use netlock_proto::LockMode;
+    use netlock_sim::SimDuration;
+    use netlock_switch::control::{knapsack_allocate, LockStats};
+    use netlock_switch::shared_queue::SharedQueueLayout;
+
+    fn small_rack() -> Rack {
+        let mut rack = Rack::build(RackConfig {
+            seed: 2,
+            lock_servers: 1,
+            engine: EngineSpec::Fcfs(SharedQueueLayout::small(2, 64, 8)),
+            ..Default::default()
+        });
+        let stats: Vec<LockStats> = (0..4)
+            .map(|l| LockStats {
+                lock: LockId(l),
+                rate: 1.0,
+                contention: 16,
+                home_server: 0,
+            })
+            .collect();
+        rack.program(&knapsack_allocate(&stats, 64));
+        rack
+    }
+
+    #[test]
+    fn mixed_client_kinds_collected() {
+        let mut rack = small_rack();
+        rack.add_micro_client(MicroClientConfig {
+            rate_rps: 50_000.0,
+            locks: (0..4).map(LockId).collect(),
+            mode: LockMode::Shared,
+            ..Default::default()
+        });
+        rack.add_txn_client(
+            TxnClientConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            Box::new(SingleLockSource {
+                locks: (0..4).map(LockId).collect(),
+                mode: LockMode::Shared,
+                think: SimDuration::from_micros(10),
+            }),
+        );
+        let stats = warmup_and_measure(
+            &mut rack,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(5),
+        );
+        assert!(stats.issued > 0, "micro client contributes issued count");
+        assert!(stats.txns > 0, "txn client contributes txns");
+        let per_client = txns_by_client(&rack);
+        assert_eq!(per_client.len(), 2);
+        assert!(per_client.iter().all(|&c| c > 0));
+        let (sw, srv) = switch_breakdown(&rack);
+        assert!(sw > 0);
+        assert_eq!(srv, 0);
+    }
+
+    #[test]
+    fn client_kinds_recorded_in_order() {
+        let mut rack = small_rack();
+        let a = rack.add_txn_client(
+            TxnClientConfig::default(),
+            Box::new(SingleLockSource {
+                locks: vec![LockId(0)],
+                mode: LockMode::Shared,
+                think: SimDuration::ZERO,
+            }),
+        );
+        let b = rack.add_micro_client(MicroClientConfig {
+            locks: vec![LockId(1)],
+            ..Default::default()
+        });
+        assert_eq!(rack.clients[0], (a, ClientKind::Txn));
+        assert_eq!(rack.clients[1], (b, ClientKind::Micro));
+    }
+}

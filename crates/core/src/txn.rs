@@ -1,0 +1,202 @@
+//! Transactions and workload sources.
+//!
+//! A transaction is what the evaluation's clients execute: a set of lock
+//! requests (acquired in sorted order — sequential two-phase locking with
+//! a global lock order, which makes the workload deadlock-free), a think
+//! time (the in-memory execution cost), then release of all locks.
+
+use netlock_proto::{LockId, LockMode, Priority, TenantId};
+use netlock_sim::{SimDuration, SimRng};
+
+/// One lock a transaction needs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LockNeed {
+    /// The lock.
+    pub lock: LockId,
+    /// Shared (read) or exclusive (write).
+    pub mode: LockMode,
+}
+
+/// A transaction template.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transaction {
+    /// Locks to acquire, sorted by lock id (enforced by [`Transaction::new`]).
+    pub locks: Vec<LockNeed>,
+    /// Execution (think) time once all locks are held.
+    pub think: SimDuration,
+    /// Issuing tenant.
+    pub tenant: TenantId,
+    /// Priority class.
+    pub priority: Priority,
+}
+
+impl Transaction {
+    /// Build a transaction; locks are sorted and deduplicated (an
+    /// exclusive need wins over a shared need for the same lock).
+    pub fn new(mut locks: Vec<LockNeed>, think: SimDuration) -> Transaction {
+        locks.sort_by_key(|n| (n.lock, n.mode == LockMode::Shared));
+        locks.dedup_by(|b, a| {
+            if a.lock == b.lock {
+                // Keep the stronger (exclusive sorts first after the key
+                // above), drop the duplicate.
+                true
+            } else {
+                false
+            }
+        });
+        Transaction {
+            locks,
+            think,
+            tenant: TenantId(0),
+            priority: Priority(0),
+        }
+    }
+
+    /// Build a transaction that acquires `locks` in the given order,
+    /// without sorting. Out-of-order acquisition can deadlock; NetLock
+    /// resolves such deadlocks with leases (§4.5), which this
+    /// constructor exists to exercise. Duplicates are NOT removed.
+    pub fn new_ordered(locks: Vec<LockNeed>, think: SimDuration) -> Transaction {
+        Transaction {
+            locks,
+            think,
+            tenant: TenantId(0),
+            priority: Priority(0),
+        }
+    }
+
+    /// Set the tenant.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Transaction {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Set the priority.
+    pub fn with_priority(mut self, priority: Priority) -> Transaction {
+        self.priority = priority;
+        self
+    }
+
+    /// Number of lock requests (acquires) this transaction will issue.
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+/// A source of transactions for a client worker.
+///
+/// Implementations must be deterministic given the provided RNG.
+pub trait TxnSource: Send {
+    /// Produce the next transaction.
+    fn next_txn(&mut self, rng: &mut SimRng) -> Transaction;
+}
+
+/// Blanket: closures can be sources.
+impl<F> TxnSource for F
+where
+    F: FnMut(&mut SimRng) -> Transaction + Send,
+{
+    fn next_txn(&mut self, rng: &mut SimRng) -> Transaction {
+        self(rng)
+    }
+}
+
+/// A fixed single-lock transaction source (micro-style closed loop).
+#[derive(Clone, Debug)]
+pub struct SingleLockSource {
+    /// Locks to choose uniformly from.
+    pub locks: Vec<LockId>,
+    /// Mode for every request.
+    pub mode: LockMode,
+    /// Think time.
+    pub think: SimDuration,
+}
+
+impl TxnSource for SingleLockSource {
+    fn next_txn(&mut self, rng: &mut SimRng) -> Transaction {
+        let lock = self.locks[rng.index(self.locks.len())];
+        Transaction::new(
+            vec![LockNeed {
+                lock,
+                mode: self.mode,
+            }],
+            self.think,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locks_sorted_and_deduped() {
+        let t = Transaction::new(
+            vec![
+                LockNeed {
+                    lock: LockId(5),
+                    mode: LockMode::Shared,
+                },
+                LockNeed {
+                    lock: LockId(1),
+                    mode: LockMode::Exclusive,
+                },
+                LockNeed {
+                    lock: LockId(5),
+                    mode: LockMode::Exclusive,
+                },
+            ],
+            SimDuration::ZERO,
+        );
+        assert_eq!(t.lock_count(), 2);
+        assert_eq!(t.locks[0].lock, LockId(1));
+        assert_eq!(t.locks[1].lock, LockId(5));
+        assert_eq!(
+            t.locks[1].mode,
+            LockMode::Exclusive,
+            "exclusive wins the dedup"
+        );
+    }
+
+    #[test]
+    fn builder_setters() {
+        let t = Transaction::new(vec![], SimDuration::from_micros(5))
+            .with_tenant(TenantId(3))
+            .with_priority(Priority(2));
+        assert_eq!(t.tenant, TenantId(3));
+        assert_eq!(t.priority, Priority(2));
+        assert_eq!(t.think, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn single_lock_source_uniform() {
+        let mut src = SingleLockSource {
+            locks: (0..10).map(LockId).collect(),
+            mode: LockMode::Exclusive,
+            think: SimDuration::ZERO,
+        };
+        let mut rng = SimRng::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let t = src.next_txn(&mut rng);
+            assert_eq!(t.lock_count(), 1);
+            seen.insert(t.locks[0].lock);
+        }
+        assert!(seen.len() >= 8, "should cover most locks");
+    }
+
+    #[test]
+    fn closure_is_a_source() {
+        let mut src = |_rng: &mut SimRng| {
+            Transaction::new(
+                vec![LockNeed {
+                    lock: LockId(1),
+                    mode: LockMode::Shared,
+                }],
+                SimDuration::ZERO,
+            )
+        };
+        let mut rng = SimRng::new(2);
+        assert_eq!(src.next_txn(&mut rng).lock_count(), 1);
+    }
+}

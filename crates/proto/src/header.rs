@@ -1,0 +1,315 @@
+//! The NetLock wire header.
+//!
+//! NetLock reserves a UDP destination port; packets to that port carry the
+//! custom lock header the switch parses in the data plane (§4.2 of the
+//! paper: "A lock request contains several fields: action type
+//! (acquire/release), lock ID, lock mode, transaction ID, and client IP",
+//! plus the optional metadata the paper mentions — timestamp and tenant
+//! ID — and the priority used by the service-differentiation policy).
+//!
+//! Layout (big-endian, 36 bytes):
+//!
+//! ```text
+//!  0               2       3       4
+//! +---------------+-------+-------+
+//! | magic "NL"    | ver   | op    |
+//! +---------------+-------+-------+
+//! | lock_id (u32)                 |
+//! +-------------------------------+
+//! | txn_id (u64)                  |
+//! +-------------------------------+
+//! | client_ip (u32)               |
+//! +-------+-------+---------------+
+//! | mode  | prio  | tenant (u16)  |
+//! +-------+-------+---------------+
+//! | timestamp_ns (u64)            |
+//! +-------------------------------+
+//! | flags (u16)   | reserved(u16) |
+//! +---------------+---------------+
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::ids::{ClientAddr, LockId, LockMode, Priority, TenantId, TxnId};
+
+/// The UDP destination port reserved for NetLock traffic.
+pub const NETLOCK_UDP_PORT: u16 = 0x4E4C; // "NL"
+
+/// Magic bytes at the start of every NetLock header.
+pub const MAGIC: u16 = 0x4E4C;
+
+/// Wire protocol version implemented by this crate.
+pub const VERSION: u8 = 1;
+
+/// Encoded header size in bytes.
+pub const HEADER_LEN: usize = 36;
+
+/// Flag bit: this request overflowed the switch queue and must only be
+/// *buffered* (not processed) by the server (§4.3 "the switch puts a mark
+/// on the packets to distinguish between these two cases").
+pub const FLAG_BUFFER_ONLY: u16 = 0x0001;
+
+/// Flag bit: grant notifications with this bit came from the switch data
+/// plane rather than a lock server (diagnostics only).
+pub const FLAG_FROM_SWITCH: u16 = 0x0002;
+
+/// Operation carried by a NetLock packet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockOp {
+    /// Client asks to acquire a lock.
+    Acquire,
+    /// Client releases a held lock.
+    Release,
+    /// Lock manager grants a lock to a client.
+    Grant,
+    /// Switch tells a server its q1 for a lock has space (push protocol).
+    QueueSpace,
+    /// Server pushes buffered requests toward the switch.
+    Push,
+}
+
+impl LockOp {
+    /// Wire encoding.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            LockOp::Acquire => 1,
+            LockOp::Release => 2,
+            LockOp::Grant => 3,
+            LockOp::QueueSpace => 4,
+            LockOp::Push => 5,
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_u8(v: u8) -> Option<LockOp> {
+        match v {
+            1 => Some(LockOp::Acquire),
+            2 => Some(LockOp::Release),
+            3 => Some(LockOp::Grant),
+            4 => Some(LockOp::QueueSpace),
+            5 => Some(LockOp::Push),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded NetLock header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LockHeader {
+    /// Operation.
+    pub op: LockOp,
+    /// Target lock.
+    pub lock: LockId,
+    /// Requesting transaction.
+    pub txn: TxnId,
+    /// Client address for the grant notification.
+    pub client: ClientAddr,
+    /// Shared or exclusive.
+    pub mode: LockMode,
+    /// Request priority (0 = highest).
+    pub priority: Priority,
+    /// Tenant for quota enforcement.
+    pub tenant: TenantId,
+    /// Issue timestamp (ns) — used for leases and latency accounting.
+    pub timestamp_ns: u64,
+    /// Flag bits (`FLAG_*`).
+    pub flags: u16,
+}
+
+/// Errors returned when decoding a NetLock header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Fewer than [`HEADER_LEN`] bytes available.
+    Truncated {
+        /// Bytes present.
+        have: usize,
+    },
+    /// Magic bytes did not match.
+    BadMagic(u16),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown operation code.
+    BadOp(u8),
+    /// Unknown lock mode.
+    BadMode(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { have } => {
+                write!(f, "truncated NetLock header: {have} of {HEADER_LEN} bytes")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:04x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadOp(o) => write!(f, "unknown op {o}"),
+            DecodeError::BadMode(m) => write!(f, "unknown mode {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl LockHeader {
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Append the encoded header to `buf`.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u16(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(self.op.to_u8());
+        buf.put_u32(self.lock.0);
+        buf.put_u64(self.txn.0);
+        buf.put_u32(self.client.0);
+        buf.put_u8(self.mode.to_u8());
+        buf.put_u8(self.priority.0);
+        buf.put_u16(self.tenant.0);
+        buf.put_u64(self.timestamp_ns);
+        buf.put_u16(self.flags);
+        buf.put_u16(0); // reserved
+    }
+
+    /// Decode a header from the front of `buf`, consuming [`HEADER_LEN`]
+    /// bytes on success.
+    pub fn decode(buf: &mut impl Buf) -> Result<LockHeader, DecodeError> {
+        if buf.remaining() < HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                have: buf.remaining(),
+            });
+        }
+        let magic = buf.get_u16();
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let ver = buf.get_u8();
+        if ver != VERSION {
+            return Err(DecodeError::BadVersion(ver));
+        }
+        let op_raw = buf.get_u8();
+        let op = LockOp::from_u8(op_raw).ok_or(DecodeError::BadOp(op_raw))?;
+        let lock = LockId(buf.get_u32());
+        let txn = TxnId(buf.get_u64());
+        let client = ClientAddr(buf.get_u32());
+        let mode_raw = buf.get_u8();
+        let mode = LockMode::from_u8(mode_raw).ok_or(DecodeError::BadMode(mode_raw))?;
+        let priority = Priority(buf.get_u8());
+        let tenant = TenantId(buf.get_u16());
+        let timestamp_ns = buf.get_u64();
+        let flags = buf.get_u16();
+        let _reserved = buf.get_u16();
+        Ok(LockHeader {
+            op,
+            lock,
+            txn,
+            client,
+            mode,
+            priority,
+            tenant,
+            timestamp_ns,
+            flags,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LockHeader {
+        LockHeader {
+            op: LockOp::Acquire,
+            lock: LockId(77),
+            txn: TxnId(123_456_789_000),
+            client: ClientAddr(0x0A00_0001),
+            mode: LockMode::Exclusive,
+            priority: Priority(2),
+            tenant: TenantId(3),
+            timestamp_ns: 42_000,
+            flags: FLAG_BUFFER_ONLY,
+        }
+    }
+
+    #[test]
+    fn encoded_length_matches_constant() {
+        assert_eq!(sample().encode().len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let mut b = h.encode();
+        let d = LockHeader::decode(&mut b).unwrap();
+        assert_eq!(h, d);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let b = sample().encode();
+        let mut short = b.slice(0..HEADER_LEN - 1);
+        assert_eq!(
+            LockHeader::decode(&mut short),
+            Err(DecodeError::Truncated {
+                have: HEADER_LEN - 1
+            })
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = BytesMut::from(&sample().encode()[..]);
+        raw[0] = 0xFF;
+        let mut b = raw.freeze();
+        assert!(matches!(
+            LockHeader::decode(&mut b),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut raw = BytesMut::from(&sample().encode()[..]);
+        raw[2] = 99;
+        let mut b = raw.freeze();
+        assert_eq!(LockHeader::decode(&mut b), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn bad_op_and_mode_rejected() {
+        let mut raw = BytesMut::from(&sample().encode()[..]);
+        raw[3] = 0;
+        let mut b = raw.clone().freeze();
+        assert_eq!(LockHeader::decode(&mut b), Err(DecodeError::BadOp(0)));
+
+        let mut raw2 = BytesMut::from(&sample().encode()[..]);
+        raw2[20] = 9; // mode byte offset: 2+1+1+4+8+4 = 20
+        let mut b2 = raw2.freeze();
+        assert_eq!(LockHeader::decode(&mut b2), Err(DecodeError::BadMode(9)));
+    }
+
+    #[test]
+    fn op_roundtrip() {
+        for op in [
+            LockOp::Acquire,
+            LockOp::Release,
+            LockOp::Grant,
+            LockOp::QueueSpace,
+            LockOp::Push,
+        ] {
+            assert_eq!(LockOp::from_u8(op.to_u8()), Some(op));
+        }
+        assert_eq!(LockOp::from_u8(0), None);
+        assert_eq!(LockOp::from_u8(200), None);
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = DecodeError::Truncated { have: 4 };
+        assert!(format!("{e}").contains("truncated"));
+    }
+}

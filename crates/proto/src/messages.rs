@@ -1,0 +1,282 @@
+//! Typed message set exchanged between NetLock nodes in the simulation.
+//!
+//! The wire form of a request is [`crate::LockHeader`]; inside the
+//! simulator we pass the decoded, typed form to keep the hot path cheap.
+//! [`LockRequest::to_header`] / [`LockRequest::from_header`] prove the two
+//! representations are interconvertible (round-trip tested below), so the
+//! typed messages carry exactly the information the custom UDP header can.
+
+use crate::header::{LockHeader, LockOp};
+use crate::ids::{ClientAddr, LockId, LockMode, Priority, TenantId, TxnId};
+
+/// A lock acquire request, as stored in a queue slot.
+///
+/// This is the paper's queue-slot triple (mode, transaction ID, client IP)
+/// plus the "additional metadata such as timestamp and tenant ID" that
+/// §4.2 says can be stored together.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LockRequest {
+    /// Target lock.
+    pub lock: LockId,
+    /// Shared or exclusive.
+    pub mode: LockMode,
+    /// Requesting transaction.
+    pub txn: TxnId,
+    /// Where to send the grant.
+    pub client: ClientAddr,
+    /// Tenant for quota accounting.
+    pub tenant: TenantId,
+    /// Priority class (0 = highest).
+    pub priority: Priority,
+    /// Time the client issued the request (ns since sim epoch); used for
+    /// latency accounting and lease expiry.
+    pub issued_at_ns: u64,
+}
+
+impl LockRequest {
+    /// Encode as a wire header with op = Acquire.
+    pub fn to_header(&self) -> LockHeader {
+        LockHeader {
+            op: LockOp::Acquire,
+            lock: self.lock,
+            txn: self.txn,
+            client: self.client,
+            mode: self.mode,
+            priority: self.priority,
+            tenant: self.tenant,
+            timestamp_ns: self.issued_at_ns,
+            flags: 0,
+        }
+    }
+
+    /// Decode from a wire header (op must be Acquire).
+    pub fn from_header(h: &LockHeader) -> Option<LockRequest> {
+        if h.op != LockOp::Acquire {
+            return None;
+        }
+        Some(LockRequest {
+            lock: h.lock,
+            mode: h.mode,
+            txn: h.txn,
+            client: h.client,
+            tenant: h.tenant,
+            priority: h.priority,
+            issued_at_ns: h.timestamp_ns,
+        })
+    }
+}
+
+/// A lock release notification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReleaseRequest {
+    /// Lock being released.
+    pub lock: LockId,
+    /// Releasing transaction.
+    pub txn: TxnId,
+    /// Mode that was held (the switch does not check the txn on shared
+    /// releases — see §4.2 — but the mode steers the dequeue logic).
+    pub mode: LockMode,
+    /// Releasing client.
+    pub client: ClientAddr,
+    /// Priority class of the original request (routes the release to the
+    /// correct per-priority queue).
+    pub priority: Priority,
+}
+
+/// Who granted a lock (diagnostics and the paper's latency breakdowns).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Grantor {
+    /// Granted directly by the switch data plane.
+    Switch,
+    /// Granted by a lock server.
+    Server,
+}
+
+/// A grant notification to a client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GrantMsg {
+    /// Granted lock.
+    pub lock: LockId,
+    /// Transaction the grant is for.
+    pub txn: TxnId,
+    /// Mode granted.
+    pub mode: LockMode,
+    /// Receiving client.
+    pub client: ClientAddr,
+    /// Priority class of the granted request; a release must carry it
+    /// back so the priority engine dequeues from the right level queue.
+    pub priority: Priority,
+    /// Data-plane vs server grant.
+    pub grantor: Grantor,
+    /// The original request issue time (echoes `issued_at_ns`).
+    pub issued_at_ns: u64,
+}
+
+/// All messages a NetLock deployment exchanges.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NetLockMsg {
+    /// Client → lock manager: acquire.
+    Acquire(LockRequest),
+    /// Client → lock manager: release.
+    Release(ReleaseRequest),
+    /// Lock manager → client: lock granted.
+    Grant(GrantMsg),
+    /// Switch → server: request the switch could not handle.
+    ///
+    /// `buffer_only` is the paper's overflow mark: when set, the server
+    /// must only buffer the request in q2 (the switch still owns grant
+    /// order for this lock); when clear, the server owns the lock.
+    Forwarded {
+        /// The forwarded acquire request.
+        req: LockRequest,
+        /// Overflow mark (see above).
+        buffer_only: bool,
+    },
+    /// Switch → server: q1 for `lock` drained to empty; the server may
+    /// push up to `space` buffered requests.
+    QueueSpace {
+        /// Lock whose switch queue has space.
+        lock: LockId,
+        /// Number of free q1 slots.
+        space: u32,
+    },
+    /// Server → switch: buffered requests being pushed into q1.
+    Push {
+        /// Lock the requests belong to.
+        lock: LockId,
+        /// The requests, in arrival order.
+        reqs: Vec<LockRequest>,
+    },
+    /// Lock manager → database server: a granted request forwarded to
+    /// fetch data (one-RTT transaction mode, §4.1).
+    DbFetch {
+        /// The grant that authorizes the fetch.
+        grant: GrantMsg,
+    },
+    /// Database server → client: fetched data (payload size abstracted).
+    DbReply {
+        /// The grant the data corresponds to.
+        grant: GrantMsg,
+    },
+    /// Switch control plane → server: the switch has drained `lock`'s q1
+    /// and demoted it; the server now owns the lock (its q2 contents
+    /// become the live queue).
+    CtrlDemote {
+        /// Demoted lock.
+        lock: LockId,
+    },
+    /// Switch control plane → server: prepare `lock` for promotion into
+    /// the switch — pause new grants, drain, and reply with
+    /// [`NetLockMsg::CtrlPromoteReady`].
+    CtrlPromote {
+        /// Lock being promoted.
+        lock: LockId,
+    },
+    /// Server → switch: `lock` is drained; `reqs` are the requests that
+    /// arrived during the pause, in order, to be enqueued in the switch.
+    CtrlPromoteReady {
+        /// Lock being promoted.
+        lock: LockId,
+        /// Requests buffered during the move.
+        reqs: Vec<LockRequest>,
+    },
+    /// Backup switch → restarted original switch: the backup's queue
+    /// for `lock` has drained; the original may start granting from its
+    /// own queue (§4.5: "we only grant locks from the backup switch
+    /// until the queue in the backup switch gets empty").
+    CtrlHandback {
+        /// Lock handed back to the original switch.
+        lock: LockId,
+    },
+}
+
+impl NetLockMsg {
+    /// The lock this message concerns, if any.
+    pub fn lock(&self) -> Option<LockId> {
+        match self {
+            NetLockMsg::Acquire(r) => Some(r.lock),
+            NetLockMsg::Release(r) => Some(r.lock),
+            NetLockMsg::Grant(g) => Some(g.lock),
+            NetLockMsg::Forwarded { req, .. } => Some(req.lock),
+            NetLockMsg::QueueSpace { lock, .. } => Some(*lock),
+            NetLockMsg::Push { lock, .. } => Some(*lock),
+            NetLockMsg::DbFetch { grant } => Some(grant.lock),
+            NetLockMsg::DbReply { grant } => Some(grant.lock),
+            NetLockMsg::CtrlDemote { lock } => Some(*lock),
+            NetLockMsg::CtrlPromote { lock } => Some(*lock),
+            NetLockMsg::CtrlPromoteReady { lock, .. } => Some(*lock),
+            NetLockMsg::CtrlHandback { lock } => Some(*lock),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::FLAG_BUFFER_ONLY;
+
+    fn req() -> LockRequest {
+        LockRequest {
+            lock: LockId(5),
+            mode: LockMode::Shared,
+            txn: TxnId(900),
+            client: ClientAddr(7),
+            tenant: TenantId(1),
+            priority: Priority(0),
+            issued_at_ns: 123,
+        }
+    }
+
+    #[test]
+    fn request_header_roundtrip() {
+        let r = req();
+        let h = r.to_header();
+        assert_eq!(LockRequest::from_header(&h), Some(r));
+    }
+
+    #[test]
+    fn from_header_rejects_non_acquire() {
+        let mut h = req().to_header();
+        h.op = LockOp::Release;
+        assert_eq!(LockRequest::from_header(&h), None);
+    }
+
+    #[test]
+    fn wire_roundtrip_through_bytes() {
+        let r = req();
+        let mut encoded = r.to_header().encode();
+        let decoded = LockHeader::decode(&mut encoded).unwrap();
+        assert_eq!(LockRequest::from_header(&decoded), Some(r));
+    }
+
+    #[test]
+    fn buffer_only_flag_exists_on_wire() {
+        // The overflow mark must survive encode/decode.
+        let mut h = req().to_header();
+        h.flags |= FLAG_BUFFER_ONLY;
+        let mut b = h.encode();
+        let d = LockHeader::decode(&mut b).unwrap();
+        assert_ne!(d.flags & FLAG_BUFFER_ONLY, 0);
+    }
+
+    #[test]
+    fn msg_lock_extraction() {
+        assert_eq!(NetLockMsg::Acquire(req()).lock(), Some(LockId(5)));
+        assert_eq!(
+            NetLockMsg::QueueSpace {
+                lock: LockId(9),
+                space: 3
+            }
+            .lock(),
+            Some(LockId(9))
+        );
+        assert_eq!(
+            NetLockMsg::Push {
+                lock: LockId(2),
+                reqs: vec![req()]
+            }
+            .lock(),
+            Some(LockId(2))
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! The server-side lock table.
+//!
+//! A classic centralized lock manager: per-lock holder set plus a FIFO
+//! wait queue, shared/exclusive modes, FCFS grant order (matching the
+//! switch's policy so a lock behaves identically wherever it lives).
+//!
+//! This table is also the *reference model* the property tests compare
+//! the switch data-plane engine against: it is written for clarity, with
+//! explicit holder tracking, no register-array constraints.
+
+use std::collections::{HashMap, VecDeque};
+
+use netlock_proto::{LockId, LockMode, LockRequest, TxnId};
+
+/// A current holder of a lock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Holder {
+    /// Holding transaction.
+    pub txn: TxnId,
+    /// Held mode.
+    pub mode: LockMode,
+    /// The original request (for re-notification and lease bookkeeping).
+    pub req: LockRequest,
+}
+
+/// Per-lock state.
+#[derive(Clone, Debug, Default)]
+pub struct LockState {
+    holders: Vec<Holder>,
+    waiters: VecDeque<LockRequest>,
+    /// Arrivals since the last stats harvest (`r_i`).
+    pub req_count: u64,
+    /// High-water mark of outstanding requests (`c_i`).
+    pub max_outstanding: u32,
+}
+
+impl LockState {
+    /// Current holders.
+    pub fn holders(&self) -> &[Holder] {
+        &self.holders
+    }
+
+    /// Queued waiters in FIFO order.
+    pub fn waiters(&self) -> impl Iterator<Item = &LockRequest> {
+        self.waiters.iter()
+    }
+
+    /// Holders + waiters.
+    pub fn outstanding(&self) -> usize {
+        self.holders.len() + self.waiters.len()
+    }
+
+    /// True when nothing holds or waits.
+    pub fn is_idle(&self) -> bool {
+        self.holders.is_empty() && self.waiters.is_empty()
+    }
+
+    fn can_grant(&self, mode: LockMode) -> bool {
+        if !self.waiters.is_empty() {
+            // FCFS: nobody bypasses the queue.
+            return false;
+        }
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|h| h.mode == LockMode::Shared),
+            LockMode::Exclusive => self.holders.is_empty(),
+        }
+    }
+}
+
+/// Result of an acquire against the lock table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TableAcquire {
+    /// Granted immediately.
+    Granted,
+    /// Queued behind incompatible requests.
+    Queued,
+}
+
+/// The lock table.
+#[derive(Clone, Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<LockId, LockState>,
+}
+
+impl LockTable {
+    /// An empty table.
+    pub fn new() -> LockTable {
+        LockTable::default()
+    }
+
+    /// State for one lock, if it has ever been touched.
+    pub fn get(&self, lock: LockId) -> Option<&LockState> {
+        self.locks.get(&lock)
+    }
+
+    /// Number of locks with state.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// True if no lock has state.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+
+    /// Process an acquire. FCFS: granted only if compatible with the
+    /// holders *and* no one is already waiting.
+    pub fn acquire(&mut self, req: LockRequest) -> TableAcquire {
+        let st = self.locks.entry(req.lock).or_default();
+        st.req_count += 1;
+        let out = if st.can_grant(req.mode) {
+            st.holders.push(Holder {
+                txn: req.txn,
+                mode: req.mode,
+                req,
+            });
+            TableAcquire::Granted
+        } else {
+            st.waiters.push_back(req);
+            TableAcquire::Queued
+        };
+        st.max_outstanding = st.max_outstanding.max(st.outstanding() as u32);
+        out
+    }
+
+    /// Process a release; returns the requests granted as a result, in
+    /// grant order. Unknown `(lock, txn)` pairs are ignored (stale or
+    /// duplicate releases), returning an empty grant set.
+    pub fn release(&mut self, lock: LockId, txn: TxnId) -> Vec<LockRequest> {
+        let Some(st) = self.locks.get_mut(&lock) else {
+            return Vec::new();
+        };
+        let Some(pos) = st.holders.iter().position(|h| h.txn == txn) else {
+            return Vec::new();
+        };
+        st.holders.swap_remove(pos);
+        Self::promote(st)
+    }
+
+    /// Force-release every holder of `lock` whose request is older than
+    /// `now_ns - lease_ns` (lease expiry). Returns newly granted requests.
+    pub fn expire_leases(&mut self, lock: LockId, now_ns: u64, lease_ns: u64) -> Vec<LockRequest> {
+        let Some(st) = self.locks.get_mut(&lock) else {
+            return Vec::new();
+        };
+        let before = st.holders.len();
+        st.holders
+            .retain(|h| now_ns.saturating_sub(h.req.issued_at_ns) <= lease_ns);
+        if st.holders.len() == before {
+            return Vec::new();
+        }
+        Self::promote(st)
+    }
+
+    /// Locks with any state, for sweep iteration.
+    pub fn touched_locks(&self) -> Vec<LockId> {
+        let mut v: Vec<LockId> = self.locks.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Grant from the wait queue whatever is now compatible.
+    fn promote(st: &mut LockState) -> Vec<LockRequest> {
+        let mut granted = Vec::new();
+        while let Some(next) = st.waiters.front() {
+            let ok = match next.mode {
+                LockMode::Shared => st.holders.iter().all(|h| h.mode == LockMode::Shared),
+                LockMode::Exclusive => st.holders.is_empty(),
+            };
+            if !ok {
+                break;
+            }
+            let req = st.waiters.pop_front().expect("front exists");
+            st.holders.push(Holder {
+                txn: req.txn,
+                mode: req.mode,
+                req,
+            });
+            granted.push(req);
+        }
+        granted
+    }
+
+    /// Harvest and reset `(r_i, c_i)` for every touched lock.
+    pub fn take_stats(&mut self) -> Vec<(LockId, u64, u32)> {
+        let mut out: Vec<(LockId, u64, u32)> = self
+            .locks
+            .iter_mut()
+            .map(|(&lock, st)| {
+                let s = (lock, st.req_count, st.max_outstanding.max(1));
+                st.req_count = 0;
+                st.max_outstanding = st.outstanding() as u32;
+                s
+            })
+            .collect();
+        out.sort_by_key(|&(lock, _, _)| lock);
+        out
+    }
+
+    /// Remove a lock's state entirely, returning any holders + waiters
+    /// (used when transferring a lock to the switch).
+    pub fn evict(&mut self, lock: LockId) -> Option<LockState> {
+        self.locks.remove(&lock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlock_proto::{ClientAddr, Priority, TenantId};
+
+    fn req(lock: u32, mode: LockMode, txn: u64) -> LockRequest {
+        LockRequest {
+            lock: LockId(lock),
+            mode,
+            txn: TxnId(txn),
+            client: ClientAddr(txn as u32),
+            tenant: TenantId(0),
+            priority: Priority(0),
+            issued_at_ns: txn, // issue time = txn id, convenient for leases
+        }
+    }
+
+    #[test]
+    fn exclusive_serializes() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire(req(1, LockMode::Exclusive, 1)), TableAcquire::Granted);
+        assert_eq!(t.acquire(req(1, LockMode::Exclusive, 2)), TableAcquire::Queued);
+        let g = t.release(LockId(1), TxnId(1));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].txn, TxnId(2));
+    }
+
+    #[test]
+    fn shared_coexist() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire(req(1, LockMode::Shared, 1)), TableAcquire::Granted);
+        assert_eq!(t.acquire(req(1, LockMode::Shared, 2)), TableAcquire::Granted);
+        assert_eq!(t.get(LockId(1)).unwrap().holders().len(), 2);
+    }
+
+    #[test]
+    fn fcfs_no_shared_bypass() {
+        let mut t = LockTable::new();
+        t.acquire(req(1, LockMode::Shared, 1));
+        t.acquire(req(1, LockMode::Exclusive, 2));
+        // A shared request must not jump over the waiting exclusive.
+        assert_eq!(t.acquire(req(1, LockMode::Shared, 3)), TableAcquire::Queued);
+        let g = t.release(LockId(1), TxnId(1));
+        assert_eq!(g[0].txn, TxnId(2));
+        let g = t.release(LockId(1), TxnId(2));
+        assert_eq!(g[0].txn, TxnId(3));
+    }
+
+    #[test]
+    fn exclusive_release_grants_shared_run() {
+        let mut t = LockTable::new();
+        t.acquire(req(1, LockMode::Exclusive, 1));
+        t.acquire(req(1, LockMode::Shared, 2));
+        t.acquire(req(1, LockMode::Shared, 3));
+        t.acquire(req(1, LockMode::Exclusive, 4));
+        let g = t.release(LockId(1), TxnId(1));
+        let txns: Vec<u64> = g.iter().map(|r| r.txn.0).collect();
+        assert_eq!(txns, vec![2, 3]);
+    }
+
+    #[test]
+    fn shared_release_out_of_order_is_fine() {
+        let mut t = LockTable::new();
+        t.acquire(req(1, LockMode::Shared, 1));
+        t.acquire(req(1, LockMode::Shared, 2));
+        t.acquire(req(1, LockMode::Exclusive, 3));
+        // Holder 2 releases before holder 1.
+        assert!(t.release(LockId(1), TxnId(2)).is_empty());
+        let g = t.release(LockId(1), TxnId(1));
+        assert_eq!(g[0].txn, TxnId(3));
+    }
+
+    #[test]
+    fn stale_release_ignored() {
+        let mut t = LockTable::new();
+        t.acquire(req(1, LockMode::Exclusive, 1));
+        assert!(t.release(LockId(1), TxnId(99)).is_empty());
+        assert!(t.release(LockId(2), TxnId(1)).is_empty());
+        assert_eq!(t.get(LockId(1)).unwrap().holders().len(), 1);
+    }
+
+    #[test]
+    fn lease_expiry_force_releases() {
+        let mut t = LockTable::new();
+        t.acquire(req(1, LockMode::Exclusive, 1)); // issued at t=1
+        t.acquire(req(1, LockMode::Exclusive, 1000)); // waits
+        let g = t.expire_leases(LockId(1), 500, 1_000);
+        assert!(g.is_empty(), "lease not yet expired");
+        let g = t.expire_leases(LockId(1), 5_000, 1_000);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].txn, TxnId(1000));
+    }
+
+    #[test]
+    fn stats_harvest_resets() {
+        let mut t = LockTable::new();
+        t.acquire(req(1, LockMode::Exclusive, 1));
+        t.acquire(req(1, LockMode::Exclusive, 2));
+        t.acquire(req(2, LockMode::Shared, 3));
+        let stats = t.take_stats();
+        assert_eq!(stats, vec![(LockId(1), 2, 2), (LockId(2), 1, 1)]);
+        let stats = t.take_stats();
+        // Counts reset; contention floor = current outstanding.
+        assert_eq!(stats[0], (LockId(1), 0, 2));
+    }
+
+    #[test]
+    fn evict_returns_state() {
+        let mut t = LockTable::new();
+        t.acquire(req(1, LockMode::Exclusive, 1));
+        t.acquire(req(1, LockMode::Exclusive, 2));
+        let st = t.evict(LockId(1)).unwrap();
+        assert_eq!(st.holders().len(), 1);
+        assert_eq!(st.outstanding(), 2);
+        assert!(t.get(LockId(1)).is_none());
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut t = LockTable::new();
+        t.acquire(req(1, LockMode::Exclusive, 1));
+        assert!(!t.get(LockId(1)).unwrap().is_idle());
+        t.release(LockId(1), TxnId(1));
+        assert!(t.get(LockId(1)).unwrap().is_idle());
+    }
+}

@@ -1,0 +1,129 @@
+//! Link/topology model.
+//!
+//! The rack network is modeled as point-to-point links with a fixed one-way
+//! propagation + serialization delay and an optional loss probability. The
+//! lock switch is itself a node, so "client → server through the ToR" is
+//! expressed by wiring client→switch and switch→server links; the model does
+//! not hide any hop.
+
+use std::collections::HashMap;
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+
+/// Per-link parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkConfig {
+    /// One-way delay applied to every packet on the link.
+    pub delay: SimDuration,
+    /// Probability that a packet is dropped in flight (default 0).
+    pub loss: f64,
+}
+
+impl LinkConfig {
+    /// A lossless link with the given one-way delay.
+    pub fn with_delay(delay: SimDuration) -> LinkConfig {
+        LinkConfig { delay, loss: 0.0 }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            // Intra-rack one-way hop: ~1.2 us (cable + NIC + switch port).
+            delay: SimDuration::from_nanos(1_200),
+            loss: 0.0,
+        }
+    }
+}
+
+/// The set of links. Lookups fall back to per-node defaults, then the
+/// global default, so dense racks don't need O(n^2) configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    default: LinkConfig,
+    per_node: HashMap<NodeId, LinkConfig>,
+    per_pair: HashMap<(NodeId, NodeId), LinkConfig>,
+}
+
+impl Topology {
+    /// A topology where every link uses `default`.
+    pub fn new(default: LinkConfig) -> Topology {
+        Topology {
+            default,
+            per_node: HashMap::new(),
+            per_pair: HashMap::new(),
+        }
+    }
+
+    /// Override the link used for packets leaving `src` (any destination).
+    pub fn set_node_egress(&mut self, src: NodeId, cfg: LinkConfig) {
+        self.per_node.insert(src, cfg);
+    }
+
+    /// Override a specific directed link.
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
+        self.per_pair.insert((src, dst), cfg);
+    }
+
+    /// The configuration used for a packet from `src` to `dst`.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> LinkConfig {
+        if let Some(cfg) = self.per_pair.get(&(src, dst)) {
+            return *cfg;
+        }
+        if let Some(cfg) = self.per_node.get(&src) {
+            return *cfg;
+        }
+        self.default
+    }
+
+    /// The global default link.
+    pub fn default_link(&self) -> LinkConfig {
+        self.default
+    }
+
+    /// Replace the global default link.
+    pub fn set_default(&mut self, cfg: LinkConfig) {
+        self.default = cfg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_precedence() {
+        let mut t = Topology::new(LinkConfig::with_delay(SimDuration(100)));
+        t.set_node_egress(NodeId(1), LinkConfig::with_delay(SimDuration(200)));
+        t.set_link(
+            NodeId(1),
+            NodeId(2),
+            LinkConfig::with_delay(SimDuration(300)),
+        );
+
+        // pair overrides node overrides default
+        assert_eq!(t.link(NodeId(1), NodeId(2)).delay, SimDuration(300));
+        assert_eq!(t.link(NodeId(1), NodeId(3)).delay, SimDuration(200));
+        assert_eq!(t.link(NodeId(0), NodeId(2)).delay, SimDuration(100));
+    }
+
+    #[test]
+    fn default_is_intra_rack_scale() {
+        let t = Topology::default();
+        let d = t.default_link().delay;
+        assert!(d.as_nanos() > 0 && d.as_nanos() < 10_000);
+        assert_eq!(t.default_link().loss, 0.0);
+    }
+
+    #[test]
+    fn set_default_applies() {
+        let mut t = Topology::default();
+        t.set_default(LinkConfig {
+            delay: SimDuration(5),
+            loss: 0.5,
+        });
+        assert_eq!(t.link(NodeId(9), NodeId(8)).delay, SimDuration(5));
+        assert_eq!(t.link(NodeId(9), NodeId(8)).loss, 0.5);
+    }
+}

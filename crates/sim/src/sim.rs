@@ -1,0 +1,544 @@
+//! The event loop.
+//!
+//! [`Simulator`] owns the nodes, the topology, the clock and the pending
+//! event queue. Events at equal timestamps are dispatched in insertion
+//! order (FIFO), which — together with integer time and seeded RNG — makes
+//! every run bit-for-bit reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::link::{LinkConfig, Topology};
+use crate::node::{Context, Effect, Node, NodeId, Packet};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+enum EventKind<M> {
+    Deliver(Packet<M>),
+    Timer { node: NodeId, token: u64 },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Run statistics maintained by the simulator itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// Packets delivered to a node.
+    pub packets_delivered: u64,
+    /// Packets dropped by link loss.
+    pub packets_lost: u64,
+    /// Packets dropped because the destination node was removed/failed.
+    pub packets_to_dead_node: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+}
+
+/// A deterministic discrete-event simulator over message type `M`.
+pub struct Simulator<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    alive: Vec<bool>,
+    topology: Topology,
+    rng: SimRng,
+    effects: Vec<Effect<M>>,
+    stats: SimStats,
+}
+
+impl<M: 'static> Simulator<M> {
+    /// A simulator with the given topology and RNG seed.
+    pub fn new(topology: Topology, seed: u64) -> Simulator<M> {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            alive: Vec::new(),
+            topology,
+            rng: SimRng::new(seed),
+            effects: Vec::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// A simulator with default intra-rack links.
+    pub fn with_seed(seed: u64) -> Simulator<M> {
+        Simulator::new(Topology::new(LinkConfig::default()), seed)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Simulator-level statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Mutable access to the topology (reconfigurable mid-run).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Install a node; returns its id. The node's
+    /// [`Node::on_start`] runs immediately at the current time.
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        self.alive.push(true);
+        // Run on_start with effect collection.
+        let mut node = self.nodes[id.index()].take().expect("just inserted");
+        let mut effects = std::mem::take(&mut self.effects);
+        {
+            let mut ctx = Context {
+                now: self.now,
+                self_id: id,
+                effects: &mut effects,
+                rng: &mut self.rng,
+            };
+            node.on_start(&mut ctx);
+        }
+        self.nodes[id.index()] = Some(node);
+        self.apply_effects(id, &mut effects);
+        self.effects = effects;
+        id
+    }
+
+    /// Mark a node as failed: pending and future packets/timers for it are
+    /// silently dropped. The node object is retained for inspection.
+    pub fn fail_node(&mut self, id: NodeId) {
+        self.alive[id.index()] = false;
+    }
+
+    /// Revive a failed node. Events scheduled while it was down stay lost;
+    /// new traffic flows again. (The node keeps whatever state it had —
+    /// callers that model state loss must reset the node themselves.)
+    pub fn revive_node(&mut self, id: NodeId) {
+        self.alive[id.index()] = true;
+    }
+
+    /// Whether a node is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive[id.index()]
+    }
+
+    /// Inspect or mutate a concrete node (panics if the type is wrong).
+    pub fn with_node<T: 'static, R>(&mut self, id: NodeId, f: impl FnOnce(&mut T) -> R) -> R {
+        let node = self.nodes[id.index()]
+            .as_mut()
+            .expect("node is being dispatched");
+        let any = node.as_any_mut();
+        let t = any
+            .downcast_mut::<T>()
+            .expect("with_node called with wrong concrete type");
+        f(t)
+    }
+
+    /// Read-only variant of [`Simulator::with_node`].
+    pub fn read_node<T: 'static, R>(&self, id: NodeId, f: impl FnOnce(&T) -> R) -> R {
+        let node = self.nodes[id.index()]
+            .as_ref()
+            .expect("node is being dispatched");
+        let t = node
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("read_node called with wrong concrete type");
+        f(t)
+    }
+
+    /// Inject a packet from outside the simulation (e.g. a harness kicking
+    /// off a run). Delivered after the link delay from `src` to `dst`.
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, payload: M) {
+        let link = self.topology.link(src, dst);
+        let at = self.now + link.delay;
+        self.push(
+            at,
+            EventKind::Deliver(Packet {
+                src,
+                dst,
+                sent_at: self.now,
+                payload,
+            }),
+        );
+    }
+
+    /// Schedule a timer on a node from outside the simulation.
+    pub fn inject_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { node, token });
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    fn apply_effects(&mut self, from: NodeId, effects: &mut Vec<Effect<M>>) {
+        for eff in effects.drain(..) {
+            match eff {
+                Effect::Send {
+                    dst,
+                    payload,
+                    extra_delay,
+                } => {
+                    let link = self.topology.link(from, dst);
+                    if link.loss > 0.0 && self.rng.chance(link.loss) {
+                        self.stats.packets_lost += 1;
+                        continue;
+                    }
+                    let at = self.now + link.delay + extra_delay;
+                    self.push(
+                        at,
+                        EventKind::Deliver(Packet {
+                            src: from,
+                            dst,
+                            sent_at: self.now,
+                            payload,
+                        }),
+                    );
+                }
+                Effect::Timer { delay, token } => {
+                    let at = self.now + delay;
+                    self.push(at, EventKind::Timer { node: from, token });
+                }
+            }
+        }
+    }
+
+    /// Process the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        let (node_id, run): (NodeId, Box<dyn FnOnce(&mut dyn Node<M>, &mut Context<'_, M>)>) =
+            match ev.kind {
+                EventKind::Deliver(pkt) => {
+                    let dst = pkt.dst;
+                    (dst, Box::new(move |n, ctx| n.on_packet(pkt, ctx)))
+                }
+                EventKind::Timer { node, token } => {
+                    (node, Box::new(move |n, ctx| n.on_timer(token, ctx)))
+                }
+            };
+        if node_id.index() >= self.nodes.len() || !self.alive[node_id.index()] {
+            self.stats.packets_to_dead_node += 1;
+            return true;
+        }
+        let mut node = self.nodes[node_id.index()]
+            .take()
+            .expect("re-entrant dispatch");
+        let mut effects = std::mem::take(&mut self.effects);
+        {
+            let mut ctx = Context {
+                now: self.now,
+                self_id: node_id,
+                effects: &mut effects,
+                rng: &mut self.rng,
+            };
+            run(node.as_mut(), &mut ctx);
+        }
+        self.nodes[node_id.index()] = Some(node);
+        self.stats.packets_delivered += 1;
+        self.apply_effects(node_id, &mut effects);
+        self.effects = effects;
+        true
+    }
+
+    /// Run until the clock reaches `deadline` (events at exactly `deadline`
+    /// are processed) or the queue empties. The clock is advanced to
+    /// `deadline` on return so subsequent scheduling is relative to it.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Drain the queue completely (only safe for workloads that quiesce).
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> bool {
+        for _ in 0..max_events {
+            if !self.step() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every packet back to its sender after a fixed delay.
+    struct Echo {
+        received: Vec<(SimTime, u32)>,
+    }
+
+    impl Node<u32> for Echo {
+        fn on_packet(&mut self, pkt: Packet<u32>, ctx: &mut Context<'_, u32>) {
+            self.received.push((ctx.now(), pkt.payload));
+            if pkt.payload < 100 {
+                ctx.send(pkt.src, pkt.payload + 1);
+            }
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_, u32>) {}
+    }
+
+    struct TimerNode {
+        fired: Vec<(SimTime, u64)>,
+    }
+
+    impl Node<u32> for TimerNode {
+        fn on_packet(&mut self, _pkt: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+        fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, u32>) {
+            self.fired.push((ctx.now(), token));
+            if token < 3 {
+                ctx.set_timer(SimDuration(10), token + 1);
+            }
+        }
+    }
+
+    fn sim() -> Simulator<u32> {
+        let mut topo = Topology::new(LinkConfig::with_delay(SimDuration(100)));
+        topo.set_default(LinkConfig::with_delay(SimDuration(100)));
+        Simulator::new(topo, 1)
+    }
+
+    #[test]
+    fn ping_pong_advances_time() {
+        let mut s = sim();
+        let a = s.add_node(Box::new(Echo { received: vec![] }));
+        let b = s.add_node(Box::new(Echo { received: vec![] }));
+        s.inject(a, b, 0);
+        s.run_until(SimTime(1_000));
+        // Packet 0 arrives at b at t=100, 1 at a at t=200, ...
+        s.read_node::<Echo, _>(b, |n| {
+            assert_eq!(n.received[0], (SimTime(100), 0));
+            assert_eq!(n.received[1], (SimTime(300), 2));
+        });
+        s.read_node::<Echo, _>(a, |n| {
+            assert_eq!(n.received[0], (SimTime(200), 1));
+        });
+    }
+
+    #[test]
+    fn chained_timers_fire_in_order() {
+        let mut s = sim();
+        let t = s.add_node(Box::new(TimerNode { fired: vec![] }));
+        s.inject_timer(t, SimDuration(5), 1);
+        s.run_until(SimTime(1_000));
+        s.read_node::<TimerNode, _>(t, |n| {
+            assert_eq!(
+                n.fired,
+                vec![
+                    (SimTime(5), 1),
+                    (SimTime(15), 2),
+                    (SimTime(25), 3),
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut s = sim();
+        s.run_until(SimTime(500));
+        assert_eq!(s.now(), SimTime(500));
+    }
+
+    #[test]
+    fn failed_node_drops_packets() {
+        let mut s = sim();
+        let a = s.add_node(Box::new(Echo { received: vec![] }));
+        let b = s.add_node(Box::new(Echo { received: vec![] }));
+        s.fail_node(b);
+        s.inject(a, b, 0);
+        s.run_until(SimTime(1_000));
+        s.read_node::<Echo, _>(b, |n| assert!(n.received.is_empty()));
+        assert_eq!(s.stats().packets_to_dead_node, 1);
+        // Revive: new packets flow again (payload >= 100 stops the echo).
+        s.revive_node(b);
+        s.inject(a, b, 100);
+        s.run_until(SimTime(2_000));
+        s.read_node::<Echo, _>(b, |n| assert_eq!(n.received.len(), 1));
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let mut s = sim();
+        let a = s.add_node(Box::new(Echo { received: vec![] }));
+        let b = s.add_node(Box::new(Echo { received: vec![] }));
+        s.topology_mut().set_link(
+            b,
+            a,
+            LinkConfig {
+                delay: SimDuration(100),
+                loss: 1.0,
+            },
+        );
+        // a -> b delivered; echo b -> a always lost.
+        s.inject(a, b, 0);
+        s.run_until(SimTime(10_000));
+        s.read_node::<Echo, _>(a, |n| assert!(n.received.is_empty()));
+        assert_eq!(s.stats().packets_lost, 1);
+    }
+
+    #[test]
+    fn same_time_events_fifo() {
+        // Two packets injected at the same instant arrive in injection order.
+        struct Rec {
+            got: Vec<u32>,
+        }
+        impl Node<u32> for Rec {
+            fn on_packet(&mut self, pkt: Packet<u32>, _ctx: &mut Context<'_, u32>) {
+                self.got.push(pkt.payload);
+            }
+            fn on_timer(&mut self, _t: u64, _c: &mut Context<'_, u32>) {}
+        }
+        let mut s = sim();
+        let r = s.add_node(Box::new(Rec { got: vec![] }));
+        let x = s.add_node(Box::new(Echo { received: vec![] }));
+        for i in 0..10 {
+            s.inject(x, r, i);
+        }
+        s.run_until(SimTime(1_000));
+        s.read_node::<Rec, _>(r, |n| {
+            assert_eq!(n.got, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = |seed: u64| {
+            let mut s: Simulator<u32> = Simulator::with_seed(seed);
+            let a = s.add_node(Box::new(Echo { received: vec![] }));
+            let b = s.add_node(Box::new(Echo { received: vec![] }));
+            s.topology_mut().set_default(LinkConfig {
+                delay: SimDuration(50),
+                loss: 0.3,
+            });
+            s.inject(a, b, 0);
+            s.run_until(SimTime(100_000));
+            s.read_node::<Echo, _>(b, |n| n.received.clone())
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn quiescence_detection() {
+        let mut s = sim();
+        let a = s.add_node(Box::new(Echo { received: vec![] }));
+        let b = s.add_node(Box::new(Echo { received: vec![] }));
+        s.inject(a, b, 95); // bounces until payload hits 100
+        assert!(s.run_to_quiescence(1_000));
+        assert!(s.pending_events() == 0);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::node::{Context, Node, Packet};
+
+    struct Counter(u64);
+    impl Node<u32> for Counter {
+        fn on_packet(&mut self, _pkt: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_, u32>) {
+            self.0 += 1;
+            // Perpetual ticking: quiescence is never reached.
+            ctx.set_timer(SimDuration(100), 0);
+        }
+    }
+
+    #[test]
+    fn quiescence_budget_exhaustion_reports_false() {
+        let mut s: Simulator<u32> = Simulator::with_seed(1);
+        let n = s.add_node(Box::new(Counter(0)));
+        s.inject_timer(n, SimDuration(1), 0);
+        assert!(!s.run_to_quiescence(50), "perpetual timer cannot quiesce");
+        s.read_node::<Counter, _>(n, |c| assert_eq!(c.0, 50));
+    }
+
+    #[test]
+    fn inject_timer_fires_at_requested_delay() {
+        let mut s: Simulator<u32> = Simulator::with_seed(2);
+        struct Once(Option<SimTime>);
+        impl Node<u32> for Once {
+            fn on_packet(&mut self, _p: Packet<u32>, _c: &mut Context<'_, u32>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_, u32>) {
+                self.0 = Some(ctx.now());
+            }
+        }
+        let n = s.add_node(Box::new(Once(None)));
+        s.inject_timer(n, SimDuration(12_345), 7);
+        s.run_until(SimTime(100_000));
+        s.read_node::<Once, _>(n, |o| assert_eq!(o.0, Some(SimTime(12_345))));
+    }
+
+    #[test]
+    fn stats_count_deliveries_and_timers() {
+        let mut s: Simulator<u32> = Simulator::with_seed(3);
+        let n = s.add_node(Box::new(Counter(0)));
+        s.inject_timer(n, SimDuration(1), 0);
+        s.run_until(SimTime(450));
+        // Timer events are dispatched through the same counter.
+        assert!(s.stats().packets_delivered >= 4);
+        assert_eq!(s.stats().packets_lost, 0);
+    }
+
+    #[test]
+    fn pending_events_visible() {
+        let mut s: Simulator<u32> = Simulator::with_seed(4);
+        let n = s.add_node(Box::new(Counter(0)));
+        s.inject_timer(n, SimDuration(1_000), 0);
+        s.inject_timer(n, SimDuration(2_000), 0);
+        assert_eq!(s.pending_events(), 2);
+    }
+}

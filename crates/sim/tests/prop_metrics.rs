@@ -1,0 +1,77 @@
+//! Property tests for the measurement substrate: the log-bucketed
+//! histogram must track exact statistics within its design error bound,
+//! and merging must equal recording into one histogram.
+
+use proptest::prelude::*;
+
+use netlock_sim::Histogram;
+
+proptest! {
+    /// Quantiles stay within the bucket relative-error bound (<1.6% for
+    /// 64 sub-buckets) against exact order statistics.
+    #[test]
+    fn quantiles_bounded_error(mut values in prop::collection::vec(1u64..10_000_000_000, 1..2000)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for &q in &[0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = values[rank.min(values.len() - 1)];
+            let approx = h.quantile(q);
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(rel < 0.04, "q={} exact={} approx={} rel={}", q, exact, approx, rel);
+        }
+    }
+
+    /// count/mean/min/max are exact, not approximated.
+    #[test]
+    fn moments_exact(values in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6);
+    }
+
+    /// merge(a, b) ≡ record everything into one histogram.
+    #[test]
+    fn merge_is_union(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..300),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..300),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hu = Histogram::new();
+        for &v in &a { ha.record(v); hu.record(v); }
+        for &v in &b { hb.record(v); hu.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.min(), hu.min());
+        prop_assert_eq!(ha.max(), hu.max());
+        for &q in &[0.25, 0.5, 0.75, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hu.quantile(q));
+        }
+    }
+
+    /// The CDF is monotone and ends at 1.
+    #[test]
+    fn cdf_monotone(values in prop::collection::vec(0u64..u64::MAX / 2, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let pts = h.cdf_points();
+        prop_assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! # netlock-switch
+//!
+//! The programmable-switch substrate and the NetLock switch program.
+//!
+//! This crate plays the role of the paper's 1704 lines of P4 plus the
+//! Python control plane. The bottom layer ([`register`]) models Tofino's
+//! stateful memory *with its constraints enforced* — one
+//! read-modify-write per register array per pipeline pass, ascending
+//! stage order — so the lock logic built on top
+//! ([`shared_queue`], [`engine`], [`priority`]) is structurally faithful
+//! to what compiles on the ASIC: circular queues over register arrays, a
+//! pooled shared queue spanning stages with runtime-adjustable per-lock
+//! regions, and Algorithm 2's resubmit-based grant/release cascade.
+//!
+//! Layers, bottom-up:
+//! - [`register`] — register arrays, passes, the access discipline
+//! - [`slot`] — the 20-byte queue slot (mode, txn, client IP, metadata)
+//! - [`shared_queue`] — pooled circular queues (Figure 5)
+//! - [`engine`] — the FCFS engine: Algorithm 2 (Figure 6 cases)
+//! - [`priority`] — per-stage priority queues (§4.4)
+//! - [`meter`] — token-bucket tenant quotas (§4.4)
+//! - [`directory`] — the lock match-action table
+//! - [`pipes`] — multi-pipeline layout: NetLock's egress-pipe placement
+//!   and its zero-recirculation property (§4.2)
+//! - [`dataplane`] — Algorithm 1: the full packet-processing module,
+//!   including the q1/q2 overflow protocol (§4.3)
+//! - [`control`] — Algorithm 3 knapsack allocation, measurement
+//!   harvesting, migration planning, lease expiry (§4.3, §4.5)
+//! - [`node`] — the simulation node gluing it to `netlock-sim`
+
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod dataplane;
+pub mod directory;
+pub mod engine;
+pub mod meter;
+pub mod node;
+pub mod pipes;
+pub mod priority;
+pub mod register;
+pub mod shared_queue;
+pub mod slot;
+
+pub use dataplane::{DataPlane, DpAction, DpStats, DropReason, Engine};
+pub use node::{AutoRealloc, SwitchConfig, SwitchNode, SwitchNodeStats};

@@ -1,0 +1,594 @@
+//! The lock-switch simulation node.
+//!
+//! Wraps the [`DataPlane`] state machine as a `netlock-sim` node: packets
+//! in, packets out, with the switch's traversal latency and per-resubmit
+//! cost charged on every emission. Also hosts the control-plane loop
+//! (lease sweeping, lock migration) that on hardware runs on the switch
+//! CPU and talks to the ASIC over PCIe.
+
+use std::collections::{HashMap, HashSet};
+
+use netlock_proto::{GrantMsg, LockId, NetLockMsg};
+use netlock_sim::{Context, Node, NodeId, Packet, SimDuration};
+
+use crate::control::{self, MigrationOp};
+use crate::dataplane::{DataPlane, DpAction};
+
+/// Timer token for the control-plane tick.
+const TIMER_CONTROL_TICK: u64 = 1;
+/// Timer token for the reallocation epoch.
+const TIMER_REALLOC: u64 = 2;
+
+/// Dynamic memory-reallocation policy (§4.3: "updates the memory
+/// allocation based on Algorithm 3 when the workload changes").
+#[derive(Clone, Debug)]
+pub struct AutoRealloc {
+    /// Measurement epoch between reallocations.
+    pub epoch: SimDuration,
+    /// Switch memory budget given to the allocator (queue slots).
+    pub switch_slots: u32,
+    /// Maximum queue regions (the FCFS layout's region-table size).
+    pub max_regions: usize,
+    /// Contention estimate `c_i` assumed for a lock measured only at
+    /// the servers (the switch sees its rate, not its queue depth).
+    pub server_contention: u32,
+}
+
+/// Switch node configuration.
+#[derive(Clone, Debug)]
+pub struct SwitchConfig {
+    /// Ingress-to-egress traversal latency (the paper: well under 1 µs).
+    pub traversal: SimDuration,
+    /// Added latency per extra pipeline pass (resubmit).
+    pub pass_latency: SimDuration,
+    /// Lease duration; expired holders are force-released by the control
+    /// plane (§4.5). Zero disables lease sweeping.
+    pub lease: SimDuration,
+    /// Control-plane polling interval.
+    pub control_tick: SimDuration,
+    /// One-RTT transaction mode (§4.1): grants are forwarded to the
+    /// database server to combine locking and data fetch.
+    pub one_rtt: bool,
+    /// This switch is acting as the backup for a restarted original:
+    /// whenever one of its lock queues drains, it hands the lock back
+    /// (CtrlHandback) to the given node (§4.5).
+    pub backup_handback_to: Option<NodeId>,
+    /// Periodic measure-and-reallocate loop (None = static allocation,
+    /// as the figure harnesses use).
+    pub auto_realloc: Option<AutoRealloc>,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            traversal: SimDuration::from_nanos(500),
+            pass_latency: SimDuration::from_nanos(100),
+            lease: SimDuration::from_millis(10),
+            control_tick: SimDuration::from_millis(1),
+            one_rtt: false,
+            backup_handback_to: None,
+            auto_realloc: None,
+        }
+    }
+}
+
+/// Node-level counters (message plane; the data plane keeps its own).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SwitchNodeStats {
+    /// Grant notifications sent to clients.
+    pub grants_sent: u64,
+    /// Grants forwarded to database servers (one-RTT mode).
+    pub grants_to_db: u64,
+    /// Packets dropped by policy or unknown-lock.
+    pub drops: u64,
+    /// Force-releases issued by the lease sweeper.
+    pub lease_expirations: u64,
+    /// Migration operations completed.
+    pub migrations_done: u64,
+}
+
+/// The ToR lock switch.
+pub struct SwitchNode {
+    dp: DataPlane,
+    cfg: SwitchConfig,
+    /// Lock server node ids, indexed by the directory's server index.
+    servers: Vec<NodeId>,
+    /// Database server node ids for one-RTT mode (may be empty).
+    db_servers: Vec<NodeId>,
+    /// Locks draining toward demotion.
+    pending_demotes: HashSet<LockId>,
+    /// Promotions waiting for demotions to free their regions.
+    pending_promotes: Vec<MigrationOp>,
+    /// Regions reserved for in-flight promotions; the directory flips
+    /// only when the server's CtrlPromoteReady arrives (§4.3: the
+    /// queue must drain before the move).
+    promote_reservations: HashMap<LockId, (usize, u32, u32, usize)>,
+    stats: SwitchNodeStats,
+}
+
+impl SwitchNode {
+    /// Build a switch around a programmed data plane.
+    pub fn new(dp: DataPlane, cfg: SwitchConfig, servers: Vec<NodeId>) -> SwitchNode {
+        SwitchNode {
+            dp,
+            cfg,
+            servers,
+            db_servers: Vec::new(),
+            pending_demotes: HashSet::new(),
+            pending_promotes: Vec::new(),
+            promote_reservations: HashMap::new(),
+            stats: SwitchNodeStats::default(),
+        }
+    }
+
+    /// Enable one-RTT mode with the given database servers.
+    pub fn with_db_servers(mut self, db_servers: Vec<NodeId>) -> SwitchNode {
+        self.db_servers = db_servers;
+        self
+    }
+
+    /// Put this switch into backup-handback mode: queue drains are
+    /// reported to `original` so it can resume granting (§4.5). The
+    /// restarted original must have had
+    /// [`DataPlane::begin_handback_suppression`] applied to the locks
+    /// the backup still owns.
+    pub fn set_backup_handback(&mut self, original: Option<NodeId>) {
+        self.cfg.backup_handback_to = original;
+    }
+
+    /// Data-plane handle (control plane / harness).
+    pub fn dataplane(&self) -> &DataPlane {
+        &self.dp
+    }
+
+    /// Mutable data-plane handle (control plane / harness).
+    pub fn dataplane_mut(&mut self) -> &mut DataPlane {
+        &mut self.dp
+    }
+
+    /// Node counters.
+    pub fn stats(&self) -> SwitchNodeStats {
+        self.stats
+    }
+
+    /// Model a reboot: all data-plane registers and tables are wiped
+    /// (§6.5) and migration state is forgotten. The harness reprograms
+    /// the directory afterwards, as the real control plane would.
+    pub fn reboot(&mut self) {
+        self.dp.reset();
+        self.pending_demotes.clear();
+        self.pending_promotes.clear();
+        self.promote_reservations.clear();
+    }
+
+    /// Start executing a migration plan (control-plane operation).
+    pub fn start_migration(&mut self, ops: Vec<MigrationOp>, ctx: &mut Context<'_, NetLockMsg>) {
+        for op in ops {
+            match op {
+                MigrationOp::Demote { lock } => {
+                    // Track before attempting completion: an instantly
+                    // drained queue completes inside the call, and the
+                    // bookkeeping must see the removal.
+                    self.pending_demotes.insert(lock);
+                    if self.dp.begin_demote(lock) {
+                        self.try_complete_demote(lock, ctx);
+                    }
+                }
+                promote @ MigrationOp::Promote { .. } => {
+                    self.pending_promotes.push(promote);
+                }
+            }
+        }
+        self.flush_promotes(ctx);
+    }
+
+    fn try_complete_demote(&mut self, lock: LockId, ctx: &mut Context<'_, NetLockMsg>) {
+        if let Some(server_idx) = self.dp.complete_demote(lock) {
+            self.pending_demotes.remove(&lock);
+            self.stats.migrations_done += 1;
+            let dst = self.servers[server_idx];
+            ctx.send_after(dst, NetLockMsg::CtrlDemote { lock }, self.cfg.traversal);
+            self.flush_promotes(ctx);
+        }
+    }
+
+    fn flush_promotes(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        if !self.pending_demotes.is_empty() || self.pending_promotes.is_empty() {
+            return;
+        }
+        for op in std::mem::take(&mut self.pending_promotes) {
+            let MigrationOp::Promote {
+                lock,
+                qid,
+                left,
+                right,
+                home_server,
+            } = op
+            else {
+                continue;
+            };
+            // Reserve the region; the directory flips only when the
+            // server confirms its queue drained (CtrlPromoteReady).
+            self.promote_reservations
+                .insert(lock, (qid, left, right, home_server));
+            let dst = self.servers[home_server];
+            ctx.send_after(dst, NetLockMsg::CtrlPromote { lock }, self.cfg.traversal);
+        }
+    }
+
+    fn emit(&mut self, actions: Vec<DpAction>, extra_passes: u64, ctx: &mut Context<'_, NetLockMsg>) {
+        let delay = self.cfg.traversal
+            + SimDuration(self.cfg.pass_latency.as_nanos() * extra_passes);
+        for act in actions {
+            match act {
+                DpAction::SendGrant(grant) => self.send_grant(grant, delay, ctx),
+                DpAction::ForwardAcquire {
+                    server,
+                    req,
+                    buffer_only,
+                } => {
+                    let Some(&dst) = self.servers.get(server) else {
+                        // Rack has no lock server (switch-only deploy):
+                        // the request is lost; the client's retry covers
+                        // it, like any other drop.
+                        self.stats.drops += 1;
+                        continue;
+                    };
+                    ctx.send_after(dst, NetLockMsg::Forwarded { req, buffer_only }, delay);
+                }
+                DpAction::ForwardRelease { server, rel } => {
+                    let Some(&dst) = self.servers.get(server) else {
+                        self.stats.drops += 1;
+                        continue;
+                    };
+                    ctx.send_after(dst, NetLockMsg::Release(rel), delay);
+                }
+                DpAction::SendQueueSpace {
+                    server,
+                    lock,
+                    space,
+                } => {
+                    let Some(&dst) = self.servers.get(server) else {
+                        self.stats.drops += 1;
+                        continue;
+                    };
+                    ctx.send_after(dst, NetLockMsg::QueueSpace { lock, space }, delay);
+                }
+                DpAction::Drop { .. } => {
+                    self.stats.drops += 1;
+                }
+            }
+        }
+    }
+
+    fn send_grant(&mut self, grant: GrantMsg, delay: SimDuration, ctx: &mut Context<'_, NetLockMsg>) {
+        if self.cfg.one_rtt && !self.db_servers.is_empty() {
+            // One-RTT transactions: forward the granted request to the
+            // database server that owns the item; the client gets data
+            // and grant in a single message (§4.1).
+            let db = self.db_servers[grant.lock.0 as usize % self.db_servers.len()];
+            self.stats.grants_to_db += 1;
+            ctx.send_after(db, NetLockMsg::DbFetch { grant }, delay);
+        } else {
+            self.stats.grants_sent += 1;
+            // Convention: ClientAddr(n) is node n (assigned by the rack
+            // builder).
+            ctx.send_after(NodeId(grant.client.0), NetLockMsg::Grant(grant), delay);
+        }
+    }
+
+    /// One reallocation epoch: measure `(r_i, c_i)` from the data-plane
+    /// counters (switch-resident locks) and the forward counters
+    /// (server-resident locks), run Algorithm 3, and execute the
+    /// resulting migration plan.
+    fn realloc_tick(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        let Some(auto) = self.cfg.auto_realloc.clone() else {
+            return;
+        };
+        // Don't start a new plan while the previous one is in flight
+        // (including promotions whose server handshake hasn't finished).
+        if self.pending_demotes.is_empty()
+            && self.pending_promotes.is_empty()
+            && self.promote_reservations.is_empty()
+        {
+            let epoch_secs = auto.epoch.as_secs_f64();
+            let mut stats = control::harvest_stats(&mut self.dp, epoch_secs);
+            // Stabilize c_i: round the high-water mark up to the next
+            // power of two and floor it at the server estimate, so small
+            // fluctuations between epochs don't resize regions (every
+            // resize requires a drain-and-move).
+            for s in &mut stats {
+                s.contention = s
+                    .contention
+                    .next_power_of_two()
+                    .max(auto.server_contention);
+            }
+            for (lock, count) in self.dp.cp_take_forward_counts() {
+                let rate = count as f64 / epoch_secs.max(1e-9);
+                // A lock promoted mid-epoch shows up both in the switch
+                // harvest and the forward counts: merge, don't duplicate.
+                if let Some(existing) = stats.iter_mut().find(|s| s.lock == lock) {
+                    existing.rate += rate;
+                    continue;
+                }
+                let home = self
+                    .dp
+                    .directory()
+                    .get(lock)
+                    .map(|e| e.home_server)
+                    .or_else(|| self.dp.default_server_of(lock))
+                    .unwrap_or(0);
+                stats.push(control::LockStats {
+                    lock,
+                    rate,
+                    contention: auto.server_contention,
+                    home_server: home,
+                });
+            }
+            let target =
+                control::knapsack_allocate_bounded(&stats, auto.switch_slots, auto.max_regions);
+            // Reorganize only when membership or region sizes actually
+            // change; identical sets in a different order are not worth
+            // a drain-and-move of every queue.
+            if !self.allocation_matches(&target) {
+                let ops = control::plan_migration(&self.dp, &target);
+                if !ops.is_empty() {
+                    self.start_migration(ops, ctx);
+                }
+            }
+        }
+        ctx.set_timer(auto.epoch, TIMER_REALLOC);
+    }
+
+    /// Whether the current residency equals `target` as a lock→slots
+    /// map (ignoring region positions).
+    fn allocation_matches(&self, target: &control::Allocation) -> bool {
+        let current = self.dp.directory().switch_resident();
+        if current.len() != target.in_switch.len() {
+            return false;
+        }
+        let crate::dataplane::Engine::Fcfs(q) = self.dp.engine() else {
+            return false;
+        };
+        let mut cur: Vec<(LockId, u32)> = current
+            .iter()
+            .map(|&(lock, qid, _)| (lock, q.cp_region(qid).capacity()))
+            .collect();
+        let mut tgt: Vec<(LockId, u32)> = target
+            .in_switch
+            .iter()
+            .map(|&(lock, slots, _)| (lock, slots))
+            .collect();
+        cur.sort_unstable();
+        tgt.sort_unstable();
+        cur == tgt
+    }
+
+    fn control_tick(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        // Lease sweep: force-release expired holders.
+        if !self.cfg.lease.is_zero() {
+            let expired =
+                control::expired_leases(&self.dp, ctx.now().as_nanos(), self.cfg.lease.as_nanos());
+            for rel in expired {
+                self.stats.lease_expirations += 1;
+                let before = self.dp.stats().passes;
+                let actions = self.dp.process(NetLockMsg::Release(rel), ctx.now().as_nanos());
+                let extra = self.dp.stats().passes - before - 1;
+                let lock = rel.lock;
+                self.emit(actions, extra, ctx);
+                if self.pending_demotes.contains(&lock) {
+                    self.try_complete_demote(lock, ctx);
+                }
+            }
+        }
+        // Drain checks for pending demotions.
+        let pending: Vec<LockId> = self.pending_demotes.iter().copied().collect();
+        for lock in pending {
+            self.try_complete_demote(lock, ctx);
+        }
+        ctx.set_timer(self.cfg.control_tick, TIMER_CONTROL_TICK);
+    }
+}
+
+impl Node<NetLockMsg> for SwitchNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        if !self.cfg.control_tick.is_zero() {
+            ctx.set_timer(self.cfg.control_tick, TIMER_CONTROL_TICK);
+        }
+        if let Some(auto) = &self.cfg.auto_realloc {
+            ctx.set_timer(auto.epoch, TIMER_REALLOC);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet<NetLockMsg>, ctx: &mut Context<'_, NetLockMsg>) {
+        let released_lock = match &pkt.payload {
+            NetLockMsg::Release(rel) => Some(rel.lock),
+            _ => None,
+        };
+        // Complete a reserved promotion: install the region + directory
+        // entry just before the buffered requests are enqueued.
+        if let NetLockMsg::CtrlPromoteReady { lock, .. } = &pkt.payload {
+            if let Some((qid, left, right, home)) = self.promote_reservations.remove(lock) {
+                self.dp.prepare_promote(*lock, qid, left, right, home);
+                self.stats.migrations_done += 1;
+            }
+        }
+        let before = self.dp.stats().passes;
+        let actions = self.dp.process(pkt.payload, ctx.now().as_nanos());
+        let extra = (self.dp.stats().passes - before).saturating_sub(1);
+        self.emit(actions, extra, ctx);
+        // A release may have completed a drain for a demoting lock.
+        if let Some(lock) = released_lock {
+            if self.pending_demotes.contains(&lock) {
+                self.try_complete_demote(lock, ctx);
+            }
+            // Backup-handback mode: report drained queues to the
+            // restarted original switch.
+            if let Some(original) = self.cfg.backup_handback_to {
+                let drained = match self.dp.directory().get(lock).map(|e| e.residence) {
+                    Some(crate::directory::Residence::Switch { qid }) => {
+                        match self.dp.engine() {
+                            crate::dataplane::Engine::Fcfs(q) => q.cp_region(qid).count == 0,
+                            crate::dataplane::Engine::Priority(e) => e.cp_total_count(qid) == 0,
+                        }
+                    }
+                    _ => false,
+                };
+                if drained {
+                    ctx.send_after(original, NetLockMsg::CtrlHandback { lock }, self.cfg.traversal);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, NetLockMsg>) {
+        if token == TIMER_CONTROL_TICK {
+            self.control_tick(ctx);
+        } else if token == TIMER_REALLOC {
+            self.realloc_tick(ctx);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "lock-switch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{apply_allocation, knapsack_allocate, LockStats};
+    use crate::shared_queue::SharedQueueLayout;
+    use netlock_proto::{ClientAddr, LockMode, LockRequest, Priority, TenantId, TxnId};
+    use netlock_sim::{Packet as SimPacket, SimTime, Simulator};
+
+    struct Sink(Vec<NetLockMsg>);
+    impl Node<NetLockMsg> for Sink {
+        fn on_packet(&mut self, pkt: SimPacket<NetLockMsg>, _ctx: &mut Context<'_, NetLockMsg>) {
+            self.0.push(pkt.payload);
+        }
+        fn on_timer(&mut self, _t: u64, _c: &mut Context<'_, NetLockMsg>) {}
+    }
+
+    fn acquire(lock: u32, txn: u64, client: u32, at: u64) -> NetLockMsg {
+        NetLockMsg::Acquire(LockRequest {
+            lock: netlock_proto::LockId(lock),
+            mode: LockMode::Exclusive,
+            txn: TxnId(txn),
+            client: ClientAddr(client),
+            tenant: TenantId(0),
+            priority: Priority(0),
+            issued_at_ns: at,
+        })
+    }
+
+    fn dp(locks: u32) -> DataPlane {
+        let mut dp = DataPlane::new_fcfs(&SharedQueueLayout::small(2, 64, 16));
+        let stats: Vec<LockStats> = (0..locks)
+            .map(|l| LockStats {
+                lock: netlock_proto::LockId(l),
+                rate: 1.0,
+                contention: 8,
+                home_server: 0,
+            })
+            .collect();
+        apply_allocation(&mut dp, &knapsack_allocate(&stats, 128));
+        dp
+    }
+
+    #[test]
+    fn grant_routed_to_client_node() {
+        let mut sim: Simulator<NetLockMsg> = Simulator::with_seed(1);
+        let client = sim.add_node(Box::new(Sink(Vec::new())));
+        let switch = sim.add_node(Box::new(SwitchNode::new(
+            dp(4),
+            SwitchConfig::default(),
+            vec![],
+        )));
+        sim.inject(client, switch, acquire(1, 5, client.0, 0));
+        sim.run_until(SimTime(1_000_000));
+        sim.read_node::<Sink, _>(client, |s| {
+            assert_eq!(s.0.len(), 1);
+            assert!(matches!(s.0[0], NetLockMsg::Grant(g) if g.txn == TxnId(5)));
+        });
+    }
+
+    #[test]
+    fn one_rtt_routes_grant_through_db_server() {
+        let mut sim: Simulator<NetLockMsg> = Simulator::with_seed(2);
+        let client = sim.add_node(Box::new(Sink(Vec::new())));
+        let db = sim.add_node(Box::new(Sink(Vec::new())));
+        let switch = sim.add_node(Box::new(
+            SwitchNode::new(
+                dp(4),
+                SwitchConfig {
+                    one_rtt: true,
+                    ..Default::default()
+                },
+                vec![],
+            )
+            .with_db_servers(vec![db]),
+        ));
+        sim.inject(client, switch, acquire(1, 5, client.0, 0));
+        sim.run_until(SimTime(1_000_000));
+        sim.read_node::<Sink, _>(client, |s| assert!(s.0.is_empty()));
+        sim.read_node::<Sink, _>(db, |s| {
+            assert_eq!(s.0.len(), 1);
+            assert!(matches!(s.0[0], NetLockMsg::DbFetch { .. }));
+        });
+        sim.read_node::<SwitchNode, _>(switch, |s| {
+            assert_eq!(s.stats().grants_to_db, 1);
+            assert_eq!(s.stats().grants_sent, 0);
+        });
+    }
+
+    #[test]
+    fn lease_sweeper_frees_stuck_holder() {
+        let mut sim: Simulator<NetLockMsg> = Simulator::with_seed(3);
+        let client = sim.add_node(Box::new(Sink(Vec::new())));
+        let switch = sim.add_node(Box::new(SwitchNode::new(
+            dp(4),
+            SwitchConfig {
+                lease: SimDuration::from_millis(2),
+                control_tick: SimDuration::from_millis(1),
+                ..Default::default()
+            },
+            vec![],
+        )));
+        // Holder that never releases; a waiter behind it.
+        sim.inject(client, switch, acquire(1, 1, client.0, 0));
+        sim.inject(client, switch, acquire(1, 2, client.0, 0));
+        sim.run_until(SimTime(SimDuration::from_millis(10).as_nanos()));
+        sim.read_node::<Sink, _>(client, |s| {
+            // Grant for 1, then (after the lease fires) grant for 2.
+            assert!(s.0.len() >= 2, "sweeper must grant the waiter: {:?}", s.0.len());
+        });
+        sim.read_node::<SwitchNode, _>(switch, |s| {
+            assert!(s.stats().lease_expirations >= 1);
+        });
+    }
+
+    #[test]
+    fn reboot_forgets_everything() {
+        let mut sim: Simulator<NetLockMsg> = Simulator::with_seed(4);
+        let client = sim.add_node(Box::new(Sink(Vec::new())));
+        let switch = sim.add_node(Box::new(SwitchNode::new(
+            dp(4),
+            SwitchConfig::default(),
+            vec![],
+        )));
+        sim.inject(client, switch, acquire(1, 1, client.0, 0));
+        sim.run_until(SimTime(100_000));
+        sim.with_node::<SwitchNode, _>(switch, |s| s.reboot());
+        sim.inject(client, switch, acquire(1, 2, client.0, 0));
+        sim.run_until(SimTime(1_000_000));
+        // Post-reboot the directory is empty and there are no servers:
+        // the request is dropped, not granted.
+        sim.read_node::<Sink, _>(client, |s| {
+            assert_eq!(s.0.len(), 1, "only the pre-reboot grant");
+        });
+        sim.read_node::<SwitchNode, _>(switch, |s| {
+            assert!(s.dataplane().directory().is_empty());
+        });
+    }
+}

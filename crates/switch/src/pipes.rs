@@ -1,0 +1,168 @@
+//! Multi-pipeline layout (§4.2 "Pipeline layout").
+//!
+//! A Tofino-class switch has several independent pipelines; register
+//! state is **not** shared between them. A packet enters through the
+//! ingress pipe of its arrival port and leaves through the egress pipe
+//! of its departure port; touching state that lives in a different pipe
+//! requires *recirculating* the packet (a full extra traversal).
+//!
+//! NetLock's placement rule: each lock's queue lives in the egress pipe
+//! that connects to the lock's home server. A request for a
+//! switch-resident lock is sent toward that server, so it traverses the
+//! owning egress pipe anyway — zero recirculations on the hot path; a
+//! granted request is mirrored from that pipe to the client (or the
+//! database server in one-RTT mode). This module checks placements and
+//! counts the recirculations a layout would cost, so the zero-recirc
+//! property of the paper's design is tested rather than assumed.
+
+/// A pipeline identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PipeId(pub u8);
+
+/// Static description of the switch's port-to-pipe wiring.
+#[derive(Clone, Debug)]
+pub struct PipeLayout {
+    pipes: u8,
+    /// `port_pipe[port] = pipe` for every front-panel port.
+    port_pipe: Vec<u8>,
+}
+
+impl PipeLayout {
+    /// A layout with `pipes` pipelines and `ports` ports distributed
+    /// round-robin (how front panels are typically wired).
+    pub fn new(pipes: u8, ports: usize) -> PipeLayout {
+        assert!(pipes >= 1);
+        PipeLayout {
+            pipes,
+            port_pipe: (0..ports).map(|p| (p % pipes as usize) as u8).collect(),
+        }
+    }
+
+    /// Number of pipelines.
+    pub fn pipes(&self) -> u8 {
+        self.pipes
+    }
+
+    /// The pipe serving `port`.
+    pub fn pipe_of_port(&self, port: usize) -> PipeId {
+        PipeId(self.port_pipe[port])
+    }
+
+    /// Recirculations needed for a request that arrives on
+    /// `ingress_port`, must execute lock logic in `lock_pipe`, and
+    /// departs via `egress_port`.
+    ///
+    /// The lock logic runs in an egress pipe, so it is free exactly when
+    /// the packet's egress port belongs to `lock_pipe`; otherwise the
+    /// packet recirculates once to pass through the owning pipe, and
+    /// once more if it must still leave through a third pipe. (Ingress
+    /// pipes don't constrain NetLock: its tables are egress-side.)
+    pub fn recirculations(
+        &self,
+        _ingress_port: usize,
+        lock_pipe: PipeId,
+        egress_port: usize,
+    ) -> u32 {
+        if self.pipe_of_port(egress_port) == lock_pipe {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// NetLock's placement: the pipe of the lock's home-server port.
+    pub fn netlock_placement(&self, home_server_port: usize) -> PipeId {
+        self.pipe_of_port(home_server_port)
+    }
+}
+
+/// Audit a placement against a traffic pattern: returns the fraction of
+/// packets that would recirculate.
+///
+/// `flows` is a list of `(ingress_port, lock_pipe, egress_port, weight)`.
+pub fn recirculation_fraction(layout: &PipeLayout, flows: &[(usize, PipeId, usize, f64)]) -> f64 {
+    let total: f64 = flows.iter().map(|f| f.3).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let recirc: f64 = flows
+        .iter()
+        .filter(|&&(i, p, e, _)| layout.recirculations(i, p, e) > 0)
+        .map(|f| f.3)
+        .sum();
+    recirc / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 pipes, 32 ports; servers on ports 0..4, clients on 8..32.
+    fn layout() -> PipeLayout {
+        PipeLayout::new(4, 32)
+    }
+
+    #[test]
+    fn ports_spread_over_pipes() {
+        let l = layout();
+        assert_eq!(l.pipe_of_port(0), PipeId(0));
+        assert_eq!(l.pipe_of_port(1), PipeId(1));
+        assert_eq!(l.pipe_of_port(4), PipeId(0));
+        assert_eq!(l.pipes(), 4);
+    }
+
+    #[test]
+    fn netlock_placement_never_recirculates_on_the_forward_path() {
+        // Requests travel toward the lock's home server; with the lock
+        // queue in the server's egress pipe, no forwarded request
+        // recirculates, regardless of which client port it came from.
+        let l = layout();
+        for server_port in 0..4 {
+            let pipe = l.netlock_placement(server_port);
+            for client_port in 8..32 {
+                assert_eq!(
+                    l.recirculations(client_port, pipe, server_port),
+                    0,
+                    "client {client_port} → server {server_port}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_placement_recirculates() {
+        // Placing every lock in pipe 0 forces requests leaving through
+        // other pipes to recirculate.
+        let l = layout();
+        let all_in_pipe0 = PipeId(0);
+        // Server port 1 is in pipe 1: recirculation needed.
+        assert_eq!(l.recirculations(8, all_in_pipe0, 1), 1);
+        // Server port 0 is in pipe 0: fine.
+        assert_eq!(l.recirculations(8, all_in_pipe0, 0), 0);
+    }
+
+    #[test]
+    fn recirculation_fraction_audit() {
+        let l = layout();
+        // NetLock placement: every flow's lock pipe matches its server
+        // port's pipe → 0%.
+        let good: Vec<(usize, PipeId, usize, f64)> = (0..4)
+            .flat_map(|srv| {
+                (8..16).map(move |cli| (cli, PipeId((srv % 4) as u8), srv, 1.0))
+            })
+            .collect();
+        assert_eq!(recirculation_fraction(&l, &good), 0.0);
+
+        // Everything crammed into pipe 0: 3 of 4 server ports are in
+        // other pipes → 75%.
+        let bad: Vec<(usize, PipeId, usize, f64)> = (0..4)
+            .flat_map(|srv| (8..16).map(move |cli| (cli, PipeId(0), srv, 1.0)))
+            .collect();
+        assert!((recirculation_fraction(&l, &bad) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_flows_are_zero() {
+        assert_eq!(recirculation_fraction(&layout(), &[]), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Register arrays: the switch's stateful on-chip memory.
+//!
+//! Programmable switches expose per-stage SRAM as register arrays. The
+//! data plane is subject to two hard constraints that shape the entire
+//! NetLock design (§4.2 of the paper):
+//!
+//! 1. **One access per pass.** While processing one packet (one pipeline
+//!    pass), an action can perform at most one read-modify-write on a
+//!    given register array. Needing a second access requires *resubmitting*
+//!    the packet for another pass.
+//! 2. **Stage ordering.** Arrays live in pipeline stages; a pass visits
+//!    stages in order, so an access to stage `j` cannot follow an access to
+//!    stage `k > j` within the same pass.
+//!
+//! [`RegisterArray::access`] enforces both at runtime: a NetLock data
+//! plane that violates them (and therefore could not compile to Tofino)
+//! panics in simulation. The switch control plane accesses registers over
+//! PCIe without these constraints ([`RegisterArray::cp_read`] /
+//! [`RegisterArray::cp_write`]).
+
+/// Identifier of one pipeline pass (one packet traversal).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PassId(pub u64);
+
+/// Tracks the constraint state of the current pipeline pass.
+#[derive(Debug)]
+pub struct Pass {
+    id: PassId,
+    /// Highest stage accessed so far in this pass.
+    stage_cursor: usize,
+    /// How many resubmits led to this pass (0 for the original packet).
+    resubmit_depth: u32,
+}
+
+impl Pass {
+    /// Begin a pass. `resubmit_depth` is 0 for a fresh packet.
+    pub fn new(id: PassId, resubmit_depth: u32) -> Pass {
+        Pass {
+            id,
+            stage_cursor: 0,
+            resubmit_depth,
+        }
+    }
+
+    /// The pass id.
+    pub fn id(&self) -> PassId {
+        self.id
+    }
+
+    /// Number of resubmits before this pass.
+    pub fn resubmit_depth(&self) -> u32 {
+        self.resubmit_depth
+    }
+}
+
+/// A fixed-size array of registers in one pipeline stage.
+///
+/// `T` stands in for the (possibly field-parallel) register cells of one
+/// logical array; a `T` wider than a machine word models multiple
+/// same-indexed physical arrays that are always accessed together, which
+/// is the *stricter* reading of the hardware constraint.
+#[derive(Debug)]
+pub struct RegisterArray<T> {
+    name: &'static str,
+    stage: usize,
+    data: Vec<T>,
+    last_access: Option<PassId>,
+}
+
+impl<T: Copy> RegisterArray<T> {
+    /// Allocate an array of `size` cells in `stage`, all set to `init`.
+    ///
+    /// Size is fixed afterwards — register memory is pre-allocated when
+    /// the data plane program is compiled and loaded (§4.2).
+    pub fn new(name: &'static str, stage: usize, size: usize, init: T) -> RegisterArray<T> {
+        RegisterArray {
+            name,
+            stage,
+            data: vec![init; size],
+            last_access: None,
+        }
+    }
+
+    /// The stage this array lives in.
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Data-plane read-modify-write of cell `idx` during `pass`.
+    ///
+    /// Returns whatever the closure returns (typically the pre-modify
+    /// value, which is what Tofino's stateful ALU can export).
+    ///
+    /// # Panics
+    /// - if this array was already accessed during `pass` (needs resubmit)
+    /// - if `pass` already accessed a later stage (cannot go backwards)
+    /// - if `idx` is out of bounds
+    pub fn access<R>(&mut self, pass: &mut Pass, idx: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        assert!(
+            self.last_access != Some(pass.id),
+            "register array '{}' accessed twice in pass {:?}: the P4 data \
+             plane would need a resubmit here",
+            self.name,
+            pass.id
+        );
+        assert!(
+            self.stage >= pass.stage_cursor,
+            "register array '{}' (stage {}) accessed after stage {} in the \
+             same pass: a pipeline pass cannot revisit earlier stages",
+            self.name,
+            self.stage,
+            pass.stage_cursor
+        );
+        self.last_access = Some(pass.id);
+        pass.stage_cursor = self.stage;
+        let cell = self
+            .data
+            .get_mut(idx)
+            .unwrap_or_else(|| panic!("register array index out of bounds: {idx}"));
+        f(cell)
+    }
+
+    /// Control-plane read (PCIe path; not pass-constrained).
+    pub fn cp_read(&self, idx: usize) -> T {
+        self.data[idx]
+    }
+
+    /// Control-plane write (PCIe path; not pass-constrained).
+    pub fn cp_write(&mut self, idx: usize, value: T) {
+        self.data[idx] = value;
+    }
+
+    /// Control-plane bulk reset (e.g. after a switch reboot, the register
+    /// file comes back zeroed/initialized).
+    pub fn cp_fill(&mut self, value: T) {
+        self.data.iter_mut().for_each(|c| *c = value);
+        self.last_access = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_returns_closure_value() {
+        let mut arr = RegisterArray::new("a", 0, 4, 0u64);
+        let mut pass = Pass::new(PassId(1), 0);
+        let old = arr.access(&mut pass, 2, |c| {
+            let old = *c;
+            *c += 5;
+            old
+        });
+        assert_eq!(old, 0);
+        assert_eq!(arr.cp_read(2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "accessed twice in pass")]
+    fn double_access_in_one_pass_panics() {
+        let mut arr = RegisterArray::new("a", 0, 4, 0u64);
+        let mut pass = Pass::new(PassId(1), 0);
+        arr.access(&mut pass, 0, |_| ());
+        arr.access(&mut pass, 1, |_| ());
+    }
+
+    #[test]
+    fn new_pass_resets_access_budget() {
+        let mut arr = RegisterArray::new("a", 0, 4, 0u64);
+        let mut p1 = Pass::new(PassId(1), 0);
+        arr.access(&mut p1, 0, |c| *c += 1);
+        let mut p2 = Pass::new(PassId(2), 1);
+        arr.access(&mut p2, 0, |c| *c += 1);
+        assert_eq!(arr.cp_read(0), 2);
+        assert_eq!(p2.resubmit_depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot revisit earlier stages")]
+    fn backwards_stage_access_panics() {
+        let mut early = RegisterArray::new("early", 1, 4, 0u64);
+        let mut late = RegisterArray::new("late", 3, 4, 0u64);
+        let mut pass = Pass::new(PassId(1), 0);
+        late.access(&mut pass, 0, |_| ());
+        early.access(&mut pass, 0, |_| ());
+    }
+
+    #[test]
+    fn same_stage_different_arrays_ok() {
+        let mut a = RegisterArray::new("a", 2, 4, 0u64);
+        let mut b = RegisterArray::new("b", 2, 4, 0u64);
+        let mut pass = Pass::new(PassId(1), 0);
+        a.access(&mut pass, 0, |_| ());
+        b.access(&mut pass, 0, |_| ());
+    }
+
+    #[test]
+    fn ascending_stage_access_ok() {
+        let mut a = RegisterArray::new("a", 0, 4, 0u64);
+        let mut b = RegisterArray::new("b", 5, 4, 0u64);
+        let mut pass = Pass::new(PassId(1), 0);
+        a.access(&mut pass, 0, |_| ());
+        b.access(&mut pass, 0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_panics() {
+        let mut arr = RegisterArray::new("a", 0, 4, 0u64);
+        let mut pass = Pass::new(PassId(1), 0);
+        arr.access(&mut pass, 4, |_| ());
+    }
+
+    #[test]
+    fn cp_access_is_unconstrained() {
+        let mut arr = RegisterArray::new("a", 0, 4, 7u64);
+        // Many CP ops with no pass at all.
+        for i in 0..4 {
+            assert_eq!(arr.cp_read(i), 7);
+            arr.cp_write(i, i as u64);
+        }
+        arr.cp_fill(9);
+        assert!((0..4).all(|i| arr.cp_read(i) == 9));
+        assert_eq!(arr.len(), 4);
+        assert!(!arr.is_empty());
+    }
+}

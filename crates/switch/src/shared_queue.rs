@@ -1,0 +1,708 @@
+//! The pooled shared queue (paper §4.2, Figure 5).
+//!
+//! Instead of statically binding one register array to one lock, NetLock
+//! pools the register arrays of multiple stages into a single large
+//! *shared queue* and gives each lock an adjustable, contiguous region
+//! `[left, right)` of it. Region boundaries live in registers, so the
+//! control plane can resize queues at runtime without recompiling the
+//! data plane — that is the paper's answer to memory fragmentation.
+//!
+//! Per-region registers (all in metadata stages that precede the slot
+//! arrays):
+//! - `bounds[qid] = (left, right)` — the region, in global slot indices
+//! - `count[qid]` — occupied slots (holders still occupy their slot!)
+//! - `max_count[qid]` — high-water mark, the contention measurement `c_i`
+//! - `req_count[qid]` — acquire arrivals, the rate measurement `r_i`
+//! - `head[qid]`, `tail[qid]` — circular offsets within the region
+//! - `excl[qid]` — number of exclusive entries queued (drives Algorithm
+//!   2's `queue.is_shared()` check in a single read-modify-write)
+//!
+//! Every data-plane operation below touches each register array at most
+//! once per pass, in ascending stage order, as the hardware requires;
+//! reading a queue entry after a dequeue needs a *resubmit* (a new pass),
+//! exactly like the P4 program.
+
+use netlock_proto::LockMode;
+
+use crate::register::{Pass, RegisterArray};
+use crate::slot::Slot;
+
+/// Stage of the bounds registers.
+pub const STAGE_BOUNDS: usize = 0;
+/// Stage of the count/rate registers.
+pub const STAGE_COUNTERS: usize = 1;
+/// Stage of the head/tail/excl pointer registers.
+pub const STAGE_POINTERS: usize = 2;
+/// First stage holding slot register arrays.
+pub const STAGE_SLOTS_BASE: usize = 3;
+
+/// Construction parameters for a [`SharedQueue`].
+#[derive(Clone, Debug)]
+pub struct SharedQueueLayout {
+    /// Size of each slot register array; array `i` is placed in stage
+    /// `STAGE_SLOTS_BASE + i` by default (`stage_offset` shifts all of
+    /// them, used by the priority engine to stack level queues).
+    pub slot_arrays: Vec<usize>,
+    /// Number of queue regions (locks) the metadata arrays can describe.
+    pub max_regions: usize,
+    /// Added to every array's stage (0 for the single-queue engine).
+    pub stage_offset: usize,
+}
+
+impl SharedQueueLayout {
+    /// The paper's default: 100K slots pooled from 10 arrays of 10K.
+    pub fn paper_default() -> SharedQueueLayout {
+        SharedQueueLayout {
+            slot_arrays: vec![10_000; 10],
+            max_regions: 10_000,
+            stage_offset: 0,
+        }
+    }
+
+    /// A small layout for tests: `arrays` arrays of `size` slots.
+    pub fn small(arrays: usize, size: usize, max_regions: usize) -> SharedQueueLayout {
+        SharedQueueLayout {
+            slot_arrays: vec![size; arrays],
+            max_regions,
+            stage_offset: 0,
+        }
+    }
+
+    /// Total pooled slots.
+    pub fn total_slots(&self) -> usize {
+        self.slot_arrays.iter().sum()
+    }
+}
+
+/// Outcome of an acquire enqueue pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnqueueOutcome {
+    /// Request enqueued and immediately granted (queue was empty, or all
+    /// entries are shared and the request is shared).
+    Granted,
+    /// Request enqueued behind incompatible entries; it waits.
+    Queued,
+    /// Region full — the request must overflow to the lock server.
+    Full,
+}
+
+/// Detailed result of [`SharedQueue::enqueue_deciding`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EnqueueDetail {
+    /// Region was full; nothing was written.
+    pub full: bool,
+    /// The caller's grant decision (false when full).
+    pub granted: bool,
+    /// Queue occupancy before this enqueue.
+    pub count_old: u32,
+    /// Exclusive entries in the queue before this enqueue (0 when full —
+    /// the excl register is not read on the overflow path).
+    pub excl_old: u32,
+}
+
+/// Outcome of a release dequeue pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DequeueOutcome {
+    /// Queue was empty; nothing released (stale/duplicate release).
+    Spurious,
+    /// Head removed.
+    Dequeued {
+        /// Entries remaining after the dequeue.
+        remaining: u32,
+        /// Offset (within the region) of the new head.
+        new_head: u32,
+    },
+}
+
+/// A control-plane view of one region's registers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RegionView {
+    /// Global index of the first slot.
+    pub left: u32,
+    /// Global index one past the last slot.
+    pub right: u32,
+    /// Occupied slots.
+    pub count: u32,
+    /// Circular head offset.
+    pub head: u32,
+    /// Circular tail offset.
+    pub tail: u32,
+    /// Exclusive entries in the queue.
+    pub excl: u32,
+}
+
+impl RegionView {
+    /// Region capacity in slots.
+    pub fn capacity(&self) -> u32 {
+        self.right - self.left
+    }
+}
+
+/// The pooled multi-array circular queue.
+pub struct SharedQueue {
+    bounds: RegisterArray<(u32, u32)>,
+    count: RegisterArray<u32>,
+    max_count: RegisterArray<u32>,
+    req_count: RegisterArray<u64>,
+    head: RegisterArray<u32>,
+    tail: RegisterArray<u32>,
+    excl: RegisterArray<u32>,
+    slots: Vec<RegisterArray<Slot>>,
+    /// `prefix[i]` = global index of the first slot of array `i`.
+    prefix: Vec<u32>,
+    total_slots: u32,
+}
+
+impl SharedQueue {
+    /// Build the queue from a layout. All regions start empty with zero
+    /// capacity; the control plane assigns `[left, right)` windows.
+    pub fn new(layout: &SharedQueueLayout) -> SharedQueue {
+        assert!(!layout.slot_arrays.is_empty(), "need at least one array");
+        assert!(layout.max_regions > 0, "need at least one region");
+        let off = layout.stage_offset;
+        let mut slots = Vec::with_capacity(layout.slot_arrays.len());
+        let mut prefix = Vec::with_capacity(layout.slot_arrays.len());
+        let mut acc = 0u32;
+        for (i, &size) in layout.slot_arrays.iter().enumerate() {
+            assert!(size > 0, "slot arrays must be non-empty");
+            prefix.push(acc);
+            slots.push(RegisterArray::new(
+                "slots",
+                STAGE_SLOTS_BASE + off + i,
+                size,
+                Slot::EMPTY,
+            ));
+            acc += size as u32;
+        }
+        SharedQueue {
+            bounds: RegisterArray::new("bounds", STAGE_BOUNDS + off, layout.max_regions, (0, 0)),
+            count: RegisterArray::new("count", STAGE_COUNTERS + off, layout.max_regions, 0),
+            max_count: RegisterArray::new(
+                "max_count",
+                STAGE_COUNTERS + off,
+                layout.max_regions,
+                0,
+            ),
+            req_count: RegisterArray::new(
+                "req_count",
+                STAGE_COUNTERS + off,
+                layout.max_regions,
+                0,
+            ),
+            head: RegisterArray::new("head", STAGE_POINTERS + off, layout.max_regions, 0),
+            tail: RegisterArray::new("tail", STAGE_POINTERS + off, layout.max_regions, 0),
+            excl: RegisterArray::new("excl", STAGE_POINTERS + off, layout.max_regions, 0),
+            slots,
+            prefix,
+            total_slots: acc,
+        }
+    }
+
+    /// Total pooled slots across all arrays.
+    pub fn total_slots(&self) -> u32 {
+        self.total_slots
+    }
+
+    /// Number of addressable regions.
+    pub fn max_regions(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Map a global slot index to `(array, offset)`.
+    fn locate(&self, global: u32) -> (usize, usize) {
+        debug_assert!(global < self.total_slots, "global index out of pool");
+        // partition_point: first array whose start is > global, minus one.
+        let i = self.prefix.partition_point(|&start| start <= global) - 1;
+        (i, (global - self.prefix[i]) as usize)
+    }
+
+    /// Data-plane pass: enqueue an acquire request into region `qid`.
+    ///
+    /// Performs Algorithm 2 lines 1–5 in one pipeline pass: conditional
+    /// enqueue + the grant check (`queue.is_empty()` via the count RMW,
+    /// `queue.is_shared()` via the excl RMW).
+    pub fn enqueue(&mut self, pass: &mut Pass, qid: usize, slot: Slot) -> EnqueueOutcome {
+        let mode = slot.mode;
+        let d = self.enqueue_deciding(pass, qid, slot, false, |count_old, excl_old| {
+            count_old == 0 || (excl_old == 0 && mode == LockMode::Shared)
+        });
+        if d.full {
+            EnqueueOutcome::Full
+        } else if d.granted {
+            EnqueueOutcome::Granted
+        } else {
+            EnqueueOutcome::Queued
+        }
+    }
+
+    /// Data-plane pass: enqueue with a caller-supplied grant decision.
+    ///
+    /// `decide(count_old, excl_old)` runs after the counter RMWs and
+    /// before the slot write — on hardware this is a predicate computed
+    /// in packet metadata mid-pipeline. When `mark` is set, the written
+    /// slot's `granted` bit records the decision (the priority engine
+    /// tracks holders explicitly; the FCFS engine does not need to).
+    pub fn enqueue_deciding(
+        &mut self,
+        pass: &mut Pass,
+        qid: usize,
+        mut slot: Slot,
+        mark: bool,
+        decide: impl FnOnce(u32, u32) -> bool,
+    ) -> EnqueueDetail {
+        let now_ns = slot.issued_at_ns; // arrival ≈ grant time for immediate grants
+        let (left, right) = self.bounds.access(pass, qid, |b| *b);
+        let cap = right - left;
+        // Rate counter r_i counts every acquire arrival, even overflowed.
+        self.req_count.access(pass, qid, |c| *c += 1);
+        // Conditional increment: only if there is space.
+        let count_old = self.count.access(pass, qid, |c| {
+            let old = *c;
+            if old < cap {
+                *c += 1;
+            }
+            old
+        });
+        if count_old >= cap {
+            return EnqueueDetail {
+                full: true,
+                granted: false,
+                count_old,
+                excl_old: 0,
+            };
+        }
+        let count_new = count_old + 1;
+        self.max_count.access(pass, qid, |m| *m = (*m).max(count_new));
+        let tail_old = self.tail.access(pass, qid, |t| {
+            let old = *t;
+            *t = if old + 1 == cap { 0 } else { old + 1 };
+            old
+        });
+        let excl_old = self.excl.access(pass, qid, |e| {
+            let old = *e;
+            if slot.mode == LockMode::Exclusive {
+                *e += 1;
+            }
+            old
+        });
+        let granted = decide(count_old, excl_old);
+        if mark {
+            slot.granted = granted;
+            if granted {
+                slot.granted_at_ns = now_ns;
+            }
+        }
+        let global = left + tail_old;
+        let (arr, off) = self.locate(global);
+        self.slots[arr].access(pass, off, |s| *s = slot);
+        EnqueueDetail {
+            full: false,
+            granted,
+            count_old,
+            excl_old,
+        }
+    }
+
+    /// Data-plane pass: dequeue the head of region `qid` on a release.
+    ///
+    /// This is Algorithm 2's `flag == 0` branch: it removes the head and
+    /// reports where the new head is; *reading* the new head requires a
+    /// resubmit ([`SharedQueue::read_at`] in a fresh pass).
+    ///
+    /// `released_mode` is the mode carried in the release packet; it is
+    /// also the mode of the dequeued holder (only one exclusive holder
+    /// can exist, and shared releases are commutative — §4.2), so the
+    /// excl counter can be maintained without reading the slot.
+    pub fn release_dequeue(
+        &mut self,
+        pass: &mut Pass,
+        qid: usize,
+        released_mode: LockMode,
+    ) -> DequeueOutcome {
+        let (left, right) = self.bounds.access(pass, qid, |b| *b);
+        let cap = right - left;
+        if cap == 0 {
+            return DequeueOutcome::Spurious;
+        }
+        let count_old = self.count.access(pass, qid, |c| {
+            let old = *c;
+            if old > 0 {
+                *c -= 1;
+            }
+            old
+        });
+        if count_old == 0 {
+            return DequeueOutcome::Spurious;
+        }
+        let head_old = self.head.access(pass, qid, |h| {
+            let old = *h;
+            *h = if old + 1 == cap { 0 } else { old + 1 };
+            old
+        });
+        self.excl.access(pass, qid, |e| {
+            if released_mode == LockMode::Exclusive && *e > 0 {
+                *e -= 1;
+            }
+        });
+        let new_head = if head_old + 1 == cap { 0 } else { head_old + 1 };
+        DequeueOutcome::Dequeued {
+            remaining: count_old - 1,
+            new_head,
+        }
+    }
+
+    /// Data-plane pass: read the slot at region offset `offset`
+    /// (Algorithm 2's `flag == 1/2` branches, each a resubmitted pass).
+    pub fn read_at(&mut self, pass: &mut Pass, qid: usize, offset: u32) -> Slot {
+        let (left, right) = self.bounds.access(pass, qid, |b| *b);
+        let cap = right - left;
+        debug_assert!(offset < cap, "offset beyond region capacity");
+        let global = left + offset;
+        let (arr, off) = self.locate(global);
+        self.slots[arr].access(pass, off, |s| *s)
+    }
+
+    /// Data-plane pass: read *and mark granted* the slot at `offset`
+    /// (used by the priority engine, which tracks holders explicitly).
+    /// `now_ns` stamps the grant time for lease expiry.
+    pub fn read_and_mark_granted(
+        &mut self,
+        pass: &mut Pass,
+        qid: usize,
+        offset: u32,
+        now_ns: u64,
+    ) -> Slot {
+        let (left, _right) = self.bounds.access(pass, qid, |b| *b);
+        let global = left + offset;
+        let (arr, off) = self.locate(global);
+        self.slots[arr].access(pass, off, |s| {
+            s.granted = true;
+            s.granted_at_ns = now_ns;
+            *s
+        })
+    }
+
+    /// The offset following `offset` within region `qid` (wraparound).
+    /// Pure pointer arithmetic — no register access.
+    pub fn next_offset(&self, qid: usize, offset: u32) -> u32 {
+        let (left, right) = self.bounds.cp_read(qid);
+        let cap = right - left;
+        if offset + 1 == cap {
+            0
+        } else {
+            offset + 1
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control-plane (PCIe) operations
+    // ------------------------------------------------------------------
+
+    /// Read all of a region's registers.
+    pub fn cp_region(&self, qid: usize) -> RegionView {
+        let (left, right) = self.bounds.cp_read(qid);
+        RegionView {
+            left,
+            right,
+            count: self.count.cp_read(qid),
+            head: self.head.cp_read(qid),
+            tail: self.tail.cp_read(qid),
+            excl: self.excl.cp_read(qid),
+        }
+    }
+
+    /// Assign region `qid` the window `[left, right)`, resetting its
+    /// pointers. The region must be empty (a lock is only moved or
+    /// resized after its queue drains — §4.3).
+    pub fn cp_set_region(&mut self, qid: usize, left: u32, right: u32) {
+        assert!(left <= right, "inverted region");
+        assert!(right <= self.total_slots, "region beyond pooled memory");
+        assert_eq!(
+            self.count.cp_read(qid),
+            0,
+            "cannot move or resize a non-empty queue region"
+        );
+        self.bounds.cp_write(qid, (left, right));
+        self.head.cp_write(qid, 0);
+        self.tail.cp_write(qid, 0);
+        self.excl.cp_write(qid, 0);
+    }
+
+    /// Snapshot the entries of region `qid` in queue order (head first).
+    pub fn cp_entries(&self, qid: usize) -> Vec<Slot> {
+        let v = self.cp_region(qid);
+        let cap = v.capacity();
+        let mut out = Vec::with_capacity(v.count as usize);
+        let mut off = v.head;
+        for _ in 0..v.count {
+            let (arr, idx) = self.locate(v.left + off);
+            out.push(self.slots[arr].cp_read(idx));
+            off = if off + 1 == cap { 0 } else { off + 1 };
+        }
+        out
+    }
+
+    /// Read and reset the `r_i` counter for `qid`.
+    pub fn cp_take_req_count(&mut self, qid: usize) -> u64 {
+        let v = self.req_count.cp_read(qid);
+        self.req_count.cp_write(qid, 0);
+        v
+    }
+
+    /// Read and reset the `c_i` high-water mark for `qid`.
+    pub fn cp_take_max_count(&mut self, qid: usize) -> u32 {
+        let v = self.max_count.cp_read(qid);
+        self.max_count.cp_write(qid, 0);
+        v
+    }
+
+    /// Overwrite the slot at region offset `offset` (lease sweeper uses
+    /// this to tombstone expired holders before force-releasing).
+    pub fn cp_write_slot(&mut self, qid: usize, offset: u32, slot: Slot) {
+        let v = self.cp_region(qid);
+        let (arr, idx) = self.locate(v.left + offset);
+        self.slots[arr].cp_write(idx, slot);
+    }
+
+    /// On-chip memory consumed by this queue, in bytes, using the
+    /// paper's accounting (20 B per slot — §5's "100K slots with 20B
+    /// slot size only consume 2 MB" — plus the per-region metadata
+    /// registers).
+    pub fn cp_memory_bytes(&self) -> usize {
+        const SLOT_BYTES: usize = 20;
+        // bounds (8) + count/max/req (4+4+8) + head/tail/excl (4+4+4).
+        const META_BYTES_PER_REGION: usize = 36;
+        self.total_slots as usize * SLOT_BYTES + self.max_regions() * META_BYTES_PER_REGION
+    }
+
+    /// Wipe every register — models a switch reboot that "retains none of
+    /// its former state or register values" (§6.5).
+    pub fn cp_reset_all(&mut self) {
+        self.bounds.cp_fill((0, 0));
+        self.count.cp_fill(0);
+        self.max_count.cp_fill(0);
+        self.req_count.cp_fill(0);
+        self.head.cp_fill(0);
+        self.tail.cp_fill(0);
+        self.excl.cp_fill(0);
+        for arr in &mut self.slots {
+            arr.cp_fill(Slot::EMPTY);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::PassId;
+    use netlock_proto::{ClientAddr, Priority, TenantId, TxnId};
+
+    fn slot(mode: LockMode, txn: u64) -> Slot {
+        Slot {
+            valid: true,
+            mode,
+            txn: TxnId(txn),
+            client: ClientAddr(txn as u32),
+            tenant: TenantId(0),
+            priority: Priority(0),
+            issued_at_ns: 0,
+            granted: false,
+            granted_at_ns: 0,
+        }
+    }
+
+    fn queue_with_region(cap: u32) -> SharedQueue {
+        let mut q = SharedQueue::new(&SharedQueueLayout::small(2, 8, 4));
+        q.cp_set_region(0, 0, cap);
+        q
+    }
+
+    struct PassGen(u64);
+    impl PassGen {
+        fn next(&mut self) -> Pass {
+            self.0 += 1;
+            Pass::new(PassId(self.0), 0)
+        }
+    }
+
+    #[test]
+    fn empty_enqueue_grants() {
+        let mut q = queue_with_region(4);
+        let mut pg = PassGen(0);
+        let out = q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, 1));
+        assert_eq!(out, EnqueueOutcome::Granted);
+        assert_eq!(q.cp_region(0).count, 1);
+        assert_eq!(q.cp_region(0).excl, 1);
+    }
+
+    #[test]
+    fn shared_run_grants_all() {
+        let mut q = queue_with_region(4);
+        let mut pg = PassGen(0);
+        for i in 0..3 {
+            let out = q.enqueue(&mut pg.next(), 0, slot(LockMode::Shared, i));
+            assert_eq!(out, EnqueueOutcome::Granted, "shared req {i}");
+        }
+        assert_eq!(q.cp_region(0).count, 3);
+        assert_eq!(q.cp_region(0).excl, 0);
+    }
+
+    #[test]
+    fn exclusive_behind_shared_queues() {
+        let mut q = queue_with_region(4);
+        let mut pg = PassGen(0);
+        assert_eq!(
+            q.enqueue(&mut pg.next(), 0, slot(LockMode::Shared, 1)),
+            EnqueueOutcome::Granted
+        );
+        assert_eq!(
+            q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, 2)),
+            EnqueueOutcome::Queued
+        );
+        // Shared after a queued exclusive must wait (FCFS, no starvation).
+        assert_eq!(
+            q.enqueue(&mut pg.next(), 0, slot(LockMode::Shared, 3)),
+            EnqueueOutcome::Queued
+        );
+    }
+
+    #[test]
+    fn full_region_overflows_without_corruption() {
+        let mut q = queue_with_region(2);
+        let mut pg = PassGen(0);
+        q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, 1));
+        q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, 2));
+        let before = q.cp_region(0);
+        assert_eq!(
+            q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, 3)),
+            EnqueueOutcome::Full
+        );
+        let after = q.cp_region(0);
+        assert_eq!(before, after, "overflow must not mutate the region");
+        // r_i still counts the overflowed arrival.
+        assert_eq!(q.cp_take_req_count(0), 3);
+    }
+
+    #[test]
+    fn release_dequeues_fifo_and_wraps() {
+        let mut q = queue_with_region(3);
+        let mut pg = PassGen(0);
+        for i in 0..3 {
+            q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, i));
+        }
+        // Release #0 → new head is entry #1.
+        let out = q.release_dequeue(&mut pg.next(), 0, LockMode::Exclusive);
+        let DequeueOutcome::Dequeued { remaining, new_head } = out else {
+            panic!("expected dequeue");
+        };
+        assert_eq!(remaining, 2);
+        let head = q.read_at(&mut pg.next(), 0, new_head);
+        assert_eq!(head.txn, TxnId(1));
+        // Enqueue another: tail wraps to offset 0.
+        assert_eq!(
+            q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, 3)),
+            EnqueueOutcome::Queued
+        );
+        let entries = q.cp_entries(0);
+        let txns: Vec<u64> = entries.iter().map(|s| s.txn.0).collect();
+        assert_eq!(txns, vec![1, 2, 3], "queue order preserved across wrap");
+    }
+
+    #[test]
+    fn spurious_release_on_empty() {
+        let mut q = queue_with_region(3);
+        let mut pg = PassGen(0);
+        assert_eq!(
+            q.release_dequeue(&mut pg.next(), 0, LockMode::Shared),
+            DequeueOutcome::Spurious
+        );
+        // Zero-capacity region is also spurious, not a panic.
+        let mut q2 = SharedQueue::new(&SharedQueueLayout::small(1, 4, 2));
+        assert_eq!(
+            q2.release_dequeue(&mut pg.next(), 1, LockMode::Shared),
+            DequeueOutcome::Spurious
+        );
+    }
+
+    #[test]
+    fn excl_counter_tracks_queue_content() {
+        let mut q = queue_with_region(4);
+        let mut pg = PassGen(0);
+        q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, 1));
+        q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, 2));
+        q.enqueue(&mut pg.next(), 0, slot(LockMode::Shared, 3));
+        assert_eq!(q.cp_region(0).excl, 2);
+        q.release_dequeue(&mut pg.next(), 0, LockMode::Exclusive);
+        assert_eq!(q.cp_region(0).excl, 1);
+        q.release_dequeue(&mut pg.next(), 0, LockMode::Exclusive);
+        assert_eq!(q.cp_region(0).excl, 0);
+        // Now only the shared entry remains; a shared enqueue grants.
+        assert_eq!(
+            q.enqueue(&mut pg.next(), 0, slot(LockMode::Shared, 4)),
+            EnqueueOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn regions_spanning_arrays() {
+        // 2 arrays of 8: a region [6, 12) crosses the array boundary.
+        let mut q = SharedQueue::new(&SharedQueueLayout::small(2, 8, 4));
+        q.cp_set_region(1, 6, 12);
+        let mut pg = PassGen(0);
+        for i in 0..6 {
+            q.enqueue(&mut pg.next(), 1, slot(LockMode::Exclusive, i));
+        }
+        let txns: Vec<u64> = q.cp_entries(1).iter().map(|s| s.txn.0).collect();
+        assert_eq!(txns, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            q.enqueue(&mut pg.next(), 1, slot(LockMode::Exclusive, 9)),
+            EnqueueOutcome::Full
+        );
+    }
+
+    #[test]
+    fn max_count_high_water_mark() {
+        let mut q = queue_with_region(4);
+        let mut pg = PassGen(0);
+        for i in 0..3 {
+            q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, i));
+        }
+        q.release_dequeue(&mut pg.next(), 0, LockMode::Exclusive);
+        assert_eq!(q.cp_take_max_count(0), 3);
+        // Taking resets the mark.
+        assert_eq!(q.cp_take_max_count(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty queue region")]
+    fn resize_of_nonempty_region_panics() {
+        let mut q = queue_with_region(4);
+        let mut pg = PassGen(0);
+        q.enqueue(&mut pg.next(), 0, slot(LockMode::Shared, 1));
+        q.cp_set_region(0, 0, 8);
+    }
+
+    #[test]
+    fn reset_all_clears_state() {
+        let mut q = queue_with_region(4);
+        let mut pg = PassGen(0);
+        q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, 1));
+        q.cp_reset_all();
+        let v = q.cp_region(0);
+        assert_eq!(v.count, 0);
+        assert_eq!(v.capacity(), 0);
+        assert_eq!(q.cp_take_req_count(0), 0);
+    }
+
+    #[test]
+    fn read_and_mark_granted_sets_bit() {
+        let mut q = queue_with_region(4);
+        let mut pg = PassGen(0);
+        q.enqueue(&mut pg.next(), 0, slot(LockMode::Exclusive, 1));
+        let v = q.cp_region(0);
+        let s = q.read_and_mark_granted(&mut pg.next(), 0, v.head, 42);
+        assert!(s.granted, "RMW returns the post-update slot");
+        let entries = q.cp_entries(0);
+        assert!(entries[0].granted);
+    }
+}

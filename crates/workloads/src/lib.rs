@@ -1,0 +1,21 @@
+//! # netlock-workloads
+//!
+//! Workload generators for the NetLock experiments:
+//! - [`zipf`] — skewed popularity sampling
+//! - [`tpcc`] — the TPC-C lock-request generator with the paper's
+//!   low-contention (10 warehouses/client) and high-contention
+//!   (1 warehouse/client) settings
+//!
+//! The microbenchmark workloads of Fig. 8/9 need no generator beyond
+//! `netlock_core`'s open-loop client: they are uniform draws over a lock
+//! set with a fixed mode.
+
+#![warn(missing_docs)]
+
+pub mod skewed;
+pub mod tpcc;
+pub mod zipf;
+
+pub use skewed::ZipfLockSource;
+pub use tpcc::{hot_lock_stats, TpccConfig, TpccSource, TpccTxnKind};
+pub use zipf::Zipf;

@@ -1,0 +1,122 @@
+//! Zipfian sampling for skewed lock popularity.
+//!
+//! Cloud lock workloads are skewed — a few hot rows take most of the
+//! traffic — which is exactly why NetLock's knapsack allocation wins
+//! over random placement (Fig. 13/14). This sampler uses the classic
+//! cumulative-probability table; construction is O(n), sampling is
+//! O(log n) via binary search, and everything is driven by the seeded
+//! simulation RNG.
+
+use netlock_sim::SimRng;
+
+/// A Zipf(θ) distribution over ranks `0..n` (rank 0 most popular).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Distribution over `n` items with exponent `theta` (0 = uniform;
+    /// 0.99 is the YCSB default for "heavily skewed").
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "need at least one item");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against FP drift so sample() can never fall off the end.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative: weights }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the distribution has exactly one item.
+    pub fn is_empty(&self) -> bool {
+        false // construction requires n > 0
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[k] - self.cumulative[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.mass(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_orders_masses() {
+        let z = Zipf::new(100, 0.99);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(10));
+        assert!(z.mass(10) > z.mass(99));
+        // Head heaviness: top-10 of 100 items takes the majority.
+        let head: f64 = (0..10).map(|k| z.mass(k)).sum();
+        assert!(head > 0.5, "head mass = {head}");
+    }
+
+    #[test]
+    fn samples_match_masses() {
+        let z = Zipf::new(10, 0.9);
+        let mut rng = SimRng::new(42);
+        let mut counts = vec![0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..10 {
+            let observed = counts[k] as f64 / n as f64;
+            let expected = z.mass(k);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {k}: observed {observed} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SimRng::new(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn single_item() {
+        let z = Zipf::new(1, 0.99);
+        let mut rng = SimRng::new(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! TPC-C demo: run the paper's transaction workload against NetLock
+//! and against a traditional server-only centralized lock manager, and
+//! print the side-by-side results for both contention settings.
+//!
+//! ```text
+//! cargo run --release --example tpcc_demo
+//! ```
+
+use netlock_core::prelude::*;
+use netlock_server::ServerConfig;
+use netlock_workloads::{hot_lock_stats, TpccConfig, TpccSource};
+
+const CLIENTS: usize = 6;
+const WORKERS: usize = 8;
+const LOCK_SERVERS: usize = 2;
+
+fn tpcc_cfg(high_contention: bool) -> TpccConfig {
+    if high_contention {
+        TpccConfig::high_contention(CLIENTS as u32)
+    } else {
+        TpccConfig::low_contention(CLIENTS as u32)
+    }
+}
+
+/// Build a rack; `switch_slots = 0` disables switch offload entirely
+/// (the server-only baseline).
+fn build(high_contention: bool, switch_slots: u32) -> Rack {
+    let mut rack = Rack::build(RackConfig {
+        seed: 21,
+        lock_servers: LOCK_SERVERS,
+        server: ServerConfig {
+            // TPC-C table management costs more than the microbenchmark
+            // fast path (see DESIGN.md / EXPERIMENTS.md calibration).
+            service: SimDuration::from_nanos(1_500),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let cfg = tpcc_cfg(high_contention);
+    let stats = hot_lock_stats(&cfg, (CLIENTS * WORKERS) as u32, LOCK_SERVERS);
+    rack.program(&knapsack_allocate_bounded(&stats, switch_slots, 10_000));
+    for _ in 0..CLIENTS {
+        rack.add_txn_client(
+            TxnClientConfig {
+                workers: WORKERS,
+                ..Default::default()
+            },
+            Box::new(TpccSource::new(cfg.clone())),
+        );
+    }
+    rack
+}
+
+fn run(high_contention: bool, switch_slots: u32) -> RunStats {
+    let mut rack = build(high_contention, switch_slots);
+    warmup_and_measure(
+        &mut rack,
+        SimDuration::from_millis(5),
+        SimDuration::from_millis(25),
+    )
+}
+
+fn main() {
+    println!("TPC-C on NetLock vs a server-only centralized lock manager");
+    println!("({CLIENTS} clients x {WORKERS} workers, {LOCK_SERVERS} lock servers)\n");
+    println!("setting      system       txn_ktps  lock_mrps  avg_lat_us  p99_lat_us  switch%");
+    for high in [false, true] {
+        let setting = if high { "high-cont " } else { "low-cont  " };
+        for (name, slots) in [("NetLock    ", 100_000u32), ("server-only", 0)] {
+            let stats = run(high, slots);
+            let lat = stats.txn_latency_summary();
+            println!(
+                "{setting}  {name}  {:>8.1}  {:>9.2}  {:>10.1}  {:>10.1}  {:>6.1}",
+                stats.tps() / 1e3,
+                stats.lock_rps() / 1e6,
+                lat.avg_us(),
+                lat.p99_us(),
+                stats.switch_share() * 100.0
+            );
+        }
+    }
+    println!("\nNetLock keeps the hot TPC-C rows (warehouses, districts, stock");
+    println!("buckets) in switch memory via the knapsack allocator; the");
+    println!("server-only deployment funnels everything through server CPUs.");
+}

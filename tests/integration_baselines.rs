@@ -1,0 +1,278 @@
+//! Cross-system integration tests: the baselines behave per their
+//! designs, and the comparative ordering the paper reports holds on a
+//! common workload.
+
+use netlock_baselines::{
+    build_drtm, build_dslr, build_netchain, build_server_only, measure_drtm, measure_dslr,
+    measure_netchain, DrtmClientConfig, DslrClientConfig, NcClientConfig, RdmaNicConfig,
+};
+use netlock_core::prelude::*;
+use netlock_core::txn::SingleLockSource;
+use netlock_proto::{LockId, LockMode};
+use netlock_workloads::{TpccConfig, TpccSource};
+
+fn micro_sources(n: usize, locks: u32, mode: LockMode) -> Vec<SingleLockSource> {
+    (0..n)
+        .map(|_| SingleLockSource {
+            locks: (0..locks).map(LockId).collect(),
+            mode,
+            think: SimDuration::from_micros(5),
+        })
+        .collect()
+}
+
+fn tpcc_sources(n: usize) -> Vec<TpccSource> {
+    let cfg = TpccConfig::low_contention(n as u32);
+    (0..n).map(|_| TpccSource::new(cfg.clone())).collect()
+}
+
+const WARM: SimDuration = SimDuration(3_000_000);
+const MEAS: SimDuration = SimDuration(15_000_000);
+
+#[test]
+fn dslr_respects_fcfs_and_nic_bound() {
+    let mut rack = build_dslr(
+        1,
+        2,
+        DslrClientConfig {
+            workers: 16,
+            ..Default::default()
+        },
+        RdmaNicConfig::default(),
+        micro_sources(4, 512, LockMode::Exclusive),
+    );
+    let stats = measure_dslr(&mut rack, WARM, MEAS);
+    assert!(stats.txns > 1_000, "txns = {}", stats.txns);
+    // 2 NICs at 2.5 Mops, ≥2 atomics per lock: hard ceiling.
+    assert!(
+        stats.lock_rps() < 2.6e6,
+        "DSLR cannot beat the atomics bound: {}",
+        stats.lock_rps()
+    );
+}
+
+#[test]
+fn drtm_throughput_collapses_under_contention_vs_dslr() {
+    // Single hot lock: DSLR queues fairly (bakery), DrTM burns retries.
+    let dslr = {
+        let mut rack = build_dslr(
+            2,
+            1,
+            DslrClientConfig {
+                workers: 16,
+                ..Default::default()
+            },
+            RdmaNicConfig::default(),
+            micro_sources(4, 1, LockMode::Exclusive),
+        );
+        measure_dslr(&mut rack, WARM, MEAS)
+    };
+    let drtm = {
+        let mut rack = build_drtm(
+            2,
+            1,
+            DrtmClientConfig {
+                workers: 16,
+                ..Default::default()
+            },
+            RdmaNicConfig::default(),
+            micro_sources(4, 1, LockMode::Exclusive),
+        );
+        measure_drtm(&mut rack, WARM, MEAS)
+    };
+    // Blind retry wastes verbs and is deeply unfair; the bakery's FCFS
+    // keeps the extreme tail bounded near the queue depth.
+    assert!(drtm.retries > 0, "contention must cause CAS conflicts");
+    let drtm_lat = drtm.txn_latency_summary();
+    let dslr_lat = dslr.txn_latency_summary();
+    let drtm_skew = drtm_lat.max_ns as f64 / drtm_lat.p50_ns.max(1) as f64;
+    let dslr_skew = dslr_lat.max_ns as f64 / dslr_lat.p50_ns.max(1) as f64;
+    assert!(
+        drtm_skew > 2.0 * dslr_skew,
+        "DrTM unfairness must dwarf DSLR's: DrTM skew {drtm_skew:.1} vs DSLR {dslr_skew:.1}"
+    );
+}
+
+#[test]
+fn netchain_penalizes_shared_workloads() {
+    // All-shared traffic on few locks: NetChain (exclusive-only)
+    // serializes what a real lock manager would run concurrently.
+    let netchain = {
+        let mut rack = build_netchain(
+            3,
+            100_000,
+            NcClientConfig {
+                workers: 16,
+                ..Default::default()
+            },
+            micro_sources(4, 4, LockMode::Shared),
+        );
+        measure_netchain(&mut rack, WARM, MEAS)
+    };
+    // NetLock grants all shared requests immediately.
+    let netlock = {
+        let mut rack = Rack::build(RackConfig {
+            seed: 3,
+            lock_servers: 1,
+            ..Default::default()
+        });
+        let stats: Vec<LockStats> = (0..4)
+            .map(|l| LockStats {
+                lock: LockId(l),
+                rate: 1.0,
+                contention: 128,
+                home_server: 0,
+            })
+            .collect();
+        rack.program(&knapsack_allocate(&stats, 1_000));
+        for src in micro_sources(4, 4, LockMode::Shared) {
+            rack.add_txn_client(
+                TxnClientConfig {
+                    workers: 16,
+                    ..Default::default()
+                },
+                Box::new(src),
+            );
+        }
+        warmup_and_measure(&mut rack, WARM, MEAS)
+    };
+    assert!(
+        netlock.tps() > 2.0 * netchain.tps(),
+        "shared-as-exclusive must cost NetChain: NetLock {} vs NetChain {}",
+        netlock.tps(),
+        netchain.tps()
+    );
+}
+
+#[test]
+fn tpcc_system_ordering_matches_paper() {
+    // 6 clients, 2 servers, low contention — the paper's ordering:
+    // NetLock > NetChain > DSLR > DrTM on transaction throughput.
+    let clients = 6;
+    let workers = 16;
+    let netlock = {
+        let spec = netlock_bench::TpccRackSpec {
+            clients,
+            lock_servers: 2,
+            workers_per_client: workers,
+            ..Default::default()
+        };
+        let mut rack = netlock_bench::build_netlock_tpcc(&spec);
+        warmup_and_measure(&mut rack, WARM, MEAS)
+    };
+    let dslr = {
+        let mut rack = build_dslr(
+            4,
+            2,
+            DslrClientConfig {
+                workers,
+                ..Default::default()
+            },
+            RdmaNicConfig::default(),
+            tpcc_sources(clients),
+        );
+        measure_dslr(&mut rack, WARM, MEAS)
+    };
+    let drtm = {
+        let mut rack = build_drtm(
+            4,
+            2,
+            DrtmClientConfig {
+                workers,
+                ..Default::default()
+            },
+            RdmaNicConfig::default(),
+            tpcc_sources(clients),
+        );
+        measure_drtm(&mut rack, WARM, MEAS)
+    };
+    assert!(
+        netlock.tps() > 2.0 * dslr.tps(),
+        "NetLock {} must clearly beat DSLR {}",
+        netlock.tps(),
+        dslr.tps()
+    );
+    // At this scale both are near client-bound in low contention; the
+    // decisive DrTM gap appears under contention (checked below) and in
+    // the tail. Here we only require strict dominance.
+    assert!(
+        netlock.tps() > 1.2 * drtm.tps(),
+        "NetLock {} must beat DrTM {}",
+        netlock.tps(),
+        drtm.tps()
+    );
+    // Tail latency: DrTM's blind retry gives the worst extreme tail.
+    let drtm_tail = drtm.txn_latency_summary().p999_ns;
+    let netlock_tail = netlock.txn_latency_summary().p999_ns;
+    assert!(
+        drtm_tail > netlock_tail,
+        "DrTM tail {drtm_tail} should exceed NetLock tail {netlock_tail}"
+    );
+}
+
+#[test]
+fn high_contention_crushes_drtm() {
+    // One warehouse per client: aborts and blind retries tank DrTM,
+    // while NetLock's switch queues keep the pipeline moving (the
+    // paper's 28–33× gaps live in this regime).
+    let clients = 6;
+    let workers = 16;
+    let cfg = TpccConfig::high_contention(clients as u32);
+    let netlock = {
+        let spec = netlock_bench::TpccRackSpec {
+            clients,
+            lock_servers: 2,
+            workers_per_client: workers,
+            high_contention: true,
+            ..Default::default()
+        };
+        let mut rack = netlock_bench::build_netlock_tpcc(&spec);
+        warmup_and_measure(&mut rack, WARM, MEAS)
+    };
+    let drtm = {
+        let sources: Vec<TpccSource> =
+            (0..clients).map(|_| TpccSource::new(cfg.clone())).collect();
+        let mut rack = build_drtm(
+            4,
+            2,
+            DrtmClientConfig {
+                workers,
+                ..Default::default()
+            },
+            RdmaNicConfig::default(),
+            sources,
+        );
+        measure_drtm(&mut rack, WARM, MEAS)
+    };
+    assert!(
+        netlock.tps() > 2.5 * drtm.tps(),
+        "high contention: NetLock {} vs DrTM {}",
+        netlock.tps(),
+        drtm.tps()
+    );
+    let aborts_visible = drtm.retries > 0;
+    assert!(aborts_visible, "DrTM must be aborting/retrying here");
+}
+
+#[test]
+fn server_only_is_cpu_bound() {
+    let locks: Vec<LockId> = (0..2_048).map(LockId).collect();
+    let mut rack = build_server_only(5, 1, 2, &locks);
+    for _ in 0..6 {
+        rack.add_micro_client(MicroClientConfig {
+            rate_rps: 18e6,
+            locks: locks.clone(),
+            mode: LockMode::Exclusive,
+            max_outstanding: 512,
+            ..Default::default()
+        });
+    }
+    let stats = warmup_and_measure(&mut rack, WARM, MEAS);
+    // 2 cores × 222 ns/message ≈ 9 M messages/s ≈ 4.5 M grant+release
+    // pairs: the offered 108 MRPS is irrelevant.
+    let rps = stats.lock_rps();
+    assert!(
+        (2.0e6..5.5e6).contains(&rps),
+        "server-only must sit at the CPU bound: {rps}"
+    );
+}

@@ -77,9 +77,17 @@ pub struct DrtmClientStats {
 #[derive(Clone, Copy, Debug)]
 enum Phase {
     /// CAS (exclusive) or READ (shared) in flight for lock `next`.
-    Attempting { next: usize, sent: SimTime, attempts: u32 },
+    Attempting {
+        next: usize,
+        sent: SimTime,
+        attempts: u32,
+    },
     /// Backing off before retrying lock `next`.
-    BackingOff { next: usize, sent: SimTime, attempts: u32 },
+    BackingOff {
+        next: usize,
+        sent: SimTime,
+        attempts: u32,
+    },
     /// Executing (think time) with all locks/reads in hand.
     Thinking,
     /// Re-reading the read set; `next` indexes the shared subset.
@@ -429,7 +437,11 @@ impl Node<RdmaMsg> for DrtmClient {
             return;
         }
         match self.workers[worker].phase {
-            Phase::BackingOff { next, sent, attempts } => {
+            Phase::BackingOff {
+                next,
+                sent,
+                attempts,
+            } => {
                 self.workers[worker].phase = Phase::Attempting {
                     next,
                     sent,
@@ -552,7 +564,12 @@ mod tests {
                 ..Default::default()
             },
             RdmaNicConfig::default(),
-            sources(1, (0..64).map(LockId).collect(), LockMode::Exclusive, SimDuration::ZERO),
+            sources(
+                1,
+                (0..64).map(LockId).collect(),
+                LockMode::Exclusive,
+                SimDuration::ZERO,
+            ),
         );
         let stats = measure_drtm(
             &mut rack,
@@ -578,7 +595,12 @@ mod tests {
                 ..Default::default()
             },
             RdmaNicConfig::default(),
-            sources(4, vec![LockId(0)], LockMode::Exclusive, SimDuration::from_micros(20)),
+            sources(
+                4,
+                vec![LockId(0)],
+                LockMode::Exclusive,
+                SimDuration::from_micros(20),
+            ),
         );
         let stats = measure_drtm(
             &mut rack,
@@ -605,8 +627,18 @@ mod tests {
     fn readers_are_aborted_by_writers() {
         // Readers and writers on one word: read validation must abort
         // some transactions.
-        let mut all = sources(2, vec![LockId(0)], LockMode::Shared, SimDuration::from_micros(30));
-        all.extend(sources(2, vec![LockId(0)], LockMode::Exclusive, SimDuration::from_micros(5)));
+        let mut all = sources(
+            2,
+            vec![LockId(0)],
+            LockMode::Shared,
+            SimDuration::from_micros(30),
+        );
+        all.extend(sources(
+            2,
+            vec![LockId(0)],
+            LockMode::Exclusive,
+            SimDuration::from_micros(5),
+        ));
         let mut rack = build_drtm(
             3,
             1,
@@ -668,9 +700,6 @@ mod tests {
             SimDuration::from_millis(50),
         );
         let tps = stats.tps();
-        assert!(
-            tps < 21_000.0,
-            "50 µs hold time caps at 20 KTPS, got {tps}"
-        );
+        assert!(tps < 21_000.0, "50 µs hold time caps at 20 KTPS, got {tps}");
     }
 }

@@ -95,7 +95,10 @@ pub struct DslrClientStats {
 #[derive(Debug)]
 enum Phase {
     /// FA issued, waiting for the reply.
-    TakingTicket { next: usize, sent: SimTime },
+    TakingTicket {
+        next: usize,
+        sent: SimTime,
+    },
     /// Ticket held but lock busy; polling.
     Waiting {
         next: usize,
@@ -205,7 +208,11 @@ impl DslrClient {
         };
         let token = self.token(worker);
         let dst = self.server_of(addr);
-        ctx.send_after(dst, RdmaMsg::FetchAdd { addr, add, token }, self.cfg.tx_delay);
+        ctx.send_after(
+            dst,
+            RdmaMsg::FetchAdd { addr, add, token },
+            self.cfg.tx_delay,
+        );
     }
 
     fn issue_poll(&mut self, worker: usize, ctx: &mut Context<'_, RdmaMsg>) {
@@ -321,7 +328,15 @@ impl DslrClient {
                     ctx.set_timer(self.cfg.poll_interval, token);
                 }
             }
-            (RdmaMsg::ReadReply { value, .. }, Phase::Waiting { ticket_x, ticket_s, next, .. }) => {
+            (
+                RdmaMsg::ReadReply { value, .. },
+                Phase::Waiting {
+                    ticket_x,
+                    ticket_s,
+                    next,
+                    ..
+                },
+            ) => {
                 let (tx, ts, next) = (*ticket_x, *ticket_s, *next);
                 let need = self.workers[worker].txn.locks[next];
                 if bakery_ready(value, need.mode, tx, ts) {
@@ -478,7 +493,12 @@ mod tests {
                 ..Default::default()
             },
             RdmaNicConfig::default(),
-            sources(2, (0..64).map(LockId).collect(), LockMode::Exclusive, SimDuration::ZERO),
+            sources(
+                2,
+                (0..64).map(LockId).collect(),
+                LockMode::Exclusive,
+                SimDuration::ZERO,
+            ),
         );
         let stats = measure_dslr(
             &mut rack,
@@ -559,7 +579,12 @@ mod tests {
                 ..Default::default()
             },
             nic,
-            sources(4, (0..1024).map(LockId).collect(), LockMode::Exclusive, SimDuration::ZERO),
+            sources(
+                4,
+                (0..1024).map(LockId).collect(),
+                LockMode::Exclusive,
+                SimDuration::ZERO,
+            ),
         );
         let stats = measure_dslr(
             &mut rack,

@@ -16,14 +16,14 @@
 
 #![warn(missing_docs)]
 
-pub mod dslr;
 pub mod drtm;
+pub mod dslr;
 pub mod netchain;
 pub mod rdma;
 pub mod server_only;
 
-pub use dslr::{build_dslr, measure_dslr, DslrClient, DslrClientConfig, DslrRack};
 pub use drtm::{build_drtm, measure_drtm, DrtmClient, DrtmClientConfig, DrtmRack};
+pub use dslr::{build_dslr, measure_dslr, DslrClient, DslrClientConfig, DslrRack};
 pub use netchain::{build_netchain, measure_netchain, NcClient, NcClientConfig, NcRack, NcSwitch};
 pub use rdma::{RdmaMsg, RdmaNicConfig, RdmaServer};
 pub use server_only::build_server_only;

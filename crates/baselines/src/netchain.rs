@@ -176,8 +176,16 @@ pub struct NcClientStats {
 
 #[derive(Debug)]
 enum Phase {
-    Attempting { next: usize, sent: SimTime, attempts: u32 },
-    BackingOff { next: usize, sent: SimTime, attempts: u32 },
+    Attempting {
+        next: usize,
+        sent: SimTime,
+        attempts: u32,
+    },
+    BackingOff {
+        next: usize,
+        sent: SimTime,
+        attempts: u32,
+    },
     Thinking,
 }
 
@@ -398,7 +406,11 @@ impl Node<NcMsg> for NcClient {
             return;
         }
         match self.workers[worker].phase {
-            Phase::BackingOff { next, sent, attempts } => {
+            Phase::BackingOff {
+                next,
+                sent,
+                attempts,
+            } => {
                 self.workers[worker].phase = Phase::Attempting {
                     next,
                     sent,
@@ -441,10 +453,7 @@ where
         Topology::new(LinkConfig::with_delay(SimDuration::from_nanos(1_200))),
         seed,
     );
-    let switch = sim.add_node(Box::new(NcSwitch::new(
-        slots,
-        SimDuration::from_nanos(500),
-    )));
+    let switch = sim.add_node(Box::new(NcSwitch::new(slots, SimDuration::from_nanos(500))));
     let mut clients = Vec::new();
     let mut seeder = SimRng::new(seed ^ 0x5EC7);
     for src in sources {
@@ -518,7 +527,12 @@ mod tests {
                 workers: 4,
                 ..Default::default()
             },
-            sources(2, (0..256).map(LockId).collect(), LockMode::Exclusive, SimDuration::ZERO),
+            sources(
+                2,
+                (0..256).map(LockId).collect(),
+                LockMode::Exclusive,
+                SimDuration::ZERO,
+            ),
         );
         let stats = measure_netchain(
             &mut rack,
@@ -546,10 +560,7 @@ mod tests {
             SimDuration::from_millis(2),
             SimDuration::from_millis(20),
         );
-        assert!(
-            stats.retries > 0,
-            "shared-as-exclusive must cause denials"
-        );
+        assert!(stats.retries > 0, "shared-as-exclusive must cause denials");
     }
 
     #[test]
@@ -562,7 +573,12 @@ mod tests {
                 workers: 8,
                 ..Default::default()
             },
-            sources(2, (0..1024).map(LockId).collect(), LockMode::Exclusive, SimDuration::ZERO),
+            sources(
+                2,
+                (0..1024).map(LockId).collect(),
+                LockMode::Exclusive,
+                SimDuration::ZERO,
+            ),
         );
         let stats = measure_netchain(
             &mut rack,

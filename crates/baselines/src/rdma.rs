@@ -184,7 +184,11 @@ impl Node<RdmaMsg> for RdmaServer {
                 if old == expect {
                     *word = new;
                 }
-                ctx.send_after(pkt.src, RdmaMsg::CompareSwapReply { addr, old, token }, delay);
+                ctx.send_after(
+                    pkt.src,
+                    RdmaMsg::CompareSwapReply { addr, old, token },
+                    delay,
+                );
             }
             RdmaMsg::Read { addr, token } => {
                 let delay = self.serve(now, self.cfg.rw_service);
@@ -233,15 +237,39 @@ mod tests {
     #[test]
     fn fetch_add_returns_old_and_accumulates() {
         let (mut sim, client, server) = setup();
-        sim.inject(client, server, RdmaMsg::FetchAdd { addr: 8, add: 5, token: 1 });
-        sim.inject(client, server, RdmaMsg::FetchAdd { addr: 8, add: 3, token: 2 });
+        sim.inject(
+            client,
+            server,
+            RdmaMsg::FetchAdd {
+                addr: 8,
+                add: 5,
+                token: 1,
+            },
+        );
+        sim.inject(
+            client,
+            server,
+            RdmaMsg::FetchAdd {
+                addr: 8,
+                add: 3,
+                token: 2,
+            },
+        );
         sim.run_until(SimTime(10_000_000));
         sim.read_node::<Collector, _>(client, |c| {
             assert_eq!(
                 c.0,
                 vec![
-                    RdmaMsg::FetchAddReply { addr: 8, old: 0, token: 1 },
-                    RdmaMsg::FetchAddReply { addr: 8, old: 5, token: 2 },
+                    RdmaMsg::FetchAddReply {
+                        addr: 8,
+                        old: 0,
+                        token: 1
+                    },
+                    RdmaMsg::FetchAddReply {
+                        addr: 8,
+                        old: 5,
+                        token: 2
+                    },
                 ]
             );
         });
@@ -251,12 +279,44 @@ mod tests {
     #[test]
     fn cas_success_and_failure() {
         let (mut sim, client, server) = setup();
-        sim.inject(client, server, RdmaMsg::CompareSwap { addr: 1, expect: 0, new: 42, token: 1 });
-        sim.inject(client, server, RdmaMsg::CompareSwap { addr: 1, expect: 0, new: 99, token: 2 });
+        sim.inject(
+            client,
+            server,
+            RdmaMsg::CompareSwap {
+                addr: 1,
+                expect: 0,
+                new: 42,
+                token: 1,
+            },
+        );
+        sim.inject(
+            client,
+            server,
+            RdmaMsg::CompareSwap {
+                addr: 1,
+                expect: 0,
+                new: 99,
+                token: 2,
+            },
+        );
         sim.run_until(SimTime(10_000_000));
         sim.read_node::<Collector, _>(client, |c| {
-            assert_eq!(c.0[0], RdmaMsg::CompareSwapReply { addr: 1, old: 0, token: 1 });
-            assert_eq!(c.0[1], RdmaMsg::CompareSwapReply { addr: 1, old: 42, token: 2 });
+            assert_eq!(
+                c.0[0],
+                RdmaMsg::CompareSwapReply {
+                    addr: 1,
+                    old: 0,
+                    token: 1
+                }
+            );
+            assert_eq!(
+                c.0[1],
+                RdmaMsg::CompareSwapReply {
+                    addr: 1,
+                    old: 42,
+                    token: 2
+                }
+            );
         });
         sim.read_node::<RdmaServer, _>(server, |s| assert_eq!(s.peek(1), 42));
     }
@@ -264,7 +324,15 @@ mod tests {
     #[test]
     fn read_write_roundtrip() {
         let (mut sim, client, server) = setup();
-        sim.inject(client, server, RdmaMsg::Write { addr: 7, value: 11, token: 1 });
+        sim.inject(
+            client,
+            server,
+            RdmaMsg::Write {
+                addr: 7,
+                value: 11,
+                token: 1,
+            },
+        );
         sim.inject(client, server, RdmaMsg::Read { addr: 7, token: 2 });
         sim.run_until(SimTime(10_000_000));
         sim.read_node::<Collector, _>(client, |c| {
@@ -277,7 +345,15 @@ mod tests {
         let (mut sim, client, server) = setup();
         // 100 atomics arriving together take 100 × 400 ns of NIC time.
         for i in 0..100 {
-            sim.inject(client, server, RdmaMsg::FetchAdd { addr: 1, add: 1, token: i });
+            sim.inject(
+                client,
+                server,
+                RdmaMsg::FetchAdd {
+                    addr: 1,
+                    add: 1,
+                    token: i,
+                },
+            );
         }
         sim.run_until(SimTime(10_000_000));
         let busy = sim.read_node::<RdmaServer, _>(server, |s| s.stats().busy_ns);

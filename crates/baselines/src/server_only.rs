@@ -13,12 +13,7 @@ use netlock_server::ServerConfig;
 
 /// Build a server-only rack: all of `locks` are server-resident,
 /// spread round-robin over `lock_servers` servers with `cores` each.
-pub fn build_server_only(
-    seed: u64,
-    lock_servers: usize,
-    cores: usize,
-    locks: &[LockId],
-) -> Rack {
+pub fn build_server_only(seed: u64, lock_servers: usize, cores: usize, locks: &[LockId]) -> Rack {
     let mut rack = Rack::build(RackConfig {
         seed,
         lock_servers,

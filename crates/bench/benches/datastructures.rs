@@ -107,5 +107,10 @@ fn bench_lock_table(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_shared_queue, bench_histogram, bench_lock_table);
+criterion_group!(
+    benches,
+    bench_shared_queue,
+    bench_histogram,
+    bench_lock_table
+);
 criterion_main!(benches);

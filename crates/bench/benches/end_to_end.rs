@@ -39,9 +39,7 @@ fn bench_tpcc(c: &mut Criterion) {
         b.iter(|| black_box(fig13::run_policy(false, tiny()).stats.txns));
     });
     g.bench_function("fig14_memory_point", |b| {
-        b.iter(|| {
-            black_box(fig14::run_think_sweep(SimDuration::ZERO, &[1_000], tiny()).len())
-        });
+        b.iter(|| black_box(fig14::run_think_sweep(SimDuration::ZERO, &[1_000], tiny()).len()));
     });
     g.bench_function("fig15_failure_timeline", |b| {
         b.iter(|| {

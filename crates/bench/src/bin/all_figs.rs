@@ -31,5 +31,8 @@ fn main() {
     netlock_bench::fig14::run_and_print(fig14);
     println!();
     netlock_bench::fig15::run_and_print();
-    eprintln!("# all figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "# all figures regenerated in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

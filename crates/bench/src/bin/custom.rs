@@ -89,7 +89,11 @@ fn main() {
         spec.lock_servers,
         spec.switch_slots,
         if spec.high_contention { "high" } else { "low" },
-        if spec.random_alloc { "random" } else { "knapsack" },
+        if spec.random_alloc {
+            "random"
+        } else {
+            "knapsack"
+        },
     );
     let mut rack = build_netlock_tpcc(&spec);
     let stats = warmup_and_measure(&mut rack, warmup, measure);

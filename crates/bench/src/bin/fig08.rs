@@ -7,6 +7,9 @@ fn main() {
         warmup: SimDuration::from_millis(1),
         measure: SimDuration::from_millis(5),
     };
-    println!("# scaling: {} warmup, {} measure per point (simulated time)", scale.warmup, scale.measure);
+    println!(
+        "# scaling: {} warmup, {} measure per point (simulated time)",
+        scale.warmup, scale.measure
+    );
     netlock_bench::fig08::run_and_print(scale);
 }

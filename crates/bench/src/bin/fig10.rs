@@ -3,6 +3,9 @@ use netlock_bench::TimeScale;
 
 fn main() {
     let scale = TimeScale::full();
-    println!("# scaling: {} warmup, {} measure (simulated time)", scale.warmup, scale.measure);
+    println!(
+        "# scaling: {} warmup, {} measure (simulated time)",
+        scale.warmup, scale.measure
+    );
     netlock_bench::fig10::run_and_print(10, 2, scale);
 }

@@ -161,9 +161,6 @@ mod tests {
             netlock > 3.0 * dslr,
             "NetLock {netlock} should beat DSLR {dslr} by a wide margin"
         );
-        assert!(
-            netlock > drtm,
-            "NetLock {netlock} should beat DrTM {drtm}"
-        );
+        assert!(netlock > drtm, "NetLock {netlock} should beat DrTM {drtm}");
     }
 }

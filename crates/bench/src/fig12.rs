@@ -243,7 +243,10 @@ pub fn run_and_print() {
         measure: SimDuration::from_millis(200),
     };
     let r = run_isolation(false, scale);
-    println!("without_isolation\t{:.0}\t{:.0}", r.tenant1_tps, r.tenant2_tps);
+    println!(
+        "without_isolation\t{:.0}\t{:.0}",
+        r.tenant1_tps, r.tenant2_tps
+    );
     let r = run_isolation(true, scale);
     println!("with_isolation\t{:.0}\t{:.0}", r.tenant1_tps, r.tenant2_tps);
 }

@@ -59,7 +59,8 @@ pub fn run_failure(
             failed = true;
         }
         if !revived && revive_at >= t && revive_at < next {
-            rack.sim.run_until(netlock_sim::SimTime(revive_at.as_nanos()));
+            rack.sim
+                .run_until(netlock_sim::SimTime(revive_at.as_nanos()));
             rack.sim.revive_node(switch);
             // "The switch retains none of its former state or register
             // values": wipe and reprogram, as the control plane would.
@@ -73,7 +74,10 @@ pub fn run_failure(
         }
         rack.sim.run_until(netlock_sim::SimTime(next.as_nanos()));
         let now_total: u64 = txns_by_client(&rack).iter().sum();
-        series.push(rack.sim.now(), (now_total - last) as f64 / interval.as_secs_f64());
+        series.push(
+            rack.sim.now(),
+            (now_total - last) as f64 / interval.as_secs_f64(),
+        );
         last = now_total;
         t = next;
     }

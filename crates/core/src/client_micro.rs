@@ -264,9 +264,8 @@ mod tests {
     fn shared_requests_all_granted() {
         let (mut sim, _switch, client) = build(LockMode::Shared, vec![LockId(0)], 100_000.0);
         sim.run_until(SimTime(SimDuration::from_millis(10).as_nanos()));
-        let (issued, grants) = sim.read_node::<MicroClient, _>(client, |c| {
-            (c.stats().issued, c.stats().grants)
-        });
+        let (issued, grants) =
+            sim.read_node::<MicroClient, _>(client, |c| (c.stats().issued, c.stats().grants));
         assert!(issued >= 900, "expected ~1000 issued, got {issued}");
         // All but the in-flight tail granted.
         assert!(grants + 10 >= issued, "issued={issued} grants={grants}");
@@ -290,7 +289,11 @@ mod tests {
         let (mut sim, _switch, client) = build(LockMode::Exclusive, vec![LockId(0)], 1_000_000.0);
         sim.run_until(SimTime(SimDuration::from_millis(10).as_nanos()));
         let stats = sim.read_node::<MicroClient, _>(client, |c| {
-            (c.stats().issued, c.stats().grants, c.stats().latency_summary())
+            (
+                c.stats().issued,
+                c.stats().grants,
+                c.stats().latency_summary(),
+            )
         });
         let (issued, grants, lat) = stats;
         assert!(grants > 100);

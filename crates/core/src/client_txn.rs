@@ -471,7 +471,7 @@ mod tests {
 
     #[test]
     fn multi_lock_txn_acquires_in_order() {
-        let locks = vec![LockId(3), LockId(1), LockId(2)];
+        let locks = [LockId(3), LockId(1), LockId(2)];
         let (mut sim, _sw, client) = {
             let mut sim = Simulator::new(
                 Topology::new(LinkConfig::with_delay(SimDuration::from_nanos(1_200))),
@@ -537,12 +537,8 @@ mod tests {
 
     #[test]
     fn retry_recovers_from_total_loss() {
-        let (mut sim, switch, client) = build(
-            2,
-            vec![LockId(0)],
-            LockMode::Exclusive,
-            SimDuration::ZERO,
-        );
+        let (mut sim, switch, client) =
+            build(2, vec![LockId(0)], LockMode::Exclusive, SimDuration::ZERO);
         // Run a little, then kill the switch: grants stop.
         sim.run_until(SimTime(SimDuration::from_millis(2).as_nanos()));
         sim.fail_node(switch);

@@ -138,7 +138,9 @@ pub fn txns_by_client(rack: &Rack) -> Vec<u64> {
     rack.clients
         .iter()
         .map(|&(id, kind)| match kind {
-            ClientKind::Micro => rack.sim.read_node::<MicroClient, _>(id, |c| c.stats().grants),
+            ClientKind::Micro => rack
+                .sim
+                .read_node::<MicroClient, _>(id, |c| c.stats().grants),
             ClientKind::Txn => rack.sim.read_node::<TxnClient, _>(id, |c| c.stats().txns),
         })
         .collect()
@@ -213,10 +215,7 @@ mod tests {
             stats.grants
         );
         let rps = stats.lock_rps();
-        assert!(
-            (300_000.0..500_000.0).contains(&rps),
-            "rps = {rps}"
-        );
+        assert!((300_000.0..500_000.0).contains(&rps), "rps = {rps}");
         assert!(stats.lock_latency_summary().count > 0);
         assert_eq!(stats.switch_share(), 1.0);
     }

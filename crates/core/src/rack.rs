@@ -7,8 +7,8 @@
 //! and servers route grant notifications back.
 
 use netlock_proto::{LockId, NetLockMsg};
-use netlock_sim::{LinkConfig, NodeId, SimRng, Simulator, Topology};
 use netlock_server::{ServerConfig, ServerNode};
+use netlock_sim::{LinkConfig, NodeId, SimRng, Simulator, Topology};
 use netlock_switch::control::{apply_allocation, Allocation};
 use netlock_switch::priority::PriorityLayout;
 use netlock_switch::shared_queue::SharedQueueLayout;
@@ -89,8 +89,7 @@ pub struct Rack {
 impl Rack {
     /// Build the rack (without clients; add them afterwards).
     pub fn build(cfg: RackConfig) -> Rack {
-        let mut sim: Simulator<NetLockMsg> =
-            Simulator::new(Topology::new(cfg.link), cfg.seed);
+        let mut sim: Simulator<NetLockMsg> = Simulator::new(Topology::new(cfg.link), cfg.seed);
         // Lock servers first; they need the switch id, which will be the
         // next node after them.
         let predicted_switch = NodeId(cfg.lock_servers as u32);
@@ -220,9 +219,9 @@ mod tests {
         // Capacity 8: lock 1 fits fully; lock 2 goes to server 1.
         let alloc = knapsack_allocate(&stats, 8);
         rack.program(&alloc);
-        let resident = rack
-            .sim
-            .read_node::<SwitchNode, _>(rack.switch, |s| s.dataplane().directory().switch_resident());
+        let resident = rack.sim.read_node::<SwitchNode, _>(rack.switch, |s| {
+            s.dataplane().directory().switch_resident()
+        });
         assert_eq!(resident.len(), 1);
         assert_eq!(resident[0].0, LockId(1));
     }

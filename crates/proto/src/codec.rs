@@ -13,7 +13,9 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::header::{DecodeError, LockHeader, LockOp, FLAG_BUFFER_ONLY, FLAG_FROM_SWITCH, HEADER_LEN};
+use crate::header::{
+    DecodeError, LockHeader, LockOp, FLAG_BUFFER_ONLY, FLAG_FROM_SWITCH, HEADER_LEN,
+};
 use crate::ids::LockId;
 use crate::messages::{GrantMsg, Grantor, LockRequest, NetLockMsg, ReleaseRequest};
 
@@ -146,7 +148,11 @@ pub fn encode_msg(msg: &NetLockMsg) -> Bytes {
         }
         NetLockMsg::Forwarded { req, buffer_only } => {
             buf.put_u8(Tag::Forwarded as u8);
-            put_request(&mut buf, req, if *buffer_only { FLAG_BUFFER_ONLY } else { 0 });
+            put_request(
+                &mut buf,
+                req,
+                if *buffer_only { FLAG_BUFFER_ONLY } else { 0 },
+            );
         }
         NetLockMsg::QueueSpace { lock, space } => {
             buf.put_u8(Tag::QueueSpace as u8);
@@ -281,7 +287,7 @@ mod tests {
     fn req(n: u64) -> LockRequest {
         LockRequest {
             lock: LockId(n as u32),
-            mode: if n % 2 == 0 {
+            mode: if n.is_multiple_of(2) {
                 LockMode::Shared
             } else {
                 LockMode::Exclusive

@@ -18,10 +18,10 @@ mod header;
 mod ids;
 mod messages;
 
+pub use codec::{decode_msg, encode_msg};
 pub use header::{
     DecodeError, LockHeader, LockOp, FLAG_BUFFER_ONLY, FLAG_FROM_SWITCH, HEADER_LEN, MAGIC,
     NETLOCK_UDP_PORT, VERSION,
 };
 pub use ids::{ClientAddr, LockId, LockMode, Priority, TenantId, TxnId};
-pub use codec::{decode_msg, encode_msg};
 pub use messages::{GrantMsg, Grantor, LockRequest, NetLockMsg, ReleaseRequest};

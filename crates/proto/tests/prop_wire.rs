@@ -100,21 +100,28 @@ mod msg_codec {
             any::<u8>(),
             any::<u64>(),
         )
-            .prop_map(|(lock, shared, txn, client, tenant, prio, ts)| LockRequest {
-                lock: LockId(lock),
-                mode: if shared { LockMode::Shared } else { LockMode::Exclusive },
-                txn: TxnId(txn),
-                client: ClientAddr(client),
-                tenant: TenantId(tenant),
-                priority: Priority(prio),
-                issued_at_ns: ts,
-            })
+            .prop_map(
+                |(lock, shared, txn, client, tenant, prio, ts)| LockRequest {
+                    lock: LockId(lock),
+                    mode: if shared {
+                        LockMode::Shared
+                    } else {
+                        LockMode::Exclusive
+                    },
+                    txn: TxnId(txn),
+                    client: ClientAddr(client),
+                    tenant: TenantId(tenant),
+                    priority: Priority(prio),
+                    issued_at_ns: ts,
+                },
+            )
     }
 
     fn arb_msg() -> impl Strategy<Value = NetLockMsg> {
         prop_oneof![
             arb_request().prop_map(NetLockMsg::Acquire),
-            (arb_request(), any::<bool>()).prop_map(|(req, buffer_only)| NetLockMsg::Forwarded { req, buffer_only }),
+            (arb_request(), any::<bool>())
+                .prop_map(|(req, buffer_only)| NetLockMsg::Forwarded { req, buffer_only }),
             arb_request().prop_map(|r| NetLockMsg::Release(ReleaseRequest {
                 lock: r.lock,
                 txn: r.txn,
@@ -135,10 +142,18 @@ mod msg_codec {
                 lock: LockId(lock),
                 space,
             }),
-            (any::<u32>(), prop::collection::vec(arb_request(), 0..20))
-                .prop_map(|(lock, reqs)| NetLockMsg::Push { lock: LockId(lock), reqs }),
-            (any::<u32>(), prop::collection::vec(arb_request(), 0..20))
-                .prop_map(|(lock, reqs)| NetLockMsg::CtrlPromoteReady { lock: LockId(lock), reqs }),
+            (any::<u32>(), prop::collection::vec(arb_request(), 0..20)).prop_map(|(lock, reqs)| {
+                NetLockMsg::Push {
+                    lock: LockId(lock),
+                    reqs,
+                }
+            }),
+            (any::<u32>(), prop::collection::vec(arb_request(), 0..20)).prop_map(|(lock, reqs)| {
+                NetLockMsg::CtrlPromoteReady {
+                    lock: LockId(lock),
+                    reqs,
+                }
+            }),
             any::<u32>().prop_map(|lock| NetLockMsg::CtrlDemote { lock: LockId(lock) }),
             any::<u32>().prop_map(|lock| NetLockMsg::CtrlPromote { lock: LockId(lock) }),
         ]

@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn rss_spreads_locks() {
         let m = CoreModel::new(8, 100);
-        let mut hits = vec![0u32; 8];
+        let mut hits = [0u32; 8];
         for i in 0..8_000 {
             hits[m.core_of(LockId(i))] += 1;
         }

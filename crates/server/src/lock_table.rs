@@ -61,10 +61,7 @@ impl LockState {
             return false;
         }
         match mode {
-            LockMode::Shared => self
-                .holders
-                .iter()
-                .all(|h| h.mode == LockMode::Shared),
+            LockMode::Shared => self.holders.iter().all(|h| h.mode == LockMode::Shared),
             LockMode::Exclusive => self.holders.is_empty(),
         }
     }
@@ -227,8 +224,14 @@ mod tests {
     #[test]
     fn exclusive_serializes() {
         let mut t = LockTable::new();
-        assert_eq!(t.acquire(req(1, LockMode::Exclusive, 1)), TableAcquire::Granted);
-        assert_eq!(t.acquire(req(1, LockMode::Exclusive, 2)), TableAcquire::Queued);
+        assert_eq!(
+            t.acquire(req(1, LockMode::Exclusive, 1)),
+            TableAcquire::Granted
+        );
+        assert_eq!(
+            t.acquire(req(1, LockMode::Exclusive, 2)),
+            TableAcquire::Queued
+        );
         let g = t.release(LockId(1), TxnId(1));
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].txn, TxnId(2));
@@ -237,8 +240,14 @@ mod tests {
     #[test]
     fn shared_coexist() {
         let mut t = LockTable::new();
-        assert_eq!(t.acquire(req(1, LockMode::Shared, 1)), TableAcquire::Granted);
-        assert_eq!(t.acquire(req(1, LockMode::Shared, 2)), TableAcquire::Granted);
+        assert_eq!(
+            t.acquire(req(1, LockMode::Shared, 1)),
+            TableAcquire::Granted
+        );
+        assert_eq!(
+            t.acquire(req(1, LockMode::Shared, 2)),
+            TableAcquire::Granted
+        );
         assert_eq!(t.get(LockId(1)).unwrap().holders().len(), 2);
     }
 

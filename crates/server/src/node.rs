@@ -166,7 +166,12 @@ impl ServerNode {
         SimDuration::from_nanos(done - now_ns)
     }
 
-    fn send_grant(&mut self, req: &LockRequest, delay: SimDuration, ctx: &mut Context<'_, NetLockMsg>) {
+    fn send_grant(
+        &mut self,
+        req: &LockRequest,
+        delay: SimDuration,
+        ctx: &mut Context<'_, NetLockMsg>,
+    ) {
         self.stats.grants += 1;
         let grant = GrantMsg {
             lock: req.lock,

@@ -41,6 +41,9 @@ impl<M> Ord for Scheduled<M> {
     }
 }
 
+/// A dispatch closure applying one dequeued event to its target node.
+type Dispatch<M> = Box<dyn FnOnce(&mut dyn Node<M>, &mut Context<'_, M>)>;
+
 /// Run statistics maintained by the simulator itself.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SimStats {
@@ -241,16 +244,15 @@ impl<M: 'static> Simulator<M> {
         };
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
-        let (node_id, run): (NodeId, Box<dyn FnOnce(&mut dyn Node<M>, &mut Context<'_, M>)>) =
-            match ev.kind {
-                EventKind::Deliver(pkt) => {
-                    let dst = pkt.dst;
-                    (dst, Box::new(move |n, ctx| n.on_packet(pkt, ctx)))
-                }
-                EventKind::Timer { node, token } => {
-                    (node, Box::new(move |n, ctx| n.on_timer(token, ctx)))
-                }
-            };
+        let (node_id, run): (NodeId, Dispatch<M>) = match ev.kind {
+            EventKind::Deliver(pkt) => {
+                let dst = pkt.dst;
+                (dst, Box::new(move |n, ctx| n.on_packet(pkt, ctx)))
+            }
+            EventKind::Timer { node, token } => {
+                (node, Box::new(move |n, ctx| n.on_timer(token, ctx)))
+            }
+        };
         if node_id.index() >= self.nodes.len() || !self.alive[node_id.index()] {
             self.stats.packets_to_dead_node += 1;
             return true;
@@ -377,11 +379,7 @@ mod tests {
         s.read_node::<TimerNode, _>(t, |n| {
             assert_eq!(
                 n.fired,
-                vec![
-                    (SimTime(5), 1),
-                    (SimTime(15), 2),
-                    (SimTime(25), 3),
-                ]
+                vec![(SimTime(5), 1), (SimTime(15), 2), (SimTime(25), 3),]
             );
         });
     }

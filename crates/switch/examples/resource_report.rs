@@ -1,0 +1,56 @@
+//! Print the static resource report for the paper-default switch
+//! program, with observed pass statistics from an exhaustive
+//! exploration of the data plane (see `switch::analysis`).
+//!
+//! ```bash
+//! cargo run --release -p netlock-switch --example resource_report
+//! ```
+
+use netlock_switch::analysis::explorer::{explore, EngineKind};
+use netlock_switch::analysis::layout::TofinoBudget;
+use netlock_switch::dataplane::DataPlane;
+use netlock_switch::priority::PriorityLayout;
+use netlock_switch::shared_queue::SharedQueueLayout;
+
+fn main() {
+    let budget = TofinoBudget::tofino();
+
+    println!("== FCFS engine, paper-default layout ==");
+    let summary = match explore(EngineKind::Fcfs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("discipline violation: {e}");
+            std::process::exit(1);
+        }
+    };
+    let dp = DataPlane::new_fcfs(&SharedQueueLayout::paper_default());
+    print!("{}", dp.layout().report(Some(&summary.stats)));
+    match dp.layout().check(&budget) {
+        Ok(()) => println!("feasible on a Tofino-class budget"),
+        Err(e) => println!("INFEASIBLE: {e}"),
+    }
+    println!(
+        "explored {} states x {} probes",
+        summary.states, summary.probes
+    );
+
+    println!();
+    println!("== priority engine (3 levels) ==");
+    let summary = match explore(EngineKind::Priority) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("discipline violation: {e}");
+            std::process::exit(1);
+        }
+    };
+    let dp = DataPlane::new_priority(&PriorityLayout::new(3, 3, 2));
+    print!("{}", dp.layout().report(Some(&summary.stats)));
+    match dp.layout().check(&budget) {
+        Ok(()) => println!("feasible on a Tofino-class budget"),
+        Err(e) => println!("INFEASIBLE: {e}"),
+    }
+    println!(
+        "explored {} states x {} probes",
+        summary.states, summary.probes
+    );
+}

@@ -1,0 +1,403 @@
+//! Static resource model: what the program asks of the ASIC.
+//!
+//! Every register array the switch program allocates is registered into a
+//! [`ProgramLayout`] when the engine is constructed (see
+//! [`crate::dataplane::DataPlane::layout`]). The layout can then be
+//! checked against a [`TofinoBudget`] — a Tofino-class resource envelope
+//! — and rendered as a human-readable [`ResourceReport`].
+//!
+//! Stage accounting: the logical stage indices in this crate encode
+//! *ordering constraints* (an access to stage `j` must precede one to
+//! stage `k > j` within a pass), not physical MAU slots. The P4 compiler
+//! packs logical stages densely into consecutive physical stages, so
+//! feasibility compares the number of *distinct occupied* stage indices
+//! against the stages the hardware offers. SRAM is charged per occupied
+//! stage, since arrays sharing a logical index end up sharing a physical
+//! stage.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use super::trace::TraceStats;
+use crate::register::RegisterArray;
+
+/// Description of one register array as registered into the layout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArrayDescriptor {
+    /// Display name.
+    pub name: &'static str,
+    /// Logical pipeline stage.
+    pub stage: usize,
+    /// Number of cells.
+    pub cells: usize,
+    /// On-chip bytes per cell (the paper's accounting: 20 B slots).
+    pub bytes_per_cell: usize,
+}
+
+impl ArrayDescriptor {
+    /// Total SRAM footprint of this array.
+    pub fn bytes(&self) -> usize {
+        self.cells * self.bytes_per_cell
+    }
+}
+
+/// A Tofino-class resource envelope.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TofinoBudget {
+    /// Match-action stages available to the program.
+    pub stages: usize,
+    /// SRAM bytes available per stage.
+    pub sram_per_stage_bytes: usize,
+    /// Maximum resubmit depth the deployment tolerates (each resubmit is
+    /// a full extra pipeline traversal, so this bounds per-packet work).
+    pub max_resubmit_depth: u32,
+}
+
+impl TofinoBudget {
+    /// A first-generation Tofino profile: 12 MAU stages per direction,
+    /// ingress and egress both traversed (24 schedulable stages), 80
+    /// SRAM blocks of 16 KiB per stage. The resubmit bound is sized for
+    /// the paper's largest queue region (Algorithm 2's release cascade
+    /// resubmits at most once per queued entry).
+    pub fn tofino() -> TofinoBudget {
+        TofinoBudget {
+            stages: 24,
+            sram_per_stage_bytes: 80 * 16 * 1024,
+            max_resubmit_depth: 100_001,
+        }
+    }
+
+    /// A single-direction profile (12 stages), for programs that must
+    /// fit entirely in ingress *or* egress — NetLock's lock module is
+    /// egress-side (§4.2), so the FCFS engine is checked against this.
+    pub fn tofino_single_direction() -> TofinoBudget {
+        TofinoBudget {
+            stages: 12,
+            ..TofinoBudget::tofino()
+        }
+    }
+}
+
+/// A named feasibility diagnostic from [`ProgramLayout::check`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FeasibilityError {
+    /// The program occupies more distinct stages than the budget offers.
+    StageBudgetExceeded {
+        /// Distinct stages the program occupies.
+        used: usize,
+        /// Stages available.
+        budget: usize,
+    },
+    /// One stage's arrays outgrow its SRAM.
+    SramBudgetExceeded {
+        /// The over-full (logical) stage.
+        stage: usize,
+        /// Bytes the stage's arrays need.
+        bytes: usize,
+        /// Bytes available per stage.
+        budget: usize,
+    },
+    /// The program's declared worst-case resubmit depth exceeds the
+    /// deployment bound.
+    ResubmitBudgetExceeded {
+        /// Declared worst-case depth.
+        declared: u32,
+        /// Tolerated depth.
+        budget: u32,
+    },
+}
+
+impl fmt::Display for FeasibilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeasibilityError::StageBudgetExceeded { used, budget } => write!(
+                f,
+                "StageBudgetExceeded: program occupies {used} stages, budget is {budget}"
+            ),
+            FeasibilityError::SramBudgetExceeded {
+                stage,
+                bytes,
+                budget,
+            } => write!(
+                f,
+                "SramBudgetExceeded: stage {stage} needs {bytes} B of SRAM, budget is {budget} B"
+            ),
+            FeasibilityError::ResubmitBudgetExceeded { declared, budget } => write!(
+                f,
+                "ResubmitBudgetExceeded: program declares resubmit depth {declared}, \
+                 budget is {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FeasibilityError {}
+
+/// Per-stage usage, as summed by [`ProgramLayout::stage_usage`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct StageUsage {
+    /// Names of the arrays in this stage.
+    pub arrays: Vec<&'static str>,
+    /// Their combined SRAM footprint.
+    pub bytes: usize,
+}
+
+/// The full static description of a switch program's register resources.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ProgramLayout {
+    arrays: Vec<ArrayDescriptor>,
+    resubmit_bound: u32,
+}
+
+impl ProgramLayout {
+    /// An empty layout.
+    pub fn new() -> ProgramLayout {
+        ProgramLayout::default()
+    }
+
+    /// Register an array by explicit descriptor.
+    pub fn register(&mut self, d: ArrayDescriptor) {
+        self.arrays.push(d);
+    }
+
+    /// Register a live [`RegisterArray`] with its on-chip cell width.
+    ///
+    /// The width is passed explicitly rather than taken from
+    /// `size_of::<T>()` because the model's in-memory representation is
+    /// wider than the packed wire/SRAM layout (e.g. 20 B queue slots).
+    pub fn register_array<T: Copy>(&mut self, arr: &RegisterArray<T>, bytes_per_cell: usize) {
+        self.register(ArrayDescriptor {
+            name: arr.name(),
+            stage: arr.stage(),
+            cells: arr.len(),
+            bytes_per_cell,
+        });
+    }
+
+    /// Declare (raise) the program's worst-case resubmit depth.
+    pub fn declare_resubmit_bound(&mut self, bound: u32) {
+        self.resubmit_bound = self.resubmit_bound.max(bound);
+    }
+
+    /// The declared worst-case resubmit depth.
+    pub fn resubmit_bound(&self) -> u32 {
+        self.resubmit_bound
+    }
+
+    /// All registered arrays.
+    pub fn arrays(&self) -> &[ArrayDescriptor] {
+        &self.arrays
+    }
+
+    /// Usage per occupied logical stage, ascending.
+    pub fn stage_usage(&self) -> BTreeMap<usize, StageUsage> {
+        let mut map: BTreeMap<usize, StageUsage> = BTreeMap::new();
+        for a in &self.arrays {
+            let u = map.entry(a.stage).or_default();
+            u.arrays.push(a.name);
+            u.bytes += a.bytes();
+        }
+        map
+    }
+
+    /// Number of distinct occupied stages (what dense packing needs).
+    pub fn occupied_stages(&self) -> usize {
+        self.stage_usage().len()
+    }
+
+    /// Total SRAM across all arrays.
+    pub fn total_bytes(&self) -> usize {
+        self.arrays.iter().map(ArrayDescriptor::bytes).sum()
+    }
+
+    /// Check the layout against a budget. Returns the first violation as
+    /// a named diagnostic.
+    pub fn check(&self, budget: &TofinoBudget) -> Result<(), FeasibilityError> {
+        let usage = self.stage_usage();
+        if usage.len() > budget.stages {
+            return Err(FeasibilityError::StageBudgetExceeded {
+                used: usage.len(),
+                budget: budget.stages,
+            });
+        }
+        for (&stage, u) in &usage {
+            if u.bytes > budget.sram_per_stage_bytes {
+                return Err(FeasibilityError::SramBudgetExceeded {
+                    stage,
+                    bytes: u.bytes,
+                    budget: budget.sram_per_stage_bytes,
+                });
+            }
+        }
+        if self.resubmit_bound > budget.max_resubmit_depth {
+            return Err(FeasibilityError::ResubmitBudgetExceeded {
+                declared: self.resubmit_bound,
+                budget: budget.max_resubmit_depth,
+            });
+        }
+        Ok(())
+    }
+
+    /// Build a renderable report, optionally with observed trace stats
+    /// (which contribute the resubmit-depth histogram).
+    pub fn report(&self, trace: Option<&TraceStats>) -> ResourceReport {
+        ResourceReport {
+            layout: self.clone(),
+            trace: trace.cloned(),
+        }
+    }
+}
+
+/// Human-readable resource report (the format is documented in the
+/// repository README).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResourceReport {
+    layout: ProgramLayout,
+    trace: Option<TraceStats>,
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let usage = self.layout.stage_usage();
+        writeln!(
+            f,
+            "program layout: {} arrays in {} stages, {} B SRAM, resubmit bound {}",
+            self.layout.arrays().len(),
+            usage.len(),
+            self.layout.total_bytes(),
+            self.layout.resubmit_bound(),
+        )?;
+        writeln!(f, "{:>5}  {:>6}  {:>10}  arrays", "stage", "count", "sram")?;
+        for (stage, u) in &usage {
+            writeln!(
+                f,
+                "{:>5}  {:>6}  {:>8} B  {}",
+                stage,
+                u.arrays.len(),
+                u.bytes,
+                u.arrays.join(", ")
+            )?;
+        }
+        if let Some(t) = &self.trace {
+            writeln!(
+                f,
+                "observed: {} passes, {} accesses, max resubmit depth {}",
+                t.passes, t.accesses, t.max_resubmit_depth
+            )?;
+            write!(f, "resubmit histogram:")?;
+            for (depth, n) in &t.resubmit_histogram {
+                write!(f, " depth {depth} \u{00d7} {n};")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(name: &'static str, stage: usize, cells: usize, width: usize) -> ArrayDescriptor {
+        ArrayDescriptor {
+            name,
+            stage,
+            cells,
+            bytes_per_cell: width,
+        }
+    }
+
+    #[test]
+    fn stage_usage_groups_and_sums() {
+        let mut l = ProgramLayout::new();
+        l.register(arr("a", 0, 4, 4));
+        l.register(arr("b", 0, 4, 8));
+        l.register(arr("c", 2, 10, 20));
+        let u = l.stage_usage();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[&0].bytes, 16 + 32);
+        assert_eq!(u[&2].bytes, 200);
+        assert_eq!(l.occupied_stages(), 2);
+        assert_eq!(l.total_bytes(), 248);
+    }
+
+    #[test]
+    fn within_budget_passes() {
+        let mut l = ProgramLayout::new();
+        l.register(arr("a", 0, 100, 20));
+        l.declare_resubmit_bound(10);
+        assert_eq!(l.check(&TofinoBudget::tofino()), Ok(()));
+    }
+
+    #[test]
+    fn stage_overflow_named() {
+        let mut l = ProgramLayout::new();
+        for s in 0..30 {
+            l.register(arr("a", s, 1, 4));
+        }
+        assert_eq!(
+            l.check(&TofinoBudget::tofino()),
+            Err(FeasibilityError::StageBudgetExceeded {
+                used: 30,
+                budget: 24
+            })
+        );
+    }
+
+    #[test]
+    fn sram_overflow_named() {
+        let mut l = ProgramLayout::new();
+        let budget = TofinoBudget::tofino();
+        l.register(arr("big", 3, budget.sram_per_stage_bytes + 1, 1));
+        assert_eq!(
+            l.check(&budget),
+            Err(FeasibilityError::SramBudgetExceeded {
+                stage: 3,
+                bytes: budget.sram_per_stage_bytes + 1,
+                budget: budget.sram_per_stage_bytes,
+            })
+        );
+    }
+
+    #[test]
+    fn resubmit_overflow_named() {
+        let mut l = ProgramLayout::new();
+        l.register(arr("a", 0, 1, 4));
+        l.declare_resubmit_bound(u32::MAX);
+        assert!(matches!(
+            l.check(&TofinoBudget::tofino()),
+            Err(FeasibilityError::ResubmitBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn declared_bound_only_rises() {
+        let mut l = ProgramLayout::new();
+        l.declare_resubmit_bound(7);
+        l.declare_resubmit_bound(3);
+        assert_eq!(l.resubmit_bound(), 7);
+    }
+
+    #[test]
+    fn report_renders_stages_and_histogram() {
+        let mut l = ProgramLayout::new();
+        l.register(arr("bounds", 0, 4, 8));
+        l.register(arr("slots", 3, 16, 20));
+        let mut t = TraceStats {
+            passes: 3,
+            accesses: 6,
+            max_resubmit_depth: 1,
+            ..Default::default()
+        };
+        t.resubmit_histogram.insert(0, 2);
+        t.resubmit_histogram.insert(1, 1);
+        let s = l.report(Some(&t)).to_string();
+        assert!(s.contains("2 stages"), "{s}");
+        assert!(s.contains("bounds"), "{s}");
+        assert!(s.contains("320 B"), "{s}");
+        assert!(s.contains("depth 1"), "{s}");
+        // Diagnostics have stable, grep-able names.
+        let e = FeasibilityError::StageBudgetExceeded { used: 9, budget: 8 };
+        assert!(e.to_string().starts_with("StageBudgetExceeded"));
+    }
+}

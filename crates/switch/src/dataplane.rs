@@ -16,6 +16,8 @@ use std::collections::HashMap;
 
 use netlock_proto::{GrantMsg, Grantor, LockId, LockRequest, NetLockMsg, ReleaseRequest, TenantId};
 
+use crate::analysis::layout::ProgramLayout;
+use crate::analysis::trace::TraceSink;
 use crate::directory::{LockDirectory, Residence};
 use crate::engine::{AcquireOutcome, FcfsEngine, PassAllocator};
 use crate::meter::TokenBucket;
@@ -24,6 +26,9 @@ use crate::shared_queue::{SharedQueue, SharedQueueLayout};
 use crate::slot::Slot;
 
 /// Which lock engine the data plane is compiled with.
+// One `Engine` exists per data plane, built once and referenced in
+// place; the size gap between variants never costs a hot-path move.
+#[allow(clippy::large_enum_variant)]
 pub enum Engine {
     /// Single FIFO queue per lock: starvation-freedom / FCFS (§4.4).
     Fcfs(SharedQueue),
@@ -133,6 +138,9 @@ pub struct DpStats {
 pub struct DataPlane {
     directory: LockDirectory,
     engine: Engine,
+    /// Static resource model, registered at construction from whichever
+    /// engine the program was "compiled" with.
+    layout: ProgramLayout,
     overflow: Vec<OverflowState>,
     meters: HashMap<TenantId, TokenBucket>,
     passes: PassAllocator,
@@ -156,9 +164,12 @@ impl DataPlane {
     pub fn new_fcfs(layout: &SharedQueueLayout) -> DataPlane {
         let q = SharedQueue::new(layout);
         let regions = q.max_regions();
+        let mut program = ProgramLayout::new();
+        q.describe(&mut program);
         DataPlane {
             directory: LockDirectory::new(),
             engine: Engine::Fcfs(q),
+            layout: program,
             overflow: vec![OverflowState::default(); regions],
             meters: HashMap::new(),
             passes: PassAllocator::new(),
@@ -172,9 +183,12 @@ impl DataPlane {
     pub fn new_priority(layout: &PriorityLayout) -> DataPlane {
         let e = PriorityEngine::new(layout);
         let regions = e.max_regions();
+        let mut program = ProgramLayout::new();
+        e.describe(&mut program);
         DataPlane {
             directory: LockDirectory::new(),
             engine: Engine::Priority(e),
+            layout: program,
             overflow: vec![OverflowState::default(); regions],
             meters: HashMap::new(),
             passes: PassAllocator::new(),
@@ -196,7 +210,10 @@ impl DataPlane {
         if self.default_servers == 0 {
             None
         } else {
-            Some(((lock.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.default_servers)
+            Some(
+                ((lock.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize
+                    % self.default_servers,
+            )
         }
     }
 
@@ -225,8 +242,26 @@ impl DataPlane {
         self.stats
     }
 
+    /// The static resource model registered at construction.
+    pub fn layout(&self) -> &ProgramLayout {
+        &self.layout
+    }
+
+    /// Install (or remove) an access-trace sink: every pipeline pass
+    /// the data plane performs afterwards records its register accesses
+    /// into it (see [`crate::analysis::trace`]).
+    pub fn set_trace_sink(&mut self, sink: Option<TraceSink>) {
+        self.passes.set_trace_sink(sink);
+    }
+
     /// Install a per-tenant meter (performance-isolation policy, §4.4).
-    pub fn set_tenant_meter(&mut self, tenant: TenantId, rate_per_sec: u64, burst: u64, now_ns: u64) {
+    pub fn set_tenant_meter(
+        &mut self,
+        tenant: TenantId,
+        rate_per_sec: u64,
+        burst: u64,
+        now_ns: u64,
+    ) {
         self.meters
             .insert(tenant, TokenBucket::new(rate_per_sec, burst, now_ns));
     }
@@ -244,7 +279,9 @@ impl DataPlane {
             Engine::Priority(e) => e.cp_reset_all(),
         }
         self.directory.clear();
-        self.overflow.iter_mut().for_each(|o| *o = OverflowState::default());
+        self.overflow
+            .iter_mut()
+            .for_each(|o| *o = OverflowState::default());
         self.meters.clear();
         self.stats = DpStats::default();
         self.forward_counts.clear();
@@ -756,7 +793,10 @@ mod tests {
             }]
         );
         let acts = dp.process(NetLockMsg::Release(rel(2, LockMode::Shared, 11)), 0);
-        assert!(matches!(acts[0], DpAction::ForwardRelease { server: 1, .. }));
+        assert!(matches!(
+            acts[0],
+            DpAction::ForwardRelease { server: 1, .. }
+        ));
     }
 
     #[test]
@@ -817,14 +857,21 @@ mod tests {
         let acts = dp.process(NetLockMsg::Release(rel(1, LockMode::Exclusive, 2)), 0);
         assert!(matches!(
             acts[0],
-            DpAction::SendQueueSpace { lock: LockId(1), space: 2, .. }
+            DpAction::SendQueueSpace {
+                lock: LockId(1),
+                space: 2,
+                ..
+            }
         ));
 
         // Server pushes both buffered requests; first is granted.
         let acts = dp.process(
             NetLockMsg::Push {
                 lock: LockId(1),
-                reqs: vec![req(1, LockMode::Exclusive, 3), req(1, LockMode::Exclusive, 4)],
+                reqs: vec![
+                    req(1, LockMode::Exclusive, 3),
+                    req(1, LockMode::Exclusive, 4),
+                ],
             },
             0,
         );

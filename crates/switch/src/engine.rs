@@ -26,18 +26,32 @@ use crate::slot::Slot;
 #[derive(Debug, Default)]
 pub struct PassAllocator {
     next: u64,
+    sink: Option<crate::analysis::trace::TraceSink>,
 }
 
 impl PassAllocator {
     /// A fresh allocator.
     pub fn new() -> PassAllocator {
-        PassAllocator { next: 0 }
+        PassAllocator {
+            next: 0,
+            sink: None,
+        }
+    }
+
+    /// Install (or remove) a trace sink; every pass handed out
+    /// afterwards records its register accesses into it.
+    pub fn set_trace_sink(&mut self, sink: Option<crate::analysis::trace::TraceSink>) {
+        self.sink = sink;
     }
 
     /// Begin a new pass at the given resubmit depth.
     pub fn begin(&mut self, resubmit_depth: u32) -> Pass {
         self.next += 1;
-        Pass::new(PassId(self.next), resubmit_depth)
+        let mut pass = Pass::new(PassId(self.next), resubmit_depth);
+        if let Some(sink) = &self.sink {
+            pass.set_sink(sink.clone());
+        }
+        pass
     }
 }
 
@@ -310,13 +324,9 @@ mod tests {
     fn kickstart_grants_suppressed_head_run() {
         let (mut q, mut pa) = setup(8);
         // Enqueue ungranted entries (suppressed mode: decide = false).
-        for (i, mode) in [
-            LockMode::Shared,
-            LockMode::Shared,
-            LockMode::Exclusive,
-        ]
-        .iter()
-        .enumerate()
+        for (i, mode) in [LockMode::Shared, LockMode::Shared, LockMode::Exclusive]
+            .iter()
+            .enumerate()
         {
             let mut pass = pa.begin(0);
             q.enqueue_deciding(&mut pass, 0, slot(*mode, i as u64 + 1), false, |_, _| false);
@@ -326,7 +336,9 @@ mod tests {
         // An exclusive head grants exactly one.
         let (mut q2, mut pa2) = setup(8);
         let mut pass = pa2.begin(0);
-        q2.enqueue_deciding(&mut pass, 0, slot(LockMode::Exclusive, 9), false, |_, _| false);
+        q2.enqueue_deciding(&mut pass, 0, slot(LockMode::Exclusive, 9), false, |_, _| {
+            false
+        });
         let out = FcfsEngine::kickstart(&mut q2, &mut pa2, 0);
         assert_eq!(txns(&out.grants), vec![9]);
         // An empty queue reports empty.

@@ -27,9 +27,12 @@
 //! - [`control`] — Algorithm 3 knapsack allocation, measurement
 //!   harvesting, migration planning, lease expiry (§4.3, §4.5)
 //! - [`node`] — the simulation node gluing it to `netlock-sim`
+//! - [`analysis`] — static feasibility checking: access-trace recording,
+//!   the Tofino resource model, and the exhaustive path explorer
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod control;
 pub mod dataplane;
 pub mod directory;

@@ -115,10 +115,40 @@ mod tests {
             }
         }
         // 1 second elapsed: expect ~10_000 grants (+burst slack).
+        assert!((10_000..=10_011).contains(&granted), "granted = {granted}");
+    }
+
+    #[test]
+    fn refill_boundary_is_exact() {
+        // 3 tokens/s, burst 1: a whole token takes ⌈1e9/3⌉ ns. One
+        // nanosecond short of that leaves the scaled balance at
+        // 999_999/1_000_000 of a token — still throttled. Each probe
+        // uses its own bucket: refills floor to scaled units, so the
+        // early probe would otherwise shave the remainder off the
+        // boundary probe.
+        let mut early = TokenBucket::new(3, 1, 0);
+        assert!(early.try_consume(0));
         assert!(
-            (10_000..=10_011).contains(&granted),
-            "granted = {granted}"
+            !early.try_consume(333_333_333),
+            "one ns early: no token yet"
         );
+
+        let mut exact = TokenBucket::new(3, 1, 0);
+        assert!(exact.try_consume(0));
+        assert!(
+            exact.try_consume(333_333_334),
+            "boundary crossed: token granted"
+        );
+    }
+
+    #[test]
+    fn fractional_refills_accumulate_across_calls() {
+        // 1 token/s, burst 1: two half-second refills must bank their
+        // sub-token remainders rather than flooring each one away.
+        let mut b = TokenBucket::new(1, 1, 0);
+        assert!(b.try_consume(0));
+        assert!(!b.try_consume(500_000_000), "half a token is not a token");
+        assert!(b.try_consume(1_000_000_000), "two halves make a whole");
     }
 
     #[test]

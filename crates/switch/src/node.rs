@@ -216,9 +216,14 @@ impl SwitchNode {
         }
     }
 
-    fn emit(&mut self, actions: Vec<DpAction>, extra_passes: u64, ctx: &mut Context<'_, NetLockMsg>) {
-        let delay = self.cfg.traversal
-            + SimDuration(self.cfg.pass_latency.as_nanos() * extra_passes);
+    fn emit(
+        &mut self,
+        actions: Vec<DpAction>,
+        extra_passes: u64,
+        ctx: &mut Context<'_, NetLockMsg>,
+    ) {
+        let delay =
+            self.cfg.traversal + SimDuration(self.cfg.pass_latency.as_nanos() * extra_passes);
         for act in actions {
             match act {
                 DpAction::SendGrant(grant) => self.send_grant(grant, delay, ctx),
@@ -261,7 +266,12 @@ impl SwitchNode {
         }
     }
 
-    fn send_grant(&mut self, grant: GrantMsg, delay: SimDuration, ctx: &mut Context<'_, NetLockMsg>) {
+    fn send_grant(
+        &mut self,
+        grant: GrantMsg,
+        delay: SimDuration,
+        ctx: &mut Context<'_, NetLockMsg>,
+    ) {
         if self.cfg.one_rtt && !self.db_servers.is_empty() {
             // One-RTT transactions: forward the granted request to the
             // database server that owns the item; the client gets data
@@ -298,10 +308,7 @@ impl SwitchNode {
             // fluctuations between epochs don't resize regions (every
             // resize requires a drain-and-move).
             for s in &mut stats {
-                s.contention = s
-                    .contention
-                    .next_power_of_two()
-                    .max(auto.server_contention);
+                s.contention = s.contention.next_power_of_two().max(auto.server_contention);
             }
             for (lock, count) in self.dp.cp_take_forward_counts() {
                 let rate = count as f64 / epoch_secs.max(1e-9);
@@ -372,7 +379,9 @@ impl SwitchNode {
             for rel in expired {
                 self.stats.lease_expirations += 1;
                 let before = self.dp.stats().passes;
-                let actions = self.dp.process(NetLockMsg::Release(rel), ctx.now().as_nanos());
+                let actions = self
+                    .dp
+                    .process(NetLockMsg::Release(rel), ctx.now().as_nanos());
                 let extra = self.dp.stats().passes - before - 1;
                 let lock = rel.lock;
                 self.emit(actions, extra, ctx);
@@ -426,16 +435,18 @@ impl Node<NetLockMsg> for SwitchNode {
             // restarted original switch.
             if let Some(original) = self.cfg.backup_handback_to {
                 let drained = match self.dp.directory().get(lock).map(|e| e.residence) {
-                    Some(crate::directory::Residence::Switch { qid }) => {
-                        match self.dp.engine() {
-                            crate::dataplane::Engine::Fcfs(q) => q.cp_region(qid).count == 0,
-                            crate::dataplane::Engine::Priority(e) => e.cp_total_count(qid) == 0,
-                        }
-                    }
+                    Some(crate::directory::Residence::Switch { qid }) => match self.dp.engine() {
+                        crate::dataplane::Engine::Fcfs(q) => q.cp_region(qid).count == 0,
+                        crate::dataplane::Engine::Priority(e) => e.cp_total_count(qid) == 0,
+                    },
                     _ => false,
                 };
                 if drained {
-                    ctx.send_after(original, NetLockMsg::CtrlHandback { lock }, self.cfg.traversal);
+                    ctx.send_after(
+                        original,
+                        NetLockMsg::CtrlHandback { lock },
+                        self.cfg.traversal,
+                    );
                 }
             }
         }
@@ -561,7 +572,11 @@ mod tests {
         sim.run_until(SimTime(SimDuration::from_millis(10).as_nanos()));
         sim.read_node::<Sink, _>(client, |s| {
             // Grant for 1, then (after the lease fires) grant for 2.
-            assert!(s.0.len() >= 2, "sweeper must grant the waiter: {:?}", s.0.len());
+            assert!(
+                s.0.len() >= 2,
+                "sweeper must grant the waiter: {:?}",
+                s.0.len()
+            );
         });
         sim.read_node::<SwitchNode, _>(switch, |s| {
             assert!(s.stats().lease_expirations >= 1);

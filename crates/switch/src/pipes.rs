@@ -53,20 +53,24 @@ impl PipeLayout {
     /// departs via `egress_port`.
     ///
     /// The lock logic runs in an egress pipe, so it is free exactly when
-    /// the packet's egress port belongs to `lock_pipe`; otherwise the
-    /// packet recirculates once to pass through the owning pipe, and
-    /// once more if it must still leave through a third pipe. (Ingress
-    /// pipes don't constrain NetLock: its tables are egress-side.)
+    /// the packet's egress port belongs to `lock_pipe`. Failing that, a
+    /// packet whose *ingress* pipe owns the lock can execute the logic
+    /// by recirculating once through one of that pipe's egress ports
+    /// before departing. Worst case — all three pipes distinct — the
+    /// packet recirculates once to reach the owning pipe and once more
+    /// to leave through the real egress pipe.
     pub fn recirculations(
         &self,
-        _ingress_port: usize,
+        ingress_port: usize,
         lock_pipe: PipeId,
         egress_port: usize,
     ) -> u32 {
         if self.pipe_of_port(egress_port) == lock_pipe {
             0
-        } else {
+        } else if self.pipe_of_port(ingress_port) == lock_pipe {
             1
+        } else {
+            2
         }
     }
 
@@ -142,14 +146,36 @@ mod tests {
     }
 
     #[test]
+    fn three_distinct_pipes_cost_two_recirculations() {
+        // Ingress port 9 is in pipe 1, the lock lives in pipe 2, and the
+        // packet leaves via port 0 in pipe 0: one recirculation to reach
+        // the owning pipe, one more to depart.
+        let l = layout();
+        assert_eq!(l.recirculations(9, PipeId(2), 0), 2);
+        // Same, but the ingress pipe owns the lock: a single
+        // recirculation suffices.
+        assert_eq!(l.recirculations(9, PipeId(1), 0), 1);
+    }
+
+    #[test]
+    fn single_pipe_switch_never_recirculates() {
+        // With one pipeline every port shares the lock's pipe, so no
+        // placement can force a recirculation.
+        let l = PipeLayout::new(1, 16);
+        for ingress in 0..16 {
+            for egress in 0..16 {
+                assert_eq!(l.recirculations(ingress, PipeId(0), egress), 0);
+            }
+        }
+    }
+
+    #[test]
     fn recirculation_fraction_audit() {
         let l = layout();
         // NetLock placement: every flow's lock pipe matches its server
         // port's pipe → 0%.
         let good: Vec<(usize, PipeId, usize, f64)> = (0..4)
-            .flat_map(|srv| {
-                (8..16).map(move |cli| (cli, PipeId((srv % 4) as u8), srv, 1.0))
-            })
+            .flat_map(|srv| (8..16).map(move |cli| (cli, PipeId((srv % 4) as u8), srv, 1.0)))
             .collect();
         assert_eq!(recirculation_fraction(&l, &good), 0.0);
 

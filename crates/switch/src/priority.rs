@@ -152,14 +152,15 @@ impl PriorityEngine {
         // Final pass: enqueue at level p with the combined decision.
         let mut pass = passes.begin(used);
         let mode = slot.mode;
-        let d = self.levels[p].enqueue_deciding(&mut pass, qid, slot, true, |count_old, excl_old| {
-            match mode {
-                LockMode::Shared => holder_x == 0 && !excl_above && excl_old == 0,
-                LockMode::Exclusive => {
-                    holders_s == 0 && holder_x == 0 && !any_above && count_old == 0
+        let d =
+            self.levels[p].enqueue_deciding(&mut pass, qid, slot, true, |count_old, excl_old| {
+                match mode {
+                    LockMode::Shared => holder_x == 0 && !excl_above && excl_old == 0,
+                    LockMode::Exclusive => {
+                        holders_s == 0 && holder_x == 0 && !any_above && count_old == 0
+                    }
                 }
-            }
-        });
+            });
         used += 1;
         if d.full {
             return (AcquireOutcome::Overflow, used);
@@ -270,6 +271,33 @@ impl PriorityEngine {
 
         out.now_empty = (0..self.levels.len()).all(|l| self.levels[l].cp_region(qid).count == 0);
         out
+    }
+
+    /// Register every array of every level queue (plus the holder
+    /// registers) into a static resource model.
+    pub fn describe(&self, out: &mut crate::analysis::layout::ProgramLayout) {
+        for q in &self.levels {
+            q.describe(out);
+        }
+        out.register_array(&self.holders_s, 4);
+        out.register_array(&self.holder_x, 4);
+        out.declare_resubmit_bound(self.worst_case_resubmit_depth());
+    }
+
+    /// The engine's declared worst-case resubmit depth.
+    ///
+    /// Release charges one pass per level-metadata read plus up to three
+    /// passes per queued entry (read, mark-granted, holder update), on
+    /// top of the dequeue and holder-drop passes; acquire stays within
+    /// `levels + 3`. Both are covered by this bound.
+    pub fn worst_case_resubmit_depth(&self) -> u32 {
+        let levels = self.levels.len() as u32;
+        let total_entries: u32 = self
+            .levels
+            .iter()
+            .map(|q| q.total_slots() / self.max_regions as u32)
+            .sum();
+        2 + levels + 3 * total_entries
     }
 
     /// Control-plane: entries of one level queue, head first.
@@ -399,7 +427,7 @@ mod tests {
         let (mut e, mut pa) = engine();
         e.acquire(&mut pa, 0, slot(LockMode::Exclusive, 1, 0)); // holder
         e.acquire(&mut pa, 0, slot(LockMode::Shared, 2, 0)); // waiter at 0
-        // X at lower priority 2: blocked both by holder and waiter above.
+                                                             // X at lower priority 2: blocked both by holder and waiter above.
         assert_eq!(
             e.acquire(&mut pa, 0, slot(LockMode::Exclusive, 3, 2)).0,
             AcquireOutcome::Queued

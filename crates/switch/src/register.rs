@@ -18,9 +18,23 @@
 //! PCIe without these constraints ([`RegisterArray::cp_read`] /
 //! [`RegisterArray::cp_write`]).
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::analysis::trace::{AccessRecord, TraceSink};
+
 /// Identifier of one pipeline pass (one packet traversal).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PassId(pub u64);
+
+/// Unique identity of one register-array *instance*.
+///
+/// Array names are display labels and repeat (every slot array is named
+/// "slots"); the analysis layer needs to tell instances apart, so each
+/// allocation draws a fresh id from a process-wide counter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ArrayId(pub u32);
+
+static NEXT_ARRAY_ID: AtomicU32 = AtomicU32::new(0);
 
 /// Tracks the constraint state of the current pipeline pass.
 #[derive(Debug)]
@@ -30,6 +44,8 @@ pub struct Pass {
     stage_cursor: usize,
     /// How many resubmits led to this pass (0 for the original packet).
     resubmit_depth: u32,
+    /// Optional recorder every register access is reported to.
+    sink: Option<TraceSink>,
 }
 
 impl Pass {
@@ -39,6 +55,7 @@ impl Pass {
             id,
             stage_cursor: 0,
             resubmit_depth,
+            sink: None,
         }
     }
 
@@ -51,6 +68,12 @@ impl Pass {
     pub fn resubmit_depth(&self) -> u32 {
         self.resubmit_depth
     }
+
+    /// Attach a trace sink; every subsequent register access in this
+    /// pass is recorded into it.
+    pub fn set_sink(&mut self, sink: TraceSink) {
+        self.sink = Some(sink);
+    }
 }
 
 /// A fixed-size array of registers in one pipeline stage.
@@ -61,6 +84,7 @@ impl Pass {
 /// is the *stricter* reading of the hardware constraint.
 #[derive(Debug)]
 pub struct RegisterArray<T> {
+    id: ArrayId,
     name: &'static str,
     stage: usize,
     data: Vec<T>,
@@ -74,11 +98,22 @@ impl<T: Copy> RegisterArray<T> {
     /// the data plane program is compiled and loaded (§4.2).
     pub fn new(name: &'static str, stage: usize, size: usize, init: T) -> RegisterArray<T> {
         RegisterArray {
+            id: ArrayId(NEXT_ARRAY_ID.fetch_add(1, Ordering::Relaxed)),
             name,
             stage,
             data: vec![init; size],
             last_access: None,
         }
+    }
+
+    /// This instance's unique identity.
+    pub fn id(&self) -> ArrayId {
+        self.id
+    }
+
+    /// The array's display name (not unique).
+    pub fn name(&self) -> &'static str {
+        self.name
     }
 
     /// The stage this array lives in.
@@ -123,6 +158,16 @@ impl<T: Copy> RegisterArray<T> {
         );
         self.last_access = Some(pass.id);
         pass.stage_cursor = self.stage;
+        if let Some(sink) = &pass.sink {
+            sink.borrow_mut().record(AccessRecord {
+                array: self.id,
+                name: self.name,
+                stage: self.stage,
+                index: idx,
+                pass: pass.id,
+                resubmit_depth: pass.resubmit_depth,
+            });
+        }
         let cell = self
             .data
             .get_mut(idx)
@@ -136,8 +181,14 @@ impl<T: Copy> RegisterArray<T> {
     }
 
     /// Control-plane write (PCIe path; not pass-constrained).
+    ///
+    /// Clears the pass-access bookkeeping, like [`RegisterArray::cp_fill`]:
+    /// after a control-plane restore (reboot recovery, region moves), a
+    /// pass allocator that restarted from id 1 must not be blocked by a
+    /// stale `last_access` from the previous incarnation.
     pub fn cp_write(&mut self, idx: usize, value: T) {
         self.data[idx] = value;
+        self.last_access = None;
     }
 
     /// Control-plane bulk reset (e.g. after a switch reboot, the register
@@ -219,6 +270,46 @@ mod tests {
         let mut arr = RegisterArray::new("a", 0, 4, 0u64);
         let mut pass = Pass::new(PassId(1), 0);
         arr.access(&mut pass, 4, |_| ());
+    }
+
+    #[test]
+    fn cp_write_clears_access_tracking() {
+        let mut arr = RegisterArray::new("a", 0, 4, 0u64);
+        let mut pass = Pass::new(PassId(1), 0);
+        arr.access(&mut pass, 0, |c| *c += 1);
+        arr.cp_write(0, 9);
+        // A restarted pass allocator reuses id 1; the CP write must have
+        // cleared the stale bookkeeping, exactly like cp_fill does.
+        let mut pass = Pass::new(PassId(1), 0);
+        arr.access(&mut pass, 0, |c| *c += 1);
+        assert_eq!(arr.cp_read(0), 10);
+    }
+
+    #[test]
+    fn access_records_into_attached_sink() {
+        let sink = crate::analysis::trace::new_sink();
+        let mut arr = RegisterArray::new("a", 2, 4, 0u64);
+        let mut pass = Pass::new(PassId(7), 1);
+        pass.set_sink(sink.clone());
+        arr.access(&mut pass, 3, |c| *c += 1);
+        // CP operations are PCIe traffic: never traced.
+        arr.cp_write(0, 5);
+        arr.cp_fill(0);
+        let records = sink.borrow_mut().take();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].array, arr.id());
+        assert_eq!(records[0].name, "a");
+        assert_eq!(records[0].stage, 2);
+        assert_eq!(records[0].index, 3);
+        assert_eq!(records[0].pass, PassId(7));
+        assert_eq!(records[0].resubmit_depth, 1);
+    }
+
+    #[test]
+    fn array_ids_are_unique_per_instance() {
+        let a = RegisterArray::new("same", 0, 1, 0u64);
+        let b = RegisterArray::new("same", 0, 1, 0u64);
+        assert_ne!(a.id(), b.id(), "same name and stage, distinct identity");
     }
 
     #[test]

@@ -27,6 +27,10 @@ use netlock_proto::LockMode;
 use crate::register::{Pass, RegisterArray};
 use crate::slot::Slot;
 
+/// On-chip bytes per queue slot (paper §5: "100K slots with 20B slot
+/// size only consume 2 MB").
+pub const SLOT_BYTES: usize = 20;
+
 /// Stage of the bounds registers.
 pub const STAGE_BOUNDS: usize = 0;
 /// Stage of the count/rate registers.
@@ -177,18 +181,8 @@ impl SharedQueue {
         SharedQueue {
             bounds: RegisterArray::new("bounds", STAGE_BOUNDS + off, layout.max_regions, (0, 0)),
             count: RegisterArray::new("count", STAGE_COUNTERS + off, layout.max_regions, 0),
-            max_count: RegisterArray::new(
-                "max_count",
-                STAGE_COUNTERS + off,
-                layout.max_regions,
-                0,
-            ),
-            req_count: RegisterArray::new(
-                "req_count",
-                STAGE_COUNTERS + off,
-                layout.max_regions,
-                0,
-            ),
+            max_count: RegisterArray::new("max_count", STAGE_COUNTERS + off, layout.max_regions, 0),
+            req_count: RegisterArray::new("req_count", STAGE_COUNTERS + off, layout.max_regions, 0),
             head: RegisterArray::new("head", STAGE_POINTERS + off, layout.max_regions, 0),
             tail: RegisterArray::new("tail", STAGE_POINTERS + off, layout.max_regions, 0),
             excl: RegisterArray::new("excl", STAGE_POINTERS + off, layout.max_regions, 0),
@@ -272,7 +266,8 @@ impl SharedQueue {
             };
         }
         let count_new = count_old + 1;
-        self.max_count.access(pass, qid, |m| *m = (*m).max(count_new));
+        self.max_count
+            .access(pass, qid, |m| *m = (*m).max(count_new));
         let tail_old = self.tail.access(pass, qid, |t| {
             let old = *t;
             *t = if old + 1 == cap { 0 } else { old + 1 };
@@ -469,10 +464,28 @@ impl SharedQueue {
     /// slot size only consume 2 MB" — plus the per-region metadata
     /// registers).
     pub fn cp_memory_bytes(&self) -> usize {
-        const SLOT_BYTES: usize = 20;
         // bounds (8) + count/max/req (4+4+8) + head/tail/excl (4+4+4).
         const META_BYTES_PER_REGION: usize = 36;
         self.total_slots as usize * SLOT_BYTES + self.max_regions() * META_BYTES_PER_REGION
+    }
+
+    /// Register every array of this queue into a static resource model
+    /// (cell widths use the paper's on-chip accounting, which is what
+    /// [`SharedQueue::cp_memory_bytes`] charges too).
+    pub fn describe(&self, out: &mut crate::analysis::layout::ProgramLayout) {
+        out.register_array(&self.bounds, 8);
+        out.register_array(&self.count, 4);
+        out.register_array(&self.max_count, 4);
+        out.register_array(&self.req_count, 8);
+        out.register_array(&self.head, 4);
+        out.register_array(&self.tail, 4);
+        out.register_array(&self.excl, 4);
+        for arr in &self.slots {
+            out.register_array(arr, SLOT_BYTES);
+        }
+        // Algorithm 2's release cascade resubmits at most once per entry
+        // a region can hold, and a region can span the whole pool.
+        out.declare_resubmit_bound(self.total_slots + 1);
     }
 
     /// Wipe every register — models a switch reboot that "retains none of
@@ -592,7 +605,11 @@ mod tests {
         }
         // Release #0 → new head is entry #1.
         let out = q.release_dequeue(&mut pg.next(), 0, LockMode::Exclusive);
-        let DequeueOutcome::Dequeued { remaining, new_head } = out else {
+        let DequeueOutcome::Dequeued {
+            remaining,
+            new_head,
+        } = out
+        else {
             panic!("expected dequeue");
         };
         assert_eq!(remaining, 2);

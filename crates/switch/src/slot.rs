@@ -92,9 +92,10 @@ mod tests {
 
     #[test]
     fn empty_slot_is_invalid() {
-        assert!(!Slot::EMPTY.valid);
-        assert!(!Slot::EMPTY.granted);
-        assert_eq!(Slot::default(), Slot::EMPTY);
+        let empty = Slot::EMPTY;
+        assert!(!empty.valid);
+        assert!(!empty.granted);
+        assert_eq!(Slot::default(), empty);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 
 use netlock_proto::LockId;
-use netlock_switch::control::{knapsack_allocate, knapsack_allocate_bounded, random_allocate, LockStats};
+use netlock_switch::control::{
+    knapsack_allocate, knapsack_allocate_bounded, random_allocate, LockStats,
+};
 
 fn arb_stats(max_locks: usize, max_c: u32) -> impl Strategy<Value = Vec<LockStats>> {
     prop::collection::vec((1u32..1000, 1u32..max_c), 1..max_locks).prop_map(|v| {

@@ -19,13 +19,20 @@ use netlock_switch::slot::Slot;
 /// A step of the generated workload.
 #[derive(Clone, Debug)]
 enum Step {
-    Acquire { lock: u8, shared: bool },
-    ReleaseOldest { lock: u8 },
+    Acquire {
+        lock: u8,
+        shared: bool,
+    },
+    ReleaseOldest {
+        lock: u8,
+    },
     /// Shared holders may release in any order (§4.2: "these
     /// transactions may not release their locks in the order that the
     /// requests are enqueued"); the switch dequeues the head anyway,
     /// which is correct because shared releases are commutative.
-    ReleaseNewest { lock: u8 },
+    ReleaseNewest {
+        lock: u8,
+    },
 }
 
 fn steps() -> impl Strategy<Value = Vec<Step>> {
@@ -86,8 +93,12 @@ impl Harness {
         let txn = self.next_txn;
         self.next_txn += 1;
         let r = req(lock, mode, txn);
-        let engine_out =
-            FcfsEngine::acquire(&mut self.queue, &mut self.passes, lock as usize, Slot::from_request(&r));
+        let engine_out = FcfsEngine::acquire(
+            &mut self.queue,
+            &mut self.passes,
+            lock as usize,
+            Slot::from_request(&r),
+        );
         let model_out = self.model.acquire(r);
         match (engine_out, model_out) {
             (AcquireOutcome::Granted, TableAcquire::Granted) => {
@@ -119,7 +130,12 @@ impl Harness {
         let mode = self
             .model
             .get(LockId(lock as u32))
-            .and_then(|st| st.holders().iter().find(|h| h.txn == TxnId(txn)).map(|h| h.mode))
+            .and_then(|st| {
+                st.holders()
+                    .iter()
+                    .find(|h| h.txn == TxnId(txn))
+                    .map(|h| h.mode)
+            })
             .expect("model must agree the txn holds the lock");
         let engine_out =
             FcfsEngine::release(&mut self.queue, &mut self.passes, lock as usize, mode);

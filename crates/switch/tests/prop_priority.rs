@@ -97,9 +97,7 @@ impl Harness {
             return;
         }
         let h = self.holders.remove(0);
-        let out = self
-            .engine
-            .release(&mut self.passes, 0, h.mode, h.prio, 0);
+        let out = self.engine.release(&mut self.passes, 0, h.mode, h.prio, 0);
         assert!(!out.spurious, "engine lost holder {}", h.txn);
         self.outstanding -= 1;
         for g in &out.grants {

@@ -24,7 +24,13 @@ pub struct ZipfLockSource {
 impl ZipfLockSource {
     /// A source over locks `[base, base + n)` with Zipf exponent
     /// `theta` (0 = uniform; 0.99 = YCSB-style heavy skew).
-    pub fn new(base: u32, n: usize, theta: f64, mode: LockMode, think: SimDuration) -> ZipfLockSource {
+    pub fn new(
+        base: u32,
+        n: usize,
+        theta: f64,
+        mode: LockMode,
+        think: SimDuration,
+    ) -> ZipfLockSource {
         ZipfLockSource {
             base,
             dist: Zipf::new(n, theta),

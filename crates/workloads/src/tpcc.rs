@@ -345,7 +345,8 @@ impl TxnSource for TpccSource {
                 self.gen_stock_level(rng, w)
             }
         };
-        txn.with_tenant(self.cfg.tenant).with_priority(self.cfg.priority)
+        txn.with_tenant(self.cfg.tenant)
+            .with_priority(self.cfg.priority)
     }
 }
 
@@ -360,11 +361,7 @@ impl TxnSource for TpccSource {
 ///
 /// `total_workers` bounds the contention `c_i` (a closed-loop system
 /// cannot have more outstanding requests on one lock than workers).
-pub fn hot_lock_stats(
-    cfg: &TpccConfig,
-    total_workers: u32,
-    home_servers: usize,
-) -> Vec<LockStats> {
+pub fn hot_lock_stats(cfg: &TpccConfig, total_workers: u32, home_servers: usize) -> Vec<LockStats> {
     let workers = total_workers.max(1) as f64;
     let w_rate = 0.88 / cfg.warehouses as f64; // NewOrder-S + Payment-X
     let d_rate = 0.92 / (cfg.warehouses as f64 * 10.0);

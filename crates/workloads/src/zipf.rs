@@ -32,7 +32,9 @@ impl Zipf {
         if let Some(last) = weights.last_mut() {
             *last = 1.0;
         }
-        Zipf { cumulative: weights }
+        Zipf {
+            cumulative: weights,
+        }
     }
 
     /// Number of items.
@@ -88,13 +90,13 @@ mod tests {
     fn samples_match_masses() {
         let z = Zipf::new(10, 0.9);
         let mut rng = SimRng::new(42);
-        let mut counts = vec![0u32; 10];
+        let mut counts = [0u32; 10];
         let n = 100_000;
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..10 {
-            let observed = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / n as f64;
             let expected = z.mass(k);
             assert!(
                 (observed - expected).abs() < 0.01,

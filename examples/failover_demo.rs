@@ -50,7 +50,11 @@ fn main() {
         rack.sim.run_for(interval);
         let total: u64 = txns_by_client(rack).iter().sum();
         let tps = (total - last) as f64 / interval.as_secs_f64();
-        println!("t={:>5.0}ms  {:>9.0} TPS  {label}", rack.sim.now().as_secs_f64() * 1e3, tps);
+        println!(
+            "t={:>5.0}ms  {:>9.0} TPS  {label}",
+            rack.sim.now().as_secs_f64() * 1e3,
+            tps
+        );
         last = total;
     };
 
@@ -74,7 +78,10 @@ fn main() {
         apply_allocation(s.dataplane_mut(), &allocation);
     });
     for _ in 0..4 {
-        sample(&mut rack, "<- clients' retries re-acquire; throughput recovers");
+        sample(
+            &mut rack,
+            "<- clients' retries re-acquire; throughput recovers",
+        );
     }
 
     let retries: u64 = rack

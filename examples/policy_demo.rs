@@ -35,24 +35,38 @@ fn differentiation(differentiate: bool) -> (f64, f64) {
         ..Default::default()
     });
     rack.program_priority(&lock_set());
-    let a_prio = if differentiate { Priority(1) } else { Priority(0) };
+    let a_prio = if differentiate {
+        Priority(1)
+    } else {
+        Priority(0)
+    };
     for _ in 0..3 {
         let mut src = source(20);
         rack.add_txn_client(
-            TxnClientConfig { workers: 8, ..Default::default() },
+            TxnClientConfig {
+                workers: 8,
+                ..Default::default()
+            },
             Box::new(move |rng: &mut netlock_sim::SimRng| {
                 use netlock_core::txn::TxnSource;
-                src.next_txn(rng).with_tenant(TenantId(1)).with_priority(a_prio)
+                src.next_txn(rng)
+                    .with_tenant(TenantId(1))
+                    .with_priority(a_prio)
             }),
         );
     }
     for _ in 0..3 {
         let mut src = source(20);
         rack.add_txn_client(
-            TxnClientConfig { workers: 8, ..Default::default() },
+            TxnClientConfig {
+                workers: 8,
+                ..Default::default()
+            },
             Box::new(move |rng: &mut netlock_sim::SimRng| {
                 use netlock_core::txn::TxnSource;
-                src.next_txn(rng).with_tenant(TenantId(2)).with_priority(Priority(0))
+                src.next_txn(rng)
+                    .with_tenant(TenantId(2))
+                    .with_priority(Priority(0))
             }),
         );
     }
@@ -78,15 +92,22 @@ fn isolation(isolate: bool) -> (f64, f64) {
     });
     let stats: Vec<LockStats> = lock_set()
         .iter()
-        .map(|&lock| LockStats { lock, rate: 1.0, contention: 48, home_server: 0 })
+        .map(|&lock| LockStats {
+            lock,
+            rate: 1.0,
+            contention: 48,
+            home_server: 0,
+        })
         .collect();
     rack.program(&knapsack_allocate(&stats, 100_000));
     if isolate {
         // Each tenant gets half of roughly the unisolated lock rate.
         let switch = rack.switch;
         rack.sim.with_node::<SwitchNode, _>(switch, |s| {
-            s.dataplane_mut().set_tenant_meter(TenantId(1), 150_000, 32, 0);
-            s.dataplane_mut().set_tenant_meter(TenantId(2), 150_000, 32, 0);
+            s.dataplane_mut()
+                .set_tenant_meter(TenantId(1), 150_000, 32, 0);
+            s.dataplane_mut()
+                .set_tenant_meter(TenantId(2), 150_000, 32, 0);
         });
     }
     for tenant in [1u16, 1, 1, 1, 2] {

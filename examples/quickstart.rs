@@ -67,7 +67,10 @@ fn main() {
     let lat = stats.lock_latency_summary();
     println!("transactions committed : {}", stats.txns);
     println!("transaction throughput : {:.2} KTPS", stats.tps() / 1e3);
-    println!("lock throughput        : {:.2} MRPS", stats.lock_rps() / 1e6);
+    println!(
+        "lock throughput        : {:.2} MRPS",
+        stats.lock_rps() / 1e6
+    );
     println!(
         "lock grant latency     : avg {:.1} µs, p50 {:.1} µs, p99 {:.1} µs",
         lat.avg_us(),

@@ -230,8 +230,7 @@ fn high_contention_crushes_drtm() {
         warmup_and_measure(&mut rack, WARM, MEAS)
     };
     let drtm = {
-        let sources: Vec<TpccSource> =
-            (0..clients).map(|_| TpccSource::new(cfg.clone())).collect();
+        let sources: Vec<TpccSource> = (0..clients).map(|_| TpccSource::new(cfg.clone())).collect();
         let mut rack = build_drtm(
             4,
             2,

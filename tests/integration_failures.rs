@@ -148,7 +148,9 @@ fn server_failover_moves_locks_to_backup() {
     let server_locks: Vec<LockId> = (0..64).map(LockId).collect();
     rack.sim.with_node::<SwitchNode, _>(switch, |s| {
         for &lock in &server_locks {
-            s.dataplane_mut().directory_mut().set_server_resident(lock, 0);
+            s.dataplane_mut()
+                .directory_mut()
+                .set_server_resident(lock, 0);
         }
     });
     let s0 = rack.lock_servers[0];
@@ -171,7 +173,9 @@ fn server_failover_moves_locks_to_backup() {
     rack.sim.run_for(SimDuration::from_millis(10));
     let healthy = txns_by_client(&rack)[0];
     assert!(healthy > 500);
-    let s0_grants = rack.sim.read_node::<ServerNode, _>(s0, |n| n.stats().grants);
+    let s0_grants = rack
+        .sim
+        .read_node::<ServerNode, _>(s0, |n| n.stats().grants);
     assert!(s0_grants > 0, "server 0 was serving");
 
     // Server 0 dies; the control plane reassigns its locks to server 1,
@@ -179,7 +183,9 @@ fn server_failover_moves_locks_to_backup() {
     rack.sim.fail_node(s0);
     rack.sim.with_node::<SwitchNode, _>(switch, |s| {
         for &lock in &server_locks {
-            s.dataplane_mut().directory_mut().set_server_resident(lock, 1);
+            s.dataplane_mut()
+                .directory_mut()
+                .set_server_resident(lock, 1);
         }
     });
     let grace_until = rack.sim.now().as_nanos() + SimDuration::from_millis(10).as_nanos();
@@ -202,7 +208,9 @@ fn server_failover_moves_locks_to_backup() {
         after > healthy + 500,
         "backup server must take over: {healthy} → {after}"
     );
-    let s1_grants = rack.sim.read_node::<ServerNode, _>(s1, |n| n.stats().grants);
+    let s1_grants = rack
+        .sim
+        .read_node::<ServerNode, _>(s1, |n| n.stats().grants);
     assert!(s1_grants > 0, "server 1 now grants");
 }
 
@@ -237,7 +245,12 @@ fn lossy_links_are_survivable() {
 
 /// Helper trait to keep the loss-injection call readable above.
 trait LossHelper {
-    fn topology_mut_link_loss(&mut self, src: netlock_sim::NodeId, dst: netlock_sim::NodeId, p: f64);
+    fn topology_mut_link_loss(
+        &mut self,
+        src: netlock_sim::NodeId,
+        dst: netlock_sim::NodeId,
+        p: f64,
+    );
 }
 
 impl LossHelper for netlock_sim::Simulator<NetLockMsg> {
@@ -294,9 +307,11 @@ fn backup_switch_takes_over() {
 
     // Primary dies; the control plane fails over.
     rack.sim.fail_node(primary);
-    rack.sim.with_node::<TxnClient, _>(client, |c| c.set_switch(backup));
+    rack.sim
+        .with_node::<TxnClient, _>(client, |c| c.set_switch(backup));
     for &s in &rack.lock_servers.clone() {
-        rack.sim.with_node::<ServerNode, _>(s, |n| n.set_switch(backup));
+        rack.sim
+            .with_node::<ServerNode, _>(s, |n| n.set_switch(backup));
     }
     rack.sim.run_for(SimDuration::from_millis(20));
     let after = txns_by_client(&rack)[0];
@@ -331,12 +346,8 @@ fn deadlock_broken_by_leases() {
     };
     // Think long enough that A-then-B and B-then-A overlap and wedge.
     let think = SimDuration::from_millis(2);
-    let fwd = move |_rng: &mut netlock_sim::SimRng| {
-        Transaction::new_ordered(vec![a, b], think)
-    };
-    let rev = move |_rng: &mut netlock_sim::SimRng| {
-        Transaction::new_ordered(vec![b, a], think)
-    };
+    let fwd = move |_rng: &mut netlock_sim::SimRng| Transaction::new_ordered(vec![a, b], think);
+    let rev = move |_rng: &mut netlock_sim::SimRng| Transaction::new_ordered(vec![b, a], think);
     let c1 = rack.add_txn_client(
         TxnClientConfig {
             workers: 1,
@@ -468,9 +479,9 @@ fn restart_handback_drains_backup_first() {
     sim.read_node::<Recorder, _>(client, |r| {
         assert_eq!(r.0.len(), 1, "original must not grant while suppressed")
     });
-    assert!(sim.read_node::<SwitchNode, _>(original, |s| {
-        s.dataplane().handback_suppressed(lock)
-    }));
+    assert!(
+        sim.read_node::<SwitchNode, _>(original, |s| { s.dataplane().handback_suppressed(lock) })
+    );
 
     // Drain the backup: releases go to the backup; it grants 2, then 3,
     // then — once empty — hands the lock back to the original, which
@@ -489,9 +500,9 @@ fn restart_handback_drains_backup_first() {
         vec![1, 2, 3, 4],
         "backup drains fully before the original grants"
     );
-    assert!(!sim.read_node::<SwitchNode, _>(original, |s| {
-        s.dataplane().handback_suppressed(lock)
-    }));
+    assert!(
+        !sim.read_node::<SwitchNode, _>(original, |s| { s.dataplane().handback_suppressed(lock) })
+    );
 
     // The original is now the sole grantor: release 4 → grant 5 there.
     sim.inject(client, original, rel(4));

@@ -84,10 +84,11 @@ fn overflow_preserves_conservation() {
             think: SimDuration::from_micros(5),
         }),
     );
-    rack.sim.run_until(SimTime(SimDuration::from_millis(40).as_nanos()));
-    let client_grants = rack
-        .sim
-        .read_node::<TxnClient, _>(rack.clients[0].0, |c| c.stats().grants + c.stats().stale_grants);
+    rack.sim
+        .run_until(SimTime(SimDuration::from_millis(40).as_nanos()));
+    let client_grants = rack.sim.read_node::<TxnClient, _>(rack.clients[0].0, |c| {
+        c.stats().grants + c.stats().stale_grants
+    });
     let switch_grants = rack.sim.read_node::<SwitchNode, _>(rack.switch, |s| {
         let d = s.dataplane().stats();
         d.grants_immediate + d.grants_on_release

@@ -57,8 +57,12 @@ impl Node<NetLockMsg> for AuditClient {
             let idx = txn.0 as usize;
             let hold = self.script[idx].3;
             self.grant_order.push((lock, txn));
-            self.intervals
-                .push((lock, mode, ctx.now().as_nanos(), ctx.now().as_nanos() + hold));
+            self.intervals.push((
+                lock,
+                mode,
+                ctx.now().as_nanos(),
+                ctx.now().as_nanos() + hold,
+            ));
             ctx.set_timer(
                 netlock_sim::SimDuration(hold),
                 TIMER_RELEASE_BASE + idx as u64,
@@ -139,7 +143,10 @@ fn exclusive_holds_never_overlap() {
                 )
             })
             .collect();
-        clients.push(rack.sim.add_node(Box::new(AuditClient::new(switch, script))));
+        clients.push(
+            rack.sim
+                .add_node(Box::new(AuditClient::new(switch, script))),
+        );
     }
     rack.sim.run_until(SimTime(50 * 30_000 * 10));
     let mut holds: Vec<(u64, u64)> = Vec::new();
@@ -151,7 +158,11 @@ fn exclusive_holds_never_overlap() {
             }
         });
     }
-    assert!(holds.len() >= 150, "most acquires should complete: {}", holds.len());
+    assert!(
+        holds.len() >= 150,
+        "most acquires should complete: {}",
+        holds.len()
+    );
     holds.sort_unstable();
     for w in holds.windows(2) {
         assert!(
@@ -179,7 +190,10 @@ fn shared_overlap_but_exclude_writers() {
         let script: Vec<(u64, LockId, LockMode, u64)> = (0..40)
             .map(|i| ((i * 50_000 + c * 11_000) as u64, LockId(1), mode, 25_000))
             .collect();
-        clients.push(rack.sim.add_node(Box::new(AuditClient::new(switch, script))));
+        clients.push(
+            rack.sim
+                .add_node(Box::new(AuditClient::new(switch, script))),
+        );
     }
     rack.sim.run_until(SimTime(40 * 50_000 * 10));
     let mut x_holds: Vec<(u64, u64)> = Vec::new();
@@ -198,19 +212,13 @@ fn shared_overlap_but_exclude_writers() {
     // No shared hold may overlap an exclusive hold.
     for &(xg, xr) in &x_holds {
         for &(sg, sr) in &s_holds {
-            assert!(
-                sr <= xg || sg >= xr,
-                "S [{sg},{sr}] overlaps X [{xg},{xr}]"
-            );
+            assert!(sr <= xg || sg >= xr, "S [{sg},{sr}] overlaps X [{xg},{xr}]");
         }
     }
     // Sanity: some shared holds actually overlapped each other.
     let mut sorted = s_holds.clone();
     sorted.sort_unstable();
-    let overlapping = sorted
-        .windows(2)
-        .filter(|w| w[1].0 < w[0].1)
-        .count();
+    let overlapping = sorted.windows(2).filter(|w| w[1].0 < w[0].1).count();
     assert!(overlapping > 0, "shared mode should allow concurrency");
 }
 
@@ -225,7 +233,9 @@ fn fcfs_grant_order() {
     let script: Vec<(u64, LockId, LockMode, u64)> = (0..20)
         .map(|i| ((i * 40_000) as u64, LockId(0), LockMode::Exclusive, 200_000))
         .collect();
-    let c = rack.sim.add_node(Box::new(AuditClient::new(switch, script)));
+    let c = rack
+        .sim
+        .add_node(Box::new(AuditClient::new(switch, script)));
     rack.sim.run_until(SimTime(20 * 300_000 * 10));
     rack.sim.read_node::<AuditClient, _>(c, |a| {
         assert_eq!(a.grant_order.len(), 20, "all requests granted");
@@ -252,23 +262,26 @@ fn grants_conserve_and_queues_drain() {
             )
         })
         .collect();
-    let c = rack.sim.add_node(Box::new(AuditClient::new(switch, script)));
+    let c = rack
+        .sim
+        .add_node(Box::new(AuditClient::new(switch, script)));
     rack.sim.run_until(SimTime(1_000_000_000));
     rack.sim.read_node::<AuditClient, _>(c, |a| {
         assert_eq!(a.intervals.len(), 100);
     });
     // After everything releases, all switch queues must be empty.
-    rack.sim.read_node::<netlock_switch::SwitchNode, _>(switch, |s| {
-        if let netlock_switch::Engine::Fcfs(q) = s.dataplane().engine() {
-            for qid in 0..8 {
-                assert_eq!(q.cp_region(qid).count, 0, "queue {qid} not drained");
+    rack.sim
+        .read_node::<netlock_switch::SwitchNode, _>(switch, |s| {
+            if let netlock_switch::Engine::Fcfs(q) = s.dataplane().engine() {
+                for qid in 0..8 {
+                    assert_eq!(q.cp_region(qid).count, 0, "queue {qid} not drained");
+                }
+            } else {
+                panic!("expected FCFS engine");
             }
-        } else {
-            panic!("expected FCFS engine");
-        }
-        let d = s.dataplane().stats();
-        assert_eq!(d.grants_immediate + d.grants_on_release, 100);
-    });
+            let d = s.dataplane().stats();
+            assert_eq!(d.grants_immediate + d.grants_on_release, 100);
+        });
 }
 
 /// The same run twice gives bit-identical results (determinism across
@@ -292,10 +305,12 @@ fn end_to_end_determinism() {
                 )
             })
             .collect();
-        let c = rack.sim.add_node(Box::new(AuditClient::new(switch, script)));
+        let c = rack
+            .sim
+            .add_node(Box::new(AuditClient::new(switch, script)));
         rack.sim.run_until(SimTime(100_000_000));
-        rack.sim.read_node::<AuditClient, _>(c, |a| a.intervals.clone())
+        rack.sim
+            .read_node::<AuditClient, _>(c, |a| a.intervals.clone())
     };
     assert_eq!(run(), run());
 }
-

@@ -82,7 +82,11 @@ fn priorities_differentiate_service() {
     rack.program_priority(&(0..locks).map(LockId).collect::<Vec<_>>());
     for tenant in [1u16, 1, 2, 2] {
         let mut src = exclusive_source(locks, 20);
-        let prio = if tenant == 1 { Priority(1) } else { Priority(0) };
+        let prio = if tenant == 1 {
+            Priority(1)
+        } else {
+            Priority(0)
+        };
         rack.add_txn_client(
             TxnClientConfig {
                 workers: 8,
@@ -129,8 +133,10 @@ fn quotas_enforce_isolation() {
         if isolate {
             let switch = rack.switch;
             rack.sim.with_node::<SwitchNode, _>(switch, |s| {
-                s.dataplane_mut().set_tenant_meter(TenantId(1), 120_000, 32, 0);
-                s.dataplane_mut().set_tenant_meter(TenantId(2), 120_000, 32, 0);
+                s.dataplane_mut()
+                    .set_tenant_meter(TenantId(1), 120_000, 32, 0);
+                s.dataplane_mut()
+                    .set_tenant_meter(TenantId(2), 120_000, 32, 0);
             });
         }
         // Tenant 1: 6 clients; tenant 2: 2 clients.
@@ -192,7 +198,8 @@ fn quota_drops_are_counted() {
     ));
     let switch = rack.switch;
     rack.sim.with_node::<SwitchNode, _>(switch, |s| {
-        s.dataplane_mut().set_tenant_meter(TenantId(7), 10_000, 4, 0);
+        s.dataplane_mut()
+            .set_tenant_meter(TenantId(7), 10_000, 4, 0);
     });
     rack.add_micro_client(MicroClientConfig {
         rate_rps: 1_000_000.0,

@@ -1,0 +1,270 @@
+//! Offline vendored shim of the slice of the `bytes` crate API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io (see README "Offline
+//! builds"), so the external `bytes` dependency is replaced by this path
+//! crate. [`Bytes`] here is a plain owned buffer with a read cursor — no
+//! reference-counted zero-copy splitting — because the wire codec only
+//! encodes into a fresh buffer and decodes front-to-back. The [`Buf`] /
+//! [`BufMut`] trait surface matches upstream for the methods used.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a contiguous byte cursor (big-endian getters).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `n` bytes.
+    ///
+    /// # Panics
+    /// If fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let v = u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+}
+
+/// Write access to a growable byte buffer (big-endian putters).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+///
+/// Upstream `Bytes` is cheaply cloneable shared storage; this shim simply
+/// owns a `Vec<u8>` (clones copy), which is indistinguishable for the
+/// codec and its tests.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Unread length.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// A new buffer holding the sub-range `range` of the unread bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.chunk()[range].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end of buffer");
+        self.pos += n;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of slice");
+        *self = &self[n..];
+    }
+}
+
+/// A mutable, growable byte buffer.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> BytesMut {
+        BytesMut {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(7);
+        m.put_u16(0x1234);
+        m.put_u32(0xDEAD_BEEF);
+        m.put_u64(42);
+        let mut b = m.freeze();
+        assert_eq!(b.remaining(), 15);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0x1234);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_index() {
+        let mut m = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        m[0] = 9;
+        let b = m.clone().freeze();
+        assert_eq!(&b[..], &[9, 2, 3, 4]);
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], &[2, 3]);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut m = BytesMut::with_capacity(2);
+        m.put_u16(0x4E4C);
+        assert_eq!(&m[..], &[0x4E, 0x4C]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn over_advance_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        b.advance(2);
+    }
+}

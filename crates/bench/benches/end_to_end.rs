@@ -4,7 +4,7 @@
 //! simulator or the systems under test.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use netlock_bench::{fig08, fig09, fig10, fig13, fig14, fig15, TimeScale};
+use netlock_bench::{fig08, fig09, fig10, fig13, fig14, fig15, Runner, TimeScale};
 use netlock_sim::SimDuration;
 
 fn tiny() -> TimeScale {
@@ -14,11 +14,15 @@ fn tiny() -> TimeScale {
     }
 }
 
+fn seq() -> Runner {
+    Runner::with_threads(1)
+}
+
 fn bench_micro(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
     g.bench_function("fig08a_shared_point", |b| {
-        b.iter(|| black_box(fig08::run_8a(tiny()).len()));
+        b.iter(|| black_box(fig08::run_8a(&seq(), tiny()).len()));
     });
     g.bench_function("fig09_switch_point", |b| {
         b.iter(|| black_box(fig09::run_switch(fig09::Workload::Shared, tiny())));
@@ -31,7 +35,7 @@ fn bench_tpcc(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("fig10_netlock_low_contention", |b| {
         b.iter(|| {
-            let results = fig10::run_comparison(2, 2, false, tiny());
+            let results = fig10::run_comparison(&seq(), 2, 2, false, tiny());
             black_box(results.len())
         });
     });
@@ -39,7 +43,9 @@ fn bench_tpcc(c: &mut Criterion) {
         b.iter(|| black_box(fig13::run_policy(false, tiny()).stats.txns));
     });
     g.bench_function("fig14_memory_point", |b| {
-        b.iter(|| black_box(fig14::run_think_sweep(SimDuration::ZERO, &[1_000], tiny()).len()));
+        b.iter(|| {
+            black_box(fig14::run_think_sweep(&seq(), SimDuration::ZERO, &[1_000], tiny()).len())
+        });
     });
     g.bench_function("fig15_failure_timeline", |b| {
         b.iter(|| {

@@ -1,0 +1,161 @@
+//! Micro-benchmarks of the simulator's event-scheduler hot path.
+//!
+//! Three variants over identical schedules: the calendar queue with an
+//! inline payload (the new path), a plain `BinaryHeap` with the same
+//! inline payload (structure-only comparison), and a `BinaryHeap` of
+//! boxed dispatch closures (what `Simulator` actually did before —
+//! one heap allocation plus an indirect call per event). The third is
+//! the honest before/after; the second isolates how much of the gap
+//! is the queue structure vs. the allocation-free payload.
+//! Depth/delay regimes mirror the rack workloads (RPC round-trips of
+//! a few microseconds plus sparse long timers).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netlock_sim::{EventQueue, SimDuration, SimTime};
+
+/// Deterministic xorshift so both queues see the same schedule.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Churn `rounds` events through the calendar queue at a steady depth,
+/// with delays drawn uniformly from `[0, max_delay)` nanoseconds.
+fn churn_calendar(depth: usize, rounds: usize, max_delay: u64) -> u64 {
+    let mut q = EventQueue::new();
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut seq = 0u64;
+    let mut now = SimTime::ZERO;
+    for _ in 0..depth {
+        q.push(now + SimDuration(xorshift(&mut rng) % max_delay), seq, seq);
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        let (at, _, item) = q.pop().expect("queue kept at steady depth");
+        now = at;
+        acc = acc.wrapping_add(item);
+        q.push(now + SimDuration(xorshift(&mut rng) % max_delay), seq, seq);
+        seq += 1;
+    }
+    acc
+}
+
+/// Same schedule through the reference `BinaryHeap<Reverse<...>>`.
+fn churn_heap(depth: usize, rounds: usize, max_delay: u64) -> u64 {
+    let mut q: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut seq = 0u64;
+    let mut now = SimTime::ZERO;
+    for _ in 0..depth {
+        q.push(Reverse((
+            now + SimDuration(xorshift(&mut rng) % max_delay),
+            seq,
+            seq,
+        )));
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        let Reverse((at, _, item)) = q.pop().expect("queue kept at steady depth");
+        now = at;
+        acc = acc.wrapping_add(item);
+        q.push(Reverse((
+            now + SimDuration(xorshift(&mut rng) % max_delay),
+            seq,
+            seq,
+        )));
+        seq += 1;
+    }
+    acc
+}
+
+/// The pre-calendar-queue hot path: a heap of boxed dispatch closures,
+/// one allocation + one indirect call per event.
+#[allow(clippy::type_complexity)]
+fn churn_heap_boxed(depth: usize, rounds: usize, max_delay: u64) -> u64 {
+    struct Ev {
+        at: SimTime,
+        seq: u64,
+        run: Box<dyn FnOnce(&mut u64)>,
+    }
+    impl PartialEq for Ev {
+        fn eq(&self, other: &Self) -> bool {
+            (self.at, self.seq) == (other.at, other.seq)
+        }
+    }
+    impl Eq for Ev {}
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ev {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.at, self.seq).cmp(&(other.at, other.seq))
+        }
+    }
+    let mut q: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut seq = 0u64;
+    let mut now = SimTime::ZERO;
+    let push = |q: &mut BinaryHeap<Reverse<Ev>>, now: SimTime, rng: &mut u64, seq: &mut u64| {
+        let item = *seq;
+        q.push(Reverse(Ev {
+            at: now + SimDuration(xorshift(rng) % max_delay),
+            seq: *seq,
+            run: Box::new(move |acc: &mut u64| *acc = acc.wrapping_add(item)),
+        }));
+        *seq += 1;
+    };
+    for _ in 0..depth {
+        push(&mut q, now, &mut rng, &mut seq);
+    }
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        let Reverse(ev) = q.pop().expect("queue kept at steady depth");
+        now = ev.at;
+        (ev.run)(&mut acc);
+        push(&mut q, now, &mut rng, &mut seq);
+    }
+    acc
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    // Depths bracket what the figure harnesses sustain (hundreds to a
+    // few thousand in-flight events); 4 us delays model RPC hops
+    // inside the calendar horizon, 40 ms delays force overflow-tier
+    // traffic (client think times, sampling timers).
+    for &depth in &[64usize, 1_024, 8_192] {
+        g.bench_function(&format!("calendar_depth_{depth}_short"), |b| {
+            b.iter(|| black_box(churn_calendar(depth, 10_000, 4_096)));
+        });
+        g.bench_function(&format!("heap_depth_{depth}_short"), |b| {
+            b.iter(|| black_box(churn_heap(depth, 10_000, 4_096)));
+        });
+        g.bench_function(&format!("heap_boxed_depth_{depth}_short"), |b| {
+            b.iter(|| black_box(churn_heap_boxed(depth, 10_000, 4_096)));
+        });
+    }
+    g.bench_function("calendar_depth_1024_long", |b| {
+        b.iter(|| black_box(churn_calendar(1_024, 10_000, 40_000_000)));
+    });
+    g.bench_function("heap_depth_1024_long", |b| {
+        b.iter(|| black_box(churn_heap(1_024, 10_000, 40_000_000)));
+    });
+    g.bench_function("heap_boxed_depth_1024_long", |b| {
+        b.iter(|| black_box(churn_heap_boxed(1_024, 10_000, 40_000_000)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

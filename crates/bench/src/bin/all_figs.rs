@@ -1,38 +1,60 @@
 //! Runs every figure harness in sequence (the full reproduction).
-use netlock_bench::TimeScale;
-use netlock_sim::SimDuration;
+//!
+//! Each figure's sweep fans out over the shared worker pool
+//! (`--threads N` / `NETLOCK_THREADS`, default: available
+//! parallelism); stdout is byte-identical for any thread count.
+//! Per-figure wall-clock goes to stderr so a regression is
+//! attributable to a figure.
+use netlock_bench::{BinArgs, Fig, Runner};
+
+fn timed(name: &str, f: impl FnOnce()) {
+    let t = std::time::Instant::now();
+    f();
+    eprintln!("# {name}: {:.1}s", t.elapsed().as_secs_f64());
+}
 
 fn main() {
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    eprintln!("# sweep runner: {} thread(s)", runner.threads());
     let t0 = std::time::Instant::now();
-    let micro = TimeScale {
-        warmup: SimDuration::from_millis(1),
-        measure: SimDuration::from_millis(5),
-    };
-    let fig9 = TimeScale {
-        warmup: SimDuration::from_millis(1),
-        measure: SimDuration::from_millis(3),
-    };
-    netlock_bench::fig08::run_and_print(micro);
-    println!();
-    netlock_bench::fig09::run_and_print(fig9);
-    println!();
-    netlock_bench::fig10::run_and_print(10, 2, TimeScale::full());
-    println!();
-    netlock_bench::fig10::run_and_print(6, 6, TimeScale::full());
-    println!();
-    netlock_bench::fig12::run_and_print();
-    println!();
-    netlock_bench::fig13::run_and_print(TimeScale::full());
-    println!();
-    let fig14 = TimeScale {
-        warmup: SimDuration::from_millis(5),
-        measure: SimDuration::from_millis(25),
-    };
-    netlock_bench::fig14::run_and_print(fig14);
-    println!();
-    netlock_bench::fig15::run_and_print();
+    run_all(&args, &runner);
     eprintln!(
         "# all figures regenerated in {:.1}s",
         t0.elapsed().as_secs_f64()
     );
+}
+
+fn run_all(args: &BinArgs, runner: &Runner) {
+    timed("fig08", || {
+        netlock_bench::fig08::run_and_print(runner, args.scale(Fig::F08));
+    });
+    println!();
+    timed("fig09", || {
+        netlock_bench::fig09::run_and_print(runner, args.scale(Fig::F09));
+    });
+    println!();
+    timed("fig10", || {
+        netlock_bench::fig10::run_and_print(runner, 10, 2, args.scale(Fig::F10));
+    });
+    println!();
+    timed("fig11", || {
+        netlock_bench::fig10::run_and_print(runner, 6, 6, args.scale(Fig::F11));
+    });
+    println!();
+    timed("fig12", || {
+        netlock_bench::fig12::run_and_print(runner, args.quick);
+    });
+    println!();
+    timed("fig13", || {
+        netlock_bench::fig13::run_and_print(runner, args.scale(Fig::F13));
+    });
+    println!();
+    timed("fig14", || {
+        netlock_bench::fig14::run_and_print(runner, args.scale(Fig::F14));
+    });
+    println!();
+    timed("fig15", || {
+        netlock_bench::fig15::run_and_print(args.quick);
+    });
 }

@@ -1,0 +1,212 @@
+//! Writes `BENCH_sim.json`: a machine-readable snapshot of simulator
+//! hot-path performance — calendar-queue vs reference-heap event
+//! scheduling cost, plus the wall-clock of representative end-to-end
+//! figure points. Run from the repo root:
+//!
+//! ```text
+//! cargo run --release --bin bench_sim
+//! ```
+//!
+//! The report is written to `BENCH_sim.json` in the current directory
+//! (override the path with a single positional argument).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use netlock_bench::report::Json;
+use netlock_bench::{fig08, fig09, Runner, TimeScale};
+use netlock_sim::{EventQueue, SimDuration, SimTime};
+
+/// Deterministic xorshift so both queue implementations replay the
+/// same event schedule.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Steady-depth churn through the calendar queue; returns ns/op.
+fn churn_calendar(depth: usize, rounds: usize, max_delay: u64) -> f64 {
+    let mut q = EventQueue::new();
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut seq = 0u64;
+    let mut now = SimTime::ZERO;
+    for _ in 0..depth {
+        q.push(now + SimDuration(xorshift(&mut rng) % max_delay), seq, seq);
+        seq += 1;
+    }
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        let (at, _, item) = q.pop().expect("steady depth");
+        now = at;
+        acc = acc.wrapping_add(item);
+        q.push(now + SimDuration(xorshift(&mut rng) % max_delay), seq, seq);
+        seq += 1;
+    }
+    std::hint::black_box(acc);
+    t.elapsed().as_nanos() as f64 / rounds as f64
+}
+
+/// The same churn through the `BinaryHeap` the simulator used before;
+/// returns ns/op.
+fn churn_heap(depth: usize, rounds: usize, max_delay: u64) -> f64 {
+    let mut q: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut seq = 0u64;
+    let mut now = SimTime::ZERO;
+    for _ in 0..depth {
+        q.push(Reverse((
+            now + SimDuration(xorshift(&mut rng) % max_delay),
+            seq,
+            seq,
+        )));
+        seq += 1;
+    }
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        let Reverse((at, _, item)) = q.pop().expect("steady depth");
+        now = at;
+        acc = acc.wrapping_add(item);
+        q.push(Reverse((
+            now + SimDuration(xorshift(&mut rng) % max_delay),
+            seq,
+            seq,
+        )));
+        seq += 1;
+    }
+    std::hint::black_box(acc);
+    t.elapsed().as_nanos() as f64 / rounds as f64
+}
+
+/// The pre-calendar-queue hot path: a heap of boxed dispatch closures
+/// (what `Simulator` stored before this rework — one heap allocation
+/// plus one indirect call per event); returns ns/op.
+fn churn_heap_boxed(depth: usize, rounds: usize, max_delay: u64) -> f64 {
+    struct Ev {
+        at: SimTime,
+        seq: u64,
+        run: Box<dyn FnOnce(&mut u64)>,
+    }
+    impl PartialEq for Ev {
+        fn eq(&self, other: &Self) -> bool {
+            (self.at, self.seq) == (other.at, other.seq)
+        }
+    }
+    impl Eq for Ev {}
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ev {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.at, self.seq).cmp(&(other.at, other.seq))
+        }
+    }
+    let mut q: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut seq = 0u64;
+    let mut now = SimTime::ZERO;
+    let push = |q: &mut BinaryHeap<Reverse<Ev>>, now: SimTime, rng: &mut u64, seq: &mut u64| {
+        let item = *seq;
+        q.push(Reverse(Ev {
+            at: now + SimDuration(xorshift(rng) % max_delay),
+            seq: *seq,
+            run: Box::new(move |acc: &mut u64| *acc = acc.wrapping_add(item)),
+        }));
+        *seq += 1;
+    };
+    for _ in 0..depth {
+        push(&mut q, now, &mut rng, &mut seq);
+    }
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        let Reverse(ev) = q.pop().expect("steady depth");
+        now = ev.at;
+        (ev.run)(&mut acc);
+        push(&mut q, now, &mut rng, &mut seq);
+    }
+    std::hint::black_box(acc);
+    t.elapsed().as_nanos() as f64 / rounds as f64
+}
+
+/// One queue comparison at a given steady depth and delay range.
+fn queue_point(depth: usize, max_delay: u64) -> Json {
+    const ROUNDS: usize = 200_000;
+    // Warm up, then take the better of two runs per implementation to
+    // damp scheduler noise on shared machines.
+    let cal =
+        churn_calendar(depth, ROUNDS, max_delay).min(churn_calendar(depth, ROUNDS, max_delay));
+    let heap = churn_heap(depth, ROUNDS, max_delay).min(churn_heap(depth, ROUNDS, max_delay));
+    let boxed =
+        churn_heap_boxed(depth, ROUNDS, max_delay).min(churn_heap_boxed(depth, ROUNDS, max_delay));
+    Json::obj([
+        ("depth", Json::Int(depth as u64)),
+        ("max_delay_ns", Json::Int(max_delay)),
+        ("rounds", Json::Int(ROUNDS as u64)),
+        ("calendar_ns_per_op", Json::Num(cal)),
+        ("heap_inline_ns_per_op", Json::Num(heap)),
+        ("heap_boxed_ns_per_op", Json::Num(boxed)),
+        ("old_over_new", Json::Num(boxed / cal)),
+    ])
+}
+
+/// Times one end-to-end figure point and returns (label, millis).
+fn timed_ms(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let seq = Runner::with_threads(1);
+    let scale = TimeScale::quick();
+
+    eprintln!("# event-queue microbench ...");
+    let queue = Json::Arr(vec![
+        queue_point(64, 4_096),
+        queue_point(1_024, 4_096),
+        queue_point(8_192, 4_096),
+        queue_point(1_024, 40_000_000),
+    ]);
+
+    eprintln!("# end-to-end figure points (quick scale, 1 thread) ...");
+    let fig09_ms = timed_ms(|| {
+        std::hint::black_box(fig09::run_switch(fig09::Workload::Shared, scale));
+    });
+    let fig08_ms = timed_ms(|| {
+        std::hint::black_box(fig08::run_8a(&seq, scale).len());
+    });
+
+    let report = Json::obj([
+        ("schema", Json::str("netlock-bench-sim/1")),
+        ("queue_churn", queue),
+        (
+            "end_to_end_ms",
+            Json::obj([
+                ("fig09_switch_shared", Json::Num(fig09_ms)),
+                ("fig08a_sweep", Json::Num(fig08_ms)),
+            ]),
+        ),
+        (
+            "threads_available",
+            Json::Int(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(1),
+            ),
+        ),
+    ]);
+    std::fs::write(&path, report.render()).expect("write report");
+    eprintln!("# wrote {path}");
+}

@@ -1,15 +1,12 @@
 //! Regenerates Figure 8 (switch microbenchmark). See DESIGN.md §3.
-use netlock_bench::TimeScale;
-use netlock_sim::SimDuration;
+use netlock_bench::{BinArgs, Fig};
 
 fn main() {
-    let scale = TimeScale {
-        warmup: SimDuration::from_millis(1),
-        measure: SimDuration::from_millis(5),
-    };
+    let args = BinArgs::parse();
+    let scale = args.scale(Fig::F08);
     println!(
         "# scaling: {} warmup, {} measure per point (simulated time)",
         scale.warmup, scale.measure
     );
-    netlock_bench::fig08::run_and_print(scale);
+    netlock_bench::fig08::run_and_print(&args.runner(), scale);
 }

@@ -1,15 +1,12 @@
 //! Regenerates Figure 9 (lock switch vs lock server, 1-8 cores).
-use netlock_bench::TimeScale;
-use netlock_sim::SimDuration;
+use netlock_bench::{BinArgs, Fig};
 
 fn main() {
-    let scale = TimeScale {
-        warmup: SimDuration::from_millis(1),
-        measure: SimDuration::from_millis(3),
-    };
+    let args = BinArgs::parse();
+    let scale = args.scale(Fig::F09);
     println!(
         "# scaling: {} warmup, {} measure per point (simulated time)",
         scale.warmup, scale.measure
     );
-    netlock_bench::fig09::run_and_print(scale);
+    netlock_bench::fig09::run_and_print(&args.runner(), scale);
 }

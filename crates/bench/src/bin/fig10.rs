@@ -1,11 +1,12 @@
 //! Regenerates Figure 10 (TPC-C comparison, 10 clients + 2 lock servers).
-use netlock_bench::TimeScale;
+use netlock_bench::{BinArgs, Fig};
 
 fn main() {
-    let scale = TimeScale::full();
+    let args = BinArgs::parse();
+    let scale = args.scale(Fig::F10);
     println!(
         "# scaling: {} warmup, {} measure (simulated time)",
         scale.warmup, scale.measure
     );
-    netlock_bench::fig10::run_and_print(10, 2, scale);
+    netlock_bench::fig10::run_and_print(&args.runner(), 10, 2, scale);
 }

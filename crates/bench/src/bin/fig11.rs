@@ -1,11 +1,12 @@
 //! Regenerates Figure 11 (TPC-C comparison, 6 clients + 6 lock servers).
-use netlock_bench::TimeScale;
+use netlock_bench::{BinArgs, Fig};
 
 fn main() {
-    let scale = TimeScale::full();
+    let args = BinArgs::parse();
+    let scale = args.scale(Fig::F11);
     println!(
         "# scaling: {} warmup, {} measure (simulated time)",
         scale.warmup, scale.measure
     );
-    netlock_bench::fig10::run_and_print(6, 6, scale);
+    netlock_bench::fig10::run_and_print(&args.runner(), 6, 6, scale);
 }

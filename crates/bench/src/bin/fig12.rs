@@ -1,5 +1,12 @@
 //! Regenerates Figure 12 (policy support: differentiation + isolation).
+use netlock_bench::BinArgs;
+
 fn main() {
-    println!("# scaling: 2 s simulated series, 100 ms sampling; think time 500 us");
-    netlock_bench::fig12::run_and_print();
+    let args = BinArgs::parse();
+    if args.quick {
+        println!("# scaling: 0.4 s simulated series, 20 ms sampling; think time 500 us");
+    } else {
+        println!("# scaling: 2 s simulated series, 100 ms sampling; think time 500 us");
+    }
+    netlock_bench::fig12::run_and_print(&args.runner(), args.quick);
 }

@@ -1,11 +1,12 @@
 //! Regenerates Figure 13 (knapsack vs random memory allocation).
-use netlock_bench::TimeScale;
+use netlock_bench::{BinArgs, Fig};
 
 fn main() {
-    let scale = TimeScale::full();
+    let args = BinArgs::parse();
+    let scale = args.scale(Fig::F13);
     println!(
         "# scaling: {} warmup, {} measure (simulated time)",
         scale.warmup, scale.measure
     );
-    netlock_bench::fig13::run_and_print(scale);
+    netlock_bench::fig13::run_and_print(&args.runner(), scale);
 }

@@ -1,15 +1,12 @@
 //! Regenerates Figure 14 (impact of switch memory size).
-use netlock_bench::TimeScale;
-use netlock_sim::SimDuration;
+use netlock_bench::{BinArgs, Fig};
 
 fn main() {
-    let scale = TimeScale {
-        warmup: SimDuration::from_millis(5),
-        measure: SimDuration::from_millis(25),
-    };
+    let args = BinArgs::parse();
+    let scale = args.scale(Fig::F14);
     println!(
         "# scaling: {} warmup, {} measure per point (simulated time)",
         scale.warmup, scale.measure
     );
-    netlock_bench::fig14::run_and_print(scale);
+    netlock_bench::fig14::run_and_print(&args.runner(), scale);
 }

@@ -1,5 +1,12 @@
 //! Regenerates Figure 15 (switch failure and reactivation).
+use netlock_bench::BinArgs;
+
 fn main() {
-    println!("# scaling: 6 s simulated timeline (paper: 20 s), 200 ms sampling");
-    netlock_bench::fig15::run_and_print();
+    let args = BinArgs::parse();
+    if args.quick {
+        println!("# scaling: 1.5 s simulated timeline (paper: 20 s), 50 ms sampling");
+    } else {
+        println!("# scaling: 6 s simulated timeline (paper: 20 s), 200 ms sampling");
+    }
+    netlock_bench::fig15::run_and_print(args.quick);
 }

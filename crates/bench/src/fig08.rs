@@ -10,10 +10,13 @@
 //! server in (c)/(d). The switch's 100K-slot shared queue is split
 //! evenly over the target lock set.
 
+use std::fmt::Write;
+
 use netlock_core::prelude::*;
 use netlock_proto::{LockId, LockMode};
 
 use crate::common::{mrps, TimeScale};
+use crate::runner::Runner;
 
 /// Clients in the paper's testbed.
 pub const CLIENTS: usize = 12;
@@ -60,46 +63,55 @@ fn build_rack(locks_total: u32, per_lock_slots: u32) -> Rack {
     rack
 }
 
+fn rate_point(
+    mode: LockMode,
+    disjoint_locks: bool,
+    offered: f64,
+    scale: TimeScale,
+) -> LatencyPoint {
+    let locks_total = 6_000u32;
+    let per_client = locks_total / CLIENTS as u32;
+    let mut rack = build_rack(locks_total, SWITCH_SLOTS / locks_total);
+    for c in 0..CLIENTS {
+        let locks: Vec<LockId> = if disjoint_locks {
+            (c as u32 * per_client..(c as u32 + 1) * per_client)
+                .map(LockId)
+                .collect()
+        } else {
+            (0..locks_total).map(LockId).collect()
+        };
+        rack.add_micro_client(MicroClientConfig {
+            rate_rps: offered * 1e6 / CLIENTS as f64,
+            locks,
+            mode,
+            poisson: true,
+            ..Default::default()
+        });
+    }
+    let stats = warmup_and_measure(&mut rack, scale.warmup, scale.measure);
+    LatencyPoint {
+        offered_mrps: offered,
+        achieved_mrps: mrps(stats.lock_rps()),
+        latency: stats.lock_latency_summary(),
+    }
+}
+
 fn run_rate_sweep(
+    runner: &Runner,
     mode: LockMode,
     disjoint_locks: bool,
     offered_mrps_points: &[f64],
     scale: TimeScale,
 ) -> Vec<LatencyPoint> {
-    let locks_total = 6_000u32;
-    let per_client = locks_total / CLIENTS as u32;
-    let mut out = Vec::new();
-    for &offered in offered_mrps_points {
-        let mut rack = build_rack(locks_total, SWITCH_SLOTS / locks_total);
-        for c in 0..CLIENTS {
-            let locks: Vec<LockId> = if disjoint_locks {
-                (c as u32 * per_client..(c as u32 + 1) * per_client)
-                    .map(LockId)
-                    .collect()
-            } else {
-                (0..locks_total).map(LockId).collect()
-            };
-            rack.add_micro_client(MicroClientConfig {
-                rate_rps: offered * 1e6 / CLIENTS as f64,
-                locks,
-                mode,
-                poisson: true,
-                ..Default::default()
-            });
-        }
-        let stats = warmup_and_measure(&mut rack, scale.warmup, scale.measure);
-        out.push(LatencyPoint {
-            offered_mrps: offered,
-            achieved_mrps: mrps(stats.lock_rps()),
-            latency: stats.lock_latency_summary(),
-        });
-    }
-    out
+    runner.map(offered_mrps_points.to_vec(), |offered| {
+        rate_point(mode, disjoint_locks, offered, scale)
+    })
 }
 
 /// Panel (a): shared locks, no contention possible.
-pub fn run_8a(scale: TimeScale) -> Vec<LatencyPoint> {
+pub fn run_8a(runner: &Runner, scale: TimeScale) -> Vec<LatencyPoint> {
     run_rate_sweep(
+        runner,
         LockMode::Shared,
         false,
         &[1.0, 5.0, 20.0, 50.0, 100.0, 200.0],
@@ -108,8 +120,9 @@ pub fn run_8a(scale: TimeScale) -> Vec<LatencyPoint> {
 }
 
 /// Panel (b): exclusive locks, disjoint per-client lock ranges.
-pub fn run_8b(scale: TimeScale) -> Vec<LatencyPoint> {
+pub fn run_8b(runner: &Runner, scale: TimeScale) -> Vec<LatencyPoint> {
     run_rate_sweep(
+        runner,
         LockMode::Exclusive,
         true,
         &[1.0, 5.0, 20.0, 50.0, 100.0, 200.0],
@@ -119,9 +132,8 @@ pub fn run_8b(scale: TimeScale) -> Vec<LatencyPoint> {
 
 /// Panels (c)/(d): exclusive locks over a shared lock set of varying
 /// size; all 12 clients offer their full NIC rate (18 MRPS each).
-pub fn run_8cd(scale: TimeScale) -> Vec<ContentionPoint> {
-    let mut out = Vec::new();
-    for &locks in &[500u32, 2_000, 4_000, 6_000, 8_000, 10_000] {
+pub fn run_8cd(runner: &Runner, scale: TimeScale) -> Vec<ContentionPoint> {
+    runner.map(vec![500u32, 2_000, 4_000, 6_000, 8_000, 10_000], |locks| {
         let per_lock = (SWITCH_SLOTS / locks).min(4_096);
         let mut rack = build_rack(locks, per_lock);
         for _ in 0..CLIENTS {
@@ -134,21 +146,25 @@ pub fn run_8cd(scale: TimeScale) -> Vec<ContentionPoint> {
             });
         }
         let stats = warmup_and_measure(&mut rack, scale.warmup, scale.measure);
-        out.push(ContentionPoint {
+        ContentionPoint {
             locks,
             achieved_mrps: mrps(stats.lock_rps()),
             latency: stats.lock_latency_summary(),
-        });
-    }
-    out
+        }
+    })
 }
 
-/// Print all four panels as TSV.
-pub fn run_and_print(scale: TimeScale) {
-    println!("# Figure 8(a): shared locks — latency vs throughput");
-    println!("offered_mrps\tachieved_mrps\tavg_us\tmed_us\tp99_us\tp999_us");
-    for p in run_8a(scale) {
-        println!(
+/// All four panels as TSV (identical text for any runner thread count).
+pub fn render(runner: &Runner, scale: TimeScale) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 8(a): shared locks — latency vs throughput");
+    let _ = writeln!(
+        out,
+        "offered_mrps\tachieved_mrps\tavg_us\tmed_us\tp99_us\tp999_us"
+    );
+    for p in run_8a(runner, scale) {
+        let _ = writeln!(
+            out,
             "{:.1}\t{:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
             p.offered_mrps,
             p.achieved_mrps,
@@ -158,11 +174,18 @@ pub fn run_and_print(scale: TimeScale) {
             p.latency.p999_us()
         );
     }
-    println!();
-    println!("# Figure 8(b): exclusive locks w/o contention — latency vs throughput");
-    println!("offered_mrps\tachieved_mrps\tavg_us\tmed_us\tp99_us\tp999_us");
-    for p in run_8b(scale) {
-        println!(
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "# Figure 8(b): exclusive locks w/o contention — latency vs throughput"
+    );
+    let _ = writeln!(
+        out,
+        "offered_mrps\tachieved_mrps\tavg_us\tmed_us\tp99_us\tp999_us"
+    );
+    for p in run_8b(runner, scale) {
+        let _ = writeln!(
+            out,
             "{:.1}\t{:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
             p.offered_mrps,
             p.achieved_mrps,
@@ -172,11 +195,15 @@ pub fn run_and_print(scale: TimeScale) {
             p.latency.p999_us()
         );
     }
-    println!();
-    println!("# Figure 8(c)/(d): exclusive locks w/ contention vs number of locks");
-    println!("locks\tachieved_mrps\tavg_us\tmed_us\tp99_us\tp999_us");
-    for p in run_8cd(scale) {
-        println!(
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "# Figure 8(c)/(d): exclusive locks w/ contention vs number of locks"
+    );
+    let _ = writeln!(out, "locks\tachieved_mrps\tavg_us\tmed_us\tp99_us\tp999_us");
+    for p in run_8cd(runner, scale) {
+        let _ = writeln!(
+            out,
             "{}\t{:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
             p.locks,
             p.achieved_mrps,
@@ -186,6 +213,12 @@ pub fn run_and_print(scale: TimeScale) {
             p.latency.p999_us()
         );
     }
+    out
+}
+
+/// Print all four panels as TSV.
+pub fn run_and_print(runner: &Runner, scale: TimeScale) {
+    print!("{}", render(runner, scale));
 }
 
 #[cfg(test)]
@@ -201,7 +234,8 @@ mod tests {
 
     #[test]
     fn shared_latency_flat_with_load() {
-        let pts = run_rate_sweep(LockMode::Shared, false, &[1.0, 20.0], tiny());
+        let runner = Runner::with_threads(1);
+        let pts = run_rate_sweep(&runner, LockMode::Shared, false, &[1.0, 20.0], tiny());
         // The switch is never the bottleneck: latency stays ~constant.
         let lo = pts[0].latency.avg_ns;
         let hi = pts[1].latency.avg_ns;

@@ -7,11 +7,14 @@
 //! paper, the switch is *not* saturated by ten clients; the server
 //! saturates at its core count × per-core rate.
 
+use std::fmt::Write;
+
 use netlock_baselines::server_only::build_server_only;
 use netlock_core::prelude::*;
 use netlock_proto::{LockId, LockMode};
 
 use crate::common::{mrps, TimeScale};
+use crate::runner::{Job, Runner};
 
 /// Client machines.
 pub const CLIENTS: usize = 10;
@@ -114,20 +117,42 @@ pub fn run_server(workload: Workload, cores: usize, scale: TimeScale) -> f64 {
     mrps(stats.lock_rps())
 }
 
-/// Print the figure as TSV.
-pub fn run_and_print(scale: TimeScale) {
-    println!("# Figure 9: lock switch vs lock server (1-8 cores), 10 clients");
-    println!("system\tcores\tworkload\tthroughput_mrps");
+/// The figure as TSV: 3 switch rows then 24 server rows, computed as
+/// one batch of 27 independent jobs.
+pub fn render(runner: &Runner, scale: TimeScale) -> String {
+    let mut jobs: Vec<Job<'_, f64>> = Vec::new();
     for wl in Workload::all() {
-        let t = run_switch(wl, scale);
-        println!("switch\t-\t{}\t{:.2}", wl.label(), t);
+        jobs.push(Box::new(move || run_switch(wl, scale)));
     }
     for wl in Workload::all() {
         for cores in 1..=8 {
-            let t = run_server(wl, cores, scale);
-            println!("server\t{}\t{}\t{:.3}", cores, wl.label(), t);
+            jobs.push(Box::new(move || run_server(wl, cores, scale)));
         }
     }
+    let results = runner.run(jobs);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Figure 9: lock switch vs lock server (1-8 cores), 10 clients"
+    );
+    let _ = writeln!(out, "system\tcores\tworkload\tthroughput_mrps");
+    let mut rows = results.into_iter();
+    for wl in Workload::all() {
+        let t = rows.next().expect("switch row");
+        let _ = writeln!(out, "switch\t-\t{}\t{:.2}", wl.label(), t);
+    }
+    for wl in Workload::all() {
+        for cores in 1..=8 {
+            let t = rows.next().expect("server row");
+            let _ = writeln!(out, "server\t{}\t{}\t{:.3}", cores, wl.label(), t);
+        }
+    }
+    out
+}
+
+/// Print the figure as TSV.
+pub fn run_and_print(runner: &Runner, scale: TimeScale) {
+    print!("{}", render(runner, scale));
 }
 
 #[cfg(test)]

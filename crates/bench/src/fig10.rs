@@ -8,6 +8,8 @@
 //! throughput, transaction throughput, and average / 99th-percentile
 //! transaction latency.
 
+use std::fmt::Write;
+
 use netlock_baselines::{
     build_drtm, build_dslr, build_netchain, measure_drtm, measure_dslr, measure_netchain,
     DrtmClientConfig, DslrClientConfig, NcClientConfig, RdmaNicConfig,
@@ -15,26 +17,20 @@ use netlock_baselines::{
 use netlock_core::prelude::*;
 
 use crate::common::{build_netlock_tpcc, tpcc_sources, SystemResult, TimeScale, TpccRackSpec};
+use crate::runner::Runner;
 
-/// Run the four systems for one deployment + contention setting.
-pub fn run_comparison(
-    clients: usize,
-    lock_servers: usize,
-    high_contention: bool,
-    scale: TimeScale,
-) -> Vec<SystemResult> {
-    run_comparison_with_workers(clients, lock_servers, high_contention, scale, 16)
-}
+/// The four systems of the comparison, in figure row order.
+const SYSTEMS: [&str; 4] = ["DSLR", "DrTM", "NetChain", "NetLock"];
 
-/// [`run_comparison`] with an explicit per-client worker count (the
-/// offered load knob; the paper's clients saturate the systems).
-pub fn run_comparison_with_workers(
+/// Run one system for one deployment + contention setting.
+pub fn run_system(
+    system: &'static str,
     clients: usize,
     lock_servers: usize,
     high_contention: bool,
     scale: TimeScale,
     workers_per_client: usize,
-) -> Vec<SystemResult> {
+) -> SystemResult {
     let contention = if high_contention { "high" } else { "low" };
     let spec = TpccRackSpec {
         clients,
@@ -44,95 +40,122 @@ pub fn run_comparison_with_workers(
         ..Default::default()
     };
     let workers = spec.workers_per_client;
-    let mut results = Vec::new();
-
-    // DSLR: RDMA bakery on `lock_servers` RDMA nodes.
-    {
-        let mut rack = build_dslr(
-            spec.seed,
-            lock_servers,
-            DslrClientConfig {
-                workers,
-                ..Default::default()
-            },
-            RdmaNicConfig::default(),
-            tpcc_sources(&spec),
-        );
-        let stats = measure_dslr(&mut rack, scale.warmup, scale.measure);
-        results.push(SystemResult {
-            system: "DSLR",
-            contention,
-            stats,
-        });
+    let stats = match system {
+        // DSLR: RDMA bakery on `lock_servers` RDMA nodes.
+        "DSLR" => {
+            let mut rack = build_dslr(
+                spec.seed,
+                lock_servers,
+                DslrClientConfig {
+                    workers,
+                    ..Default::default()
+                },
+                RdmaNicConfig::default(),
+                tpcc_sources(&spec),
+            );
+            measure_dslr(&mut rack, scale.warmup, scale.measure)
+        }
+        // DrTM: CAS fail-and-retry on the same RDMA substrate.
+        "DrTM" => {
+            let mut rack = build_drtm(
+                spec.seed,
+                lock_servers,
+                DrtmClientConfig {
+                    workers,
+                    ..Default::default()
+                },
+                RdmaNicConfig::default(),
+                tpcc_sources(&spec),
+            );
+            measure_drtm(&mut rack, scale.warmup, scale.measure)
+        }
+        // NetChain: switch-only exclusive locks, no lock servers.
+        "NetChain" => {
+            let mut rack = build_netchain(
+                spec.seed,
+                100_000,
+                NcClientConfig {
+                    workers,
+                    ..Default::default()
+                },
+                tpcc_sources(&spec),
+            );
+            measure_netchain(&mut rack, scale.warmup, scale.measure)
+        }
+        "NetLock" => {
+            let mut rack = build_netlock_tpcc(&spec);
+            warmup_and_measure(&mut rack, scale.warmup, scale.measure)
+        }
+        other => panic!("unknown system {other:?}"),
+    };
+    SystemResult {
+        system,
+        contention,
+        stats,
     }
-
-    // DrTM: CAS fail-and-retry on the same RDMA substrate.
-    {
-        let mut rack = build_drtm(
-            spec.seed,
-            lock_servers,
-            DrtmClientConfig {
-                workers,
-                ..Default::default()
-            },
-            RdmaNicConfig::default(),
-            tpcc_sources(&spec),
-        );
-        let stats = measure_drtm(&mut rack, scale.warmup, scale.measure);
-        results.push(SystemResult {
-            system: "DrTM",
-            contention,
-            stats,
-        });
-    }
-
-    // NetChain: switch-only exclusive locks, no lock servers.
-    {
-        let mut rack = build_netchain(
-            spec.seed,
-            100_000,
-            NcClientConfig {
-                workers,
-                ..Default::default()
-            },
-            tpcc_sources(&spec),
-        );
-        let stats = measure_netchain(&mut rack, scale.warmup, scale.measure);
-        results.push(SystemResult {
-            system: "NetChain",
-            contention,
-            stats,
-        });
-    }
-
-    // NetLock.
-    {
-        let mut rack = build_netlock_tpcc(&spec);
-        let stats = warmup_and_measure(&mut rack, scale.warmup, scale.measure);
-        results.push(SystemResult {
-            system: "NetLock",
-            contention,
-            stats,
-        });
-    }
-
-    results
 }
 
-/// Print one deployment (both contention settings) as TSV.
-pub fn run_and_print(clients: usize, lock_servers: usize, scale: TimeScale) {
+/// Run the four systems for one deployment + contention setting.
+pub fn run_comparison(
+    runner: &Runner,
+    clients: usize,
+    lock_servers: usize,
+    high_contention: bool,
+    scale: TimeScale,
+) -> Vec<SystemResult> {
+    run_comparison_with_workers(runner, clients, lock_servers, high_contention, scale, 16)
+}
+
+/// [`run_comparison`] with an explicit per-client worker count (the
+/// offered load knob; the paper's clients saturate the systems).
+pub fn run_comparison_with_workers(
+    runner: &Runner,
+    clients: usize,
+    lock_servers: usize,
+    high_contention: bool,
+    scale: TimeScale,
+    workers_per_client: usize,
+) -> Vec<SystemResult> {
+    runner.map(SYSTEMS.to_vec(), |system| {
+        run_system(
+            system,
+            clients,
+            lock_servers,
+            high_contention,
+            scale,
+            workers_per_client,
+        )
+    })
+}
+
+/// One deployment (both contention settings) as TSV — all eight
+/// system runs fan out as one batch.
+pub fn render(runner: &Runner, clients: usize, lock_servers: usize, scale: TimeScale) -> String {
     // 32 workers/client ≈ the saturating offered load of the paper's
     // DPDK clients.
     let workers = 32;
-    println!(
+    let inputs: Vec<(bool, &'static str)> = [false, true]
+        .into_iter()
+        .flat_map(|high| SYSTEMS.into_iter().map(move |s| (high, s)))
+        .collect();
+    let rows = runner.map(inputs, |(high, system)| {
+        run_system(system, clients, lock_servers, high, scale, workers)
+    });
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "# System comparison under TPC-C: {clients} clients, {lock_servers} lock servers, {workers} workers/client"
     );
-    println!("{}", SystemResult::tsv_header());
-    for high in [false, true] {
-        for r in run_comparison_with_workers(clients, lock_servers, high, scale, workers) {
-            println!("{}", r.tsv());
-        }
+    let _ = writeln!(out, "{}", SystemResult::tsv_header());
+    for r in rows {
+        let _ = writeln!(out, "{}", r.tsv());
     }
+    out
+}
+
+/// Print one deployment (both contention settings) as TSV.
+pub fn run_and_print(runner: &Runner, clients: usize, lock_servers: usize, scale: TimeScale) {
+    print!("{}", render(runner, clients, lock_servers, scale));
 }
 
 #[cfg(test)]
@@ -146,7 +169,7 @@ mod tests {
             warmup: SimDuration::from_millis(2),
             measure: SimDuration::from_millis(10),
         };
-        let results = run_comparison(8, 2, false, scale);
+        let results = run_comparison(&Runner::with_threads(1), 8, 2, false, scale);
         let tps = |name: &str| {
             results
                 .iter()

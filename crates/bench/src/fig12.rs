@@ -220,35 +220,77 @@ pub fn run_isolation(isolate: bool, scale: crate::common::TimeScale) -> Isolatio
     }
 }
 
-/// Print both panels as TSV.
-pub fn run_and_print() {
-    let interval = SimDuration::from_millis(100);
+enum PanelResult {
+    Diff(DiffResult),
+    Iso(IsolationResult),
+}
+
+/// Both panels as TSV: the two differentiation timelines and the two
+/// isolation runs fan out as one batch of four jobs. `quick` shrinks
+/// the simulated timelines (same row counts, smoke-test scale).
+pub fn render(runner: &crate::runner::Runner, quick: bool) -> String {
+    use std::fmt::Write;
+    let (interval_ms, arrival_ms) = if quick { (20, 120) } else { (100, 600) };
+    let interval = SimDuration::from_millis(interval_ms);
     let intervals = 20;
-    let arrival = SimDuration::from_millis(600);
-    println!("# Figure 12(a): service differentiation (high-prio tenant arrives at 0.6 s)");
-    for (label, diff) in [("without", false), ("with", true)] {
-        let r = run_differentiation(diff, arrival, interval, intervals);
-        println!("## {label} differentiation");
-        println!("time_s\tlow_prio_tps\thigh_prio_tps");
+    let arrival = SimDuration::from_millis(arrival_ms);
+    let iso_scale = if quick {
+        crate::common::TimeScale {
+            warmup: SimDuration::from_millis(5),
+            measure: SimDuration::from_millis(40),
+        }
+    } else {
+        crate::common::TimeScale {
+            warmup: SimDuration::from_millis(20),
+            measure: SimDuration::from_millis(200),
+        }
+    };
+    let jobs: Vec<crate::runner::Job<'_, PanelResult>> = vec![
+        Box::new(move || {
+            PanelResult::Diff(run_differentiation(false, arrival, interval, intervals))
+        }),
+        Box::new(move || {
+            PanelResult::Diff(run_differentiation(true, arrival, interval, intervals))
+        }),
+        Box::new(move || PanelResult::Iso(run_isolation(false, iso_scale))),
+        Box::new(move || PanelResult::Iso(run_isolation(true, iso_scale))),
+    ];
+    let mut results = runner.run(jobs).into_iter();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Figure 12(a): service differentiation (high-prio tenant arrives at {:.1} s)",
+        arrival.as_secs_f64()
+    );
+    for label in ["without", "with"] {
+        let PanelResult::Diff(r) = results.next().expect("diff panel") else {
+            unreachable!("job order");
+        };
+        let _ = writeln!(out, "## {label} differentiation");
+        let _ = writeln!(out, "time_s\tlow_prio_tps\thigh_prio_tps");
         for (i, (t, lo)) in r.low.points().iter().enumerate() {
             let hi = r.high.points()[i].1;
-            println!("{:.2}\t{:.0}\t{:.0}", t.as_secs_f64(), lo, hi);
+            let _ = writeln!(out, "{:.2}\t{:.0}\t{:.0}", t.as_secs_f64(), lo, hi);
         }
     }
-    println!();
-    println!("# Figure 12(b): performance isolation (tenant1: 7 clients, tenant2: 3 clients)");
-    println!("mode\ttenant1_tps\ttenant2_tps");
-    let scale = crate::common::TimeScale {
-        warmup: SimDuration::from_millis(20),
-        measure: SimDuration::from_millis(200),
-    };
-    let r = run_isolation(false, scale);
-    println!(
-        "without_isolation\t{:.0}\t{:.0}",
-        r.tenant1_tps, r.tenant2_tps
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "# Figure 12(b): performance isolation (tenant1: 7 clients, tenant2: 3 clients)"
     );
-    let r = run_isolation(true, scale);
-    println!("with_isolation\t{:.0}\t{:.0}", r.tenant1_tps, r.tenant2_tps);
+    let _ = writeln!(out, "mode\ttenant1_tps\ttenant2_tps");
+    for label in ["without_isolation", "with_isolation"] {
+        let PanelResult::Iso(r) = results.next().expect("iso panel") else {
+            unreachable!("job order");
+        };
+        let _ = writeln!(out, "{}\t{:.0}\t{:.0}", label, r.tenant1_tps, r.tenant2_tps);
+    }
+    out
+}
+
+/// Print both panels as TSV.
+pub fn run_and_print(runner: &crate::runner::Runner, quick: bool) {
+    print!("{}", render(runner, quick));
 }
 
 #[cfg(test)]

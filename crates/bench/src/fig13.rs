@@ -50,34 +50,45 @@ pub fn run_policy(random: bool, scale: TimeScale) -> AllocResult {
     }
 }
 
-/// Print panel (a) breakdown and panel (b) CDF as TSV.
-pub fn run_and_print(scale: TimeScale) {
-    println!("# Figure 13(a): throughput breakdown by allocation policy (4000 switch slots)");
-    println!("policy\tswitch_mrps\tserver_mrps\ttotal_mrps");
-    let mut results = Vec::new();
-    for random in [true, false] {
-        let r = run_policy(random, scale);
-        println!(
+/// Panel (a) breakdown and panel (b) CDF as TSV; the two policy runs
+/// fan out as one batch.
+pub fn render(runner: &crate::runner::Runner, scale: TimeScale) -> String {
+    use std::fmt::Write;
+    let results = runner.map(vec![true, false], |random| run_policy(random, scale));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Figure 13(a): throughput breakdown by allocation policy (4000 switch slots)"
+    );
+    let _ = writeln!(out, "policy\tswitch_mrps\tserver_mrps\ttotal_mrps");
+    for r in &results {
+        let _ = writeln!(
+            out,
             "{}\t{:.3}\t{:.3}\t{:.3}",
             r.policy,
             mrps(r.switch_rps),
             mrps(r.server_rps),
             mrps(r.switch_rps + r.server_rps)
         );
-        results.push(r);
     }
-    println!();
-    println!("# Figure 13(b): transaction latency CDF");
-    println!("policy\tlatency_us\tcdf");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "# Figure 13(b): transaction latency CDF");
+    let _ = writeln!(out, "policy\tlatency_us\tcdf");
     for r in &results {
         // Downsample to ~50 points for readability.
         let step = (r.latency_cdf.len() / 50).max(1);
         for (i, &(ns, frac)) in r.latency_cdf.iter().enumerate() {
             if i % step == 0 || frac == 1.0 {
-                println!("{}\t{:.1}\t{:.4}", r.policy, ns as f64 / 1e3, frac);
+                let _ = writeln!(out, "{}\t{:.1}\t{:.4}", r.policy, ns as f64 / 1e3, frac);
             }
         }
     }
+    out
+}
+
+/// Print panel (a) breakdown and panel (b) CDF as TSV.
+pub fn run_and_print(runner: &crate::runner::Runner, scale: TimeScale) {
+    print!("{}", render(runner, scale));
 }
 
 #[cfg(test)]

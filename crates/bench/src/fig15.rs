@@ -88,23 +88,35 @@ pub fn run_failure(
     }
 }
 
-/// Print the throughput time series as TSV.
-pub fn run_and_print() {
+/// The throughput time series as TSV. The timeline is one simulation
+/// (inherently sequential); `quick` shrinks every window by 4× so the
+/// row count is unchanged.
+pub fn render(quick: bool) -> String {
+    use std::fmt::Write;
+    let div = if quick { 4 } else { 1 };
     let r = run_failure(
-        SimDuration::from_millis(2_000),
-        SimDuration::from_millis(3_000),
-        SimDuration::from_millis(200),
-        SimDuration::from_millis(6_000),
+        SimDuration::from_millis(2_000 / div),
+        SimDuration::from_millis(3_000 / div),
+        SimDuration::from_millis(200 / div),
+        SimDuration::from_millis(6_000 / div),
     );
-    println!(
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "# Figure 15: switch stopped at {:.1}s, reactivated at {:.1}s",
         r.fail_at.as_secs_f64(),
         r.revive_at.as_secs_f64()
     );
-    println!("time_s\ttps");
+    let _ = writeln!(out, "time_s\ttps");
     for &(t, tps) in r.series.points() {
-        println!("{:.2}\t{:.0}", t.as_secs_f64(), tps);
+        let _ = writeln!(out, "{:.2}\t{:.0}", t.as_secs_f64(), tps);
     }
+    out
+}
+
+/// Print the throughput time series as TSV.
+pub fn run_and_print(quick: bool) {
+    print!("{}", render(quick));
 }
 
 #[cfg(test)]

@@ -17,8 +17,11 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod report;
+pub mod runner;
 
 pub use common::{
-    build_netlock_tpcc, tpcc_alloc_stats, tpcc_allocation, tpcc_sources, SystemResult, TimeScale,
-    TpccRackSpec,
+    build_netlock_tpcc, scale_for, tpcc_alloc_stats, tpcc_allocation, tpcc_sources, BinArgs, Fig,
+    SystemResult, TimeScale, TpccRackSpec,
 };
+pub use runner::{Job, Runner};

@@ -1,0 +1,163 @@
+//! Tiny JSON serializer for the perf-trajectory reports
+//! (`BENCH_*.json`).
+//!
+//! The workspace builds offline (no serde); benchmark reports need
+//! exactly one thing — turning a small tree of numbers and strings
+//! into stable, diffable JSON text. Object keys keep insertion order
+//! so successive reports diff cleanly.
+
+use std::fmt::Write;
+
+/// A JSON value.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// A string.
+    Str(String),
+    /// A finite number, printed with up to 3 decimal places (trailing
+    /// zeros trimmed) — benchmark numbers, not arbitrary floats.
+    Num(f64),
+    /// An integer.
+    Int(u64),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Pretty-printed JSON text (2-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if (n.fract() == 0.0) && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let s = format!("{n:.3}");
+                    let s = s.trim_end_matches('0').trim_end_matches('.');
+                    out.push_str(s);
+                }
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    pad(out, indent + 1);
+                    let _ = write!(out, "\"{k}\": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_report() {
+        let j = Json::obj([
+            ("bench", Json::str("event_queue")),
+            ("ns_per_op", Json::Num(12.345678)),
+            ("events", Json::Int(1_000_000)),
+            ("ok", Json::Bool(true)),
+            (
+                "series",
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(3.25)]),
+            ),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = j.render();
+        assert!(text.contains("\"bench\": \"event_queue\""));
+        assert!(text.contains("\"ns_per_op\": 12.346"));
+        assert!(text.contains("\"events\": 1000000"));
+        assert!(text.contains("\"series\": [\n"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::str("a\"b\\c\nd");
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn integral_floats_print_without_fraction() {
+        assert_eq!(Json::Num(3.0).render(), "3\n");
+        assert_eq!(Json::Num(0.5).render(), "0.5\n");
+    }
+}

@@ -44,6 +44,7 @@
 mod link;
 pub mod metrics;
 mod node;
+pub mod queue;
 mod rng;
 mod sim;
 mod time;
@@ -51,6 +52,7 @@ mod time;
 pub use link::{LinkConfig, Topology};
 pub use metrics::{Histogram, IntervalCounter, LatencySummary, TimeSeries};
 pub use node::{AsAny, Context, Node, NodeId, Packet};
+pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use sim::{SimStats, Simulator};
 pub use time::{SimDuration, SimTime};

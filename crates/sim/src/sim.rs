@@ -4,12 +4,14 @@
 //! event queue. Events at equal timestamps are dispatched in insertion
 //! order (FIFO), which — together with integer time and seeded RNG — makes
 //! every run bit-for-bit reproducible.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! The queue is the calendar queue of [`crate::queue::EventQueue`]:
+//! `O(1)` scheduling for near-future events instead of a global binary
+//! heap's `O(log n)`, with identical `(time, seq)` pop order.
 
 use crate::link::{LinkConfig, Topology};
 use crate::node::{Context, Effect, Node, NodeId, Packet};
+use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -17,32 +19,6 @@ enum EventKind<M> {
     Deliver(Packet<M>),
     Timer { node: NodeId, token: u64 },
 }
-
-struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// A dispatch closure applying one dequeued event to its target node.
-type Dispatch<M> = Box<dyn FnOnce(&mut dyn Node<M>, &mut Context<'_, M>)>;
 
 /// Run statistics maintained by the simulator itself.
 #[derive(Clone, Copy, Debug, Default)]
@@ -55,13 +31,20 @@ pub struct SimStats {
     pub packets_to_dead_node: u64,
     /// Timer events fired.
     pub timers_fired: u64,
+    /// Events pushed into the pending queue (packets and timers,
+    /// including ones later dropped at a dead node).
+    pub events_scheduled: u64,
+    /// Events popped from the pending queue.
+    pub events_fired: u64,
+    /// High-water mark of the pending-event queue.
+    pub max_queue_depth: u64,
 }
 
 /// A deterministic discrete-event simulator over message type `M`.
 pub struct Simulator<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    queue: EventQueue<EventKind<M>>,
     nodes: Vec<Option<Box<dyn Node<M>>>>,
     alive: Vec<bool>,
     topology: Topology,
@@ -76,7 +59,7 @@ impl<M: 'static> Simulator<M> {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             nodes: Vec::new(),
             alive: Vec::new(),
             topology,
@@ -202,7 +185,12 @@ impl<M: 'static> Simulator<M> {
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+        self.queue.push(at, seq, kind);
+        self.stats.events_scheduled += 1;
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.max_queue_depth {
+            self.stats.max_queue_depth = depth;
+        }
     }
 
     fn apply_effects(&mut self, from: NodeId, effects: &mut Vec<Effect<M>>) {
@@ -239,19 +227,15 @@ impl<M: 'static> Simulator<M> {
 
     /// Process the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((at, _seq, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
-        let (node_id, run): (NodeId, Dispatch<M>) = match ev.kind {
-            EventKind::Deliver(pkt) => {
-                let dst = pkt.dst;
-                (dst, Box::new(move |n, ctx| n.on_packet(pkt, ctx)))
-            }
-            EventKind::Timer { node, token } => {
-                (node, Box::new(move |n, ctx| n.on_timer(token, ctx)))
-            }
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.stats.events_fired += 1;
+        let node_id = match &kind {
+            EventKind::Deliver(pkt) => pkt.dst,
+            EventKind::Timer { node, .. } => *node,
         };
         if node_id.index() >= self.nodes.len() || !self.alive[node_id.index()] {
             self.stats.packets_to_dead_node += 1;
@@ -268,7 +252,13 @@ impl<M: 'static> Simulator<M> {
                 effects: &mut effects,
                 rng: &mut self.rng,
             };
-            run(node.as_mut(), &mut ctx);
+            match kind {
+                EventKind::Deliver(pkt) => node.on_packet(pkt, &mut ctx),
+                EventKind::Timer { token, .. } => {
+                    self.stats.timers_fired += 1;
+                    node.on_timer(token, &mut ctx)
+                }
+            }
         }
         self.nodes[node_id.index()] = Some(node);
         self.stats.packets_delivered += 1;
@@ -281,8 +271,8 @@ impl<M: 'static> Simulator<M> {
     /// are processed) or the queue empties. The clock is advanced to
     /// `deadline` on return so subsequent scheduling is relative to it.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some(head_at) = self.queue.peek_at() {
+            if head_at > deadline {
                 break;
             }
             self.step();

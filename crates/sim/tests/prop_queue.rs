@@ -1,0 +1,86 @@
+//! Property tests for the calendar queue: pop order must equal a
+//! reference binary heap over `(time, seq)` on arbitrary monotone
+//! schedules — the determinism contract the whole simulator rests on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+
+use netlock_sim::{EventQueue, SimTime};
+
+/// One scripted operation: push an event `delay` ns after the last
+/// popped time (`true`) or pop (`false`).
+fn ops() -> impl Strategy<Value = Vec<(bool, u64)>> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            prop_oneof![
+                // Hot path: sub-bucket and few-bucket delays.
+                0u64..20_000,
+                // Cross-bucket, still inside the wheel horizon.
+                0u64..2_000_000,
+                // Beyond the horizon (overflow heap).
+                0u64..200_000_000,
+            ],
+        ),
+        1..400,
+    )
+}
+
+proptest! {
+    /// Interleaved pushes and pops drain in exactly the reference
+    /// heap's `(at, seq)` order.
+    #[test]
+    fn matches_reference_heap(script in ops()) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut r: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (push, delay) in script {
+            if push {
+                let at = SimTime(now + delay);
+                q.push(at, seq, seq);
+                r.push(Reverse((at, seq)));
+                seq += 1;
+            } else {
+                let got = q.pop().map(|(at, s, _)| (at, s));
+                let want = r.pop().map(|Reverse(k)| k);
+                prop_assert_eq!(got, want);
+                if let Some((at, _)) = got {
+                    now = at.0;
+                }
+            }
+        }
+        while let Some(Reverse((at, s))) = r.pop() {
+            prop_assert_eq!(q.pop(), Some((at, s, s)));
+        }
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.pop(), None);
+    }
+
+    /// `peek_at` never changes what pops next, even when it advances
+    /// the internal cursor and pushes land at the current instant.
+    #[test]
+    fn peek_is_transparent(script in ops()) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut r: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (push, delay) in script {
+            prop_assert_eq!(q.peek_at(), r.peek().map(|Reverse((at, _))| *at));
+            if push {
+                let at = SimTime(now + delay);
+                q.push(at, seq, seq);
+                r.push(Reverse((at, seq)));
+                seq += 1;
+            } else {
+                let got = q.pop().map(|(at, s, _)| (at, s));
+                prop_assert_eq!(got, r.pop().map(|Reverse(k)| k));
+                if let Some((at, _)) = got {
+                    now = at.0;
+                }
+            }
+        }
+    }
+}

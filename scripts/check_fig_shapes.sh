@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Quick-scale smoke check for the figure harnesses.
+#
+# Runs every figure binary with --quick and compares the *shape* of
+# its output — header lines, column structure, and row counts —
+# against the committed full-scale results under results/, with all
+# numeric fields normalized to `N`. Catches dropped columns, missing
+# sweep points, and reordered sections without requiring a full-scale
+# (minutes-long) regeneration.
+#
+# Usage: scripts/check_fig_shapes.sh  (expects release binaries built;
+# override the binary dir with BIN_DIR=...)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN_DIR=${BIN_DIR:-target/release}
+
+norm() { sed -E 's/-?[0-9]+(\.[0-9]+)?(e-?[0-9]+)?/N/g' "$1"; }
+
+fail=0
+for fig in fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15; do
+  out=$(mktemp)
+  "$BIN_DIR/$fig" --quick >"$out"
+  if [ "$fig" = fig13 ]; then
+    # fig13's CDF tail is downsampled from measured latencies, so its
+    # row count is data-dependent; compare the collapsed sequence of
+    # distinct normalized line shapes instead of raw row counts.
+    a=$(norm "$out" | uniq)
+    b=$(norm "results/$fig.tsv" | uniq)
+  else
+    a=$(norm "$out")
+    b=$(norm "results/$fig.tsv")
+  fi
+  if [ "$a" = "$b" ]; then
+    echo "ok   $fig"
+  else
+    echo "FAIL $fig: quick-scale output shape diverged from results/$fig.tsv" >&2
+    diff <(printf '%s\n' "$b") <(printf '%s\n' "$a") | head -20 >&2 || true
+    fail=1
+  fi
+  rm -f "$out"
+done
+exit $fail

@@ -1,0 +1,65 @@
+//! Tier-1 determinism contract for the parallel sweep runner: a
+//! figure rendered with the same seed must be byte-identical no
+//! matter how many worker threads execute the sweep. Each data point
+//! builds its own seeded rack, so thread scheduling can only change
+//! *when* a point runs, never *what* it computes — and the runner
+//! reassembles rows in point-index order.
+
+use netlock_bench::{fig08, fig09, fig10, Runner, TimeScale};
+use netlock_sim::SimDuration;
+
+fn tiny() -> TimeScale {
+    TimeScale {
+        warmup: SimDuration::from_millis(1),
+        measure: SimDuration::from_millis(2),
+    }
+}
+
+#[test]
+fn fig09_tsv_identical_across_thread_counts() {
+    let baseline = fig09::render(&Runner::with_threads(1), tiny());
+    assert!(
+        baseline
+            .lines()
+            .any(|l| !l.starts_with('#') && !l.is_empty()),
+        "baseline render produced no data rows"
+    );
+    for threads in [2, 8] {
+        let out = fig09::render(&Runner::with_threads(threads), tiny());
+        assert_eq!(
+            out, baseline,
+            "fig09 output changed with {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn fig08_tsv_identical_across_thread_counts() {
+    let baseline = fig08::render(&Runner::with_threads(1), tiny());
+    for threads in [2, 8] {
+        let out = fig08::render(&Runner::with_threads(threads), tiny());
+        assert_eq!(
+            out, baseline,
+            "fig08 output changed with {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn fig10_rows_identical_across_thread_counts() {
+    let baseline = fig10::run_comparison(&Runner::with_threads(1), 2, 2, false, tiny());
+    for threads in [2, 8] {
+        let out = fig10::run_comparison(&Runner::with_threads(threads), 2, 2, false, tiny());
+        assert_eq!(out.len(), baseline.len());
+        for (a, b) in out.iter().zip(baseline.iter()) {
+            assert_eq!(a.system, b.system);
+            assert_eq!(
+                a.stats.txns, b.stats.txns,
+                "fig10 {} txn count changed with {threads} worker threads",
+                a.system
+            );
+            assert_eq!(a.stats.grants, b.stats.grants);
+            assert_eq!(a.stats.retries, b.stats.retries);
+        }
+    }
+}

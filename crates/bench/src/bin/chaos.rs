@@ -1,0 +1,19 @@
+//! Runs the chaos suite: seeded fault schedules over the micro and
+//! TPC-C racks with the lock-safety oracle attached. Prints the
+//! scenario report as TSV and exits nonzero if any schedule produced
+//! an oracle violation.
+use netlock_bench::BinArgs;
+
+fn main() {
+    let args = BinArgs::parse();
+    let seeds = if args.quick { 4 } else { 16 };
+    println!(
+        "# scaling: {seeds} seeds per workload ({} schedules total)",
+        seeds * 2
+    );
+    let runs = netlock_bench::chaos::run_suite(seeds);
+    print!("{}", netlock_bench::chaos::render(&runs));
+    if runs.iter().any(|r| !r.is_clean()) {
+        std::process::exit(1);
+    }
+}

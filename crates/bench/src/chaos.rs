@@ -1,0 +1,406 @@
+//! The chaos suite: seeded fault schedules over NetLock racks with the
+//! lock-safety oracle attached.
+//!
+//! Two rack flavors are exercised — an open-loop microbenchmark rack
+//! (shared + exclusive clients, no retries) and a closed-loop TPC-C
+//! rack (retries, multi-lock transactions) — each with compressed
+//! lease/retry timescales so a 30 ms simulated run crosses many lease
+//! generations. A run is a pure function of its seed: the seed derives
+//! the fault plan, every packet fate, and therefore the oracle's audit
+//! log, byte for byte.
+//!
+//! The timeline of every run:
+//!
+//! ```text
+//! 0 ──── 2 ms ─────────────── 20 ms ──────────── 30 ms
+//!   warm      faults allowed         settle tail   finish + oracle checks
+//! ```
+//!
+//! The fault-free tail spans several leases, so stranded holders expire
+//! and retries drain before the oracle's end-of-run leak and liveness
+//! checks run.
+
+use netlock_core::prelude::*;
+use netlock_proto::{LockId, LockMode};
+use netlock_server::ServerConfig;
+use netlock_sim::SimTime;
+use netlock_switch::shared_queue::SharedQueueLayout;
+use netlock_switch::{SwitchConfig, SwitchNode};
+
+/// Compressed lease used by all chaos racks.
+pub const CHAOS_LEASE: SimDuration = SimDuration::from_millis(2);
+/// Sweep/control tick matching [`CHAOS_LEASE`].
+pub const CHAOS_TICK: SimDuration = SimDuration::from_micros(200);
+/// Total simulated time per run.
+pub const CHAOS_TOTAL: SimDuration = SimDuration::from_millis(30);
+
+/// Which rack flavor a chaos run exercises.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaosWorkload {
+    /// Open-loop micro clients (shared + exclusive, no retries).
+    Micro,
+    /// Closed-loop TPC-C transaction clients (retries, multi-lock).
+    Tpcc,
+}
+
+impl ChaosWorkload {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosWorkload::Micro => "micro",
+            ChaosWorkload::Tpcc => "tpcc",
+        }
+    }
+}
+
+/// Everything one chaos run produced.
+#[derive(Clone, Debug)]
+pub struct ChaosRun {
+    /// Rack flavor.
+    pub workload: ChaosWorkload,
+    /// The seed that determines the entire run.
+    pub seed: u64,
+    /// Fault-plan events installed.
+    pub plan_events: usize,
+    /// Custom (switch-reboot / server-restart) faults handled.
+    pub custom_faults: usize,
+    /// The oracle's event counters.
+    pub counts: OracleCounts,
+    /// Violations found (empty = clean).
+    pub violations: Vec<Violation>,
+    /// The canonical audit log (byte-identical across replays).
+    pub audit: String,
+    /// Grants clients consumed (progress proof).
+    pub grants: u64,
+    /// Transactions completed (TPC-C flavor).
+    pub txns: u64,
+    /// Surplus grants clients released.
+    pub surplus_released: u64,
+    /// Network-duplicate grants clients ignored.
+    pub dup_grants_ignored: u64,
+    /// Releases the switch's release guard filtered as stale.
+    pub stale_releases_filtered: u64,
+    /// Packets the links dropped.
+    pub net_lost: u64,
+    /// Extra packet copies the links created.
+    pub net_duplicated: u64,
+    /// Packets delivered out of order on faulted links.
+    pub net_reordered: u64,
+}
+
+impl ChaosRun {
+    /// Whether the oracle found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn chaos_plan_config(workload: ChaosWorkload) -> ChaosPlanConfig {
+    ChaosPlanConfig {
+        start: SimDuration::from_millis(2),
+        settle_by: SimDuration::from_millis(20),
+        episodes: 8,
+        max_episode: SimDuration::from_millis(3),
+        switch_reboot: true,
+        // One lease plus slack: §4.5's failover grace as outage length.
+        switch_outage_min: SimDuration::from_micros(2_500),
+        server_restart: true,
+        // Open-loop micro clients never retry, so a permanently crashed
+        // client strands its whole in-flight window in the queues; each
+        // stranded exclusive entry stalls the lock for a full lease when
+        // it reaches the head, which reads as a liveness wedge rather
+        // than a fault worth injecting. TPC-C workers bound the backlog
+        // (one request per worker), so crashes stay on there.
+        client_crash: matches!(workload, ChaosWorkload::Tpcc),
+    }
+}
+
+fn oracle_config() -> OracleConfig {
+    OracleConfig {
+        lease_ns: CHAOS_LEASE.as_nanos(),
+        // Several leases and retry timeouts: anything older is wedged.
+        leak_after_ns: 6_000_000,
+        wedge_after_ns: 6_000_000,
+    }
+}
+
+/// The microbenchmark chaos rack: 2 lock servers, 8 locks (half
+/// switch-resident by capacity), 4 open-loop clients — two exclusive,
+/// two shared — with a generous in-flight window since lost requests
+/// are never retried.
+pub fn build_micro_chaos_rack(seed: u64) -> (Rack, Allocation) {
+    let mut rack = Rack::build(RackConfig {
+        seed,
+        lock_servers: 2,
+        server: ServerConfig {
+            lease: CHAOS_LEASE,
+            sweep_tick: CHAOS_TICK,
+            ..Default::default()
+        },
+        switch: SwitchConfig {
+            lease: CHAOS_LEASE,
+            control_tick: CHAOS_TICK,
+            ..Default::default()
+        },
+        engine: EngineSpec::Fcfs(SharedQueueLayout::small(2, 256, 16)),
+        ..Default::default()
+    });
+    let locks: Vec<LockId> = (0..8).map(LockId).collect();
+    let stats: Vec<LockStats> = locks
+        .iter()
+        .map(|&lock| LockStats {
+            lock,
+            rate: 1.0,
+            contention: 16,
+            home_server: (lock.0 as usize) % 2,
+        })
+        .collect();
+    // Half the demanded slots: some locks stay server-resident so the
+    // chaos run exercises the forwarding path too.
+    let alloc = knapsack_allocate(&stats, 64);
+    rack.program(&alloc);
+    for i in 0..4 {
+        rack.add_micro_client(MicroClientConfig {
+            rate_rps: 50_000.0,
+            locks: locks.clone(),
+            mode: if i < 2 {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            },
+            // No retry logic: the window must absorb every request the
+            // network eats, or the generator wedges itself.
+            max_outstanding: 100_000,
+            ..Default::default()
+        });
+    }
+    (rack, alloc)
+}
+
+/// The TPC-C chaos rack: 4 clients × 4 workers, compressed think and
+/// retry timescales, same lease as the micro rack.
+pub fn build_tpcc_chaos_rack(seed: u64) -> (Rack, Allocation) {
+    let spec = crate::common::TpccRackSpec {
+        seed,
+        clients: 4,
+        lock_servers: 2,
+        workers_per_client: 4,
+        think_override: Some(SimDuration::from_micros(50)),
+        retry_timeout: SimDuration::from_millis(1),
+        ..Default::default()
+    };
+    let mut rack = Rack::build(RackConfig {
+        seed: spec.seed,
+        lock_servers: spec.lock_servers,
+        server: ServerConfig {
+            service: spec.server_service,
+            lease: CHAOS_LEASE,
+            sweep_tick: CHAOS_TICK,
+            ..Default::default()
+        },
+        switch: SwitchConfig {
+            lease: CHAOS_LEASE,
+            control_tick: CHAOS_TICK,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let alloc = crate::common::tpcc_allocation(&spec);
+    rack.program(&alloc);
+    let cfg = spec.tpcc_config();
+    for _ in 0..spec.clients {
+        rack.add_txn_client(
+            TxnClientConfig {
+                workers: spec.workers_per_client,
+                retry_timeout: spec.retry_timeout,
+                ..Default::default()
+            },
+            Box::new(netlock_workloads::TpccSource::new(cfg.clone())),
+        );
+    }
+    (rack, alloc)
+}
+
+/// Sabotage switches for [`run_chaos_seed_with`]: disable one defense
+/// layer to prove the oracle notices its absence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Sabotage {
+    /// Disable the switch's release guard (duplicated releases then
+    /// double-pop FCFS queues → mutual-exclusion violations).
+    pub disable_release_guard: bool,
+    /// Disable txn clients' surplus-grant release (swallowed grants
+    /// leak holders → conservation/leak violations).
+    pub disable_surplus_release: bool,
+}
+
+/// Run one seeded chaos schedule. Everything — the fault plan, the
+/// packet trace, the audit log — is a function of `(workload, seed)`.
+pub fn run_chaos_seed(workload: ChaosWorkload, seed: u64) -> ChaosRun {
+    run_chaos_seed_with(workload, seed, Sabotage::default())
+}
+
+/// [`run_chaos_seed`] with sabotage switches (oracle-is-live testing).
+pub fn run_chaos_seed_with(workload: ChaosWorkload, seed: u64, sabotage: Sabotage) -> ChaosRun {
+    let (mut rack, alloc) = match workload {
+        ChaosWorkload::Micro => build_micro_chaos_rack(seed),
+        ChaosWorkload::Tpcc => build_tpcc_chaos_rack(seed),
+    };
+    if sabotage.disable_release_guard {
+        let switch = rack.switch;
+        rack.sim
+            .with_node::<SwitchNode, _>(switch, |s| s.sabotage_disable_release_guard());
+    }
+    if sabotage.disable_surplus_release {
+        for &(id, kind) in &rack.clients.clone() {
+            if kind == ClientKind::Txn {
+                rack.sim
+                    .with_node::<TxnClient, _>(id, |c| c.sabotage_disable_surplus_release());
+            }
+        }
+    }
+    let roles = RackRoles::of(&rack);
+    let plan = generate_plan(seed, &roles, &chaos_plan_config(workload));
+    let plan_events = plan.len();
+    rack.sim.install_plan(&plan);
+    let oracle = attach_oracle(&mut rack, oracle_config());
+    let until = SimTime(CHAOS_TOTAL.as_nanos());
+    let custom_faults = run_chaos(&mut rack, until, &oracle, &mut |rack, at, token| {
+        standard_recovery(rack, at, token, &alloc)
+    });
+    let stats = collect(&rack, CHAOS_TOTAL);
+    let stale_releases_filtered = rack
+        .sim
+        .read_node::<SwitchNode, _>(rack.switch, |s| s.stats().stale_releases_filtered);
+    let micro_grants = stats.issued.min(stats.grants);
+    let oracle = oracle.borrow();
+    ChaosRun {
+        workload,
+        seed,
+        plan_events,
+        custom_faults,
+        counts: oracle.counts(),
+        violations: oracle.violations().to_vec(),
+        audit: oracle.audit_log(),
+        grants: if workload == ChaosWorkload::Micro {
+            micro_grants
+        } else {
+            stats.grants
+        },
+        txns: stats.txns,
+        surplus_released: stats.surplus_released,
+        dup_grants_ignored: stats.dup_grants_ignored,
+        stale_releases_filtered,
+        net_lost: stats.net_lost,
+        net_duplicated: stats.net_duplicated,
+        net_reordered: stats.net_reordered,
+    }
+}
+
+/// Run `seeds_per_workload` schedules per rack flavor.
+pub fn run_suite(seeds_per_workload: u64) -> Vec<ChaosRun> {
+    let mut runs = Vec::new();
+    for seed in 0..seeds_per_workload {
+        runs.push(run_chaos_seed(ChaosWorkload::Micro, seed));
+        runs.push(run_chaos_seed(ChaosWorkload::Tpcc, seed));
+    }
+    runs
+}
+
+/// The TSV scenario report the `chaos` binary prints.
+pub fn render(runs: &[ChaosRun]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# NetLock chaos suite: {} seeded fault schedules, lease={} ms, total={} ms",
+        runs.len(),
+        CHAOS_LEASE.as_nanos() as f64 / 1e6,
+        CHAOS_TOTAL.as_nanos() as f64 / 1e6,
+    );
+    let _ = writeln!(
+        out,
+        "workload\tseed\tplan_events\tcustom_faults\tnet_lost\tnet_dup\tnet_reorder\t\
+         grants\ttxns\tsurplus_rel\tdup_ignored\tstale_filtered\tamnesia\tdigest\tverdict"
+    );
+    for r in runs {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{}",
+            r.workload.label(),
+            r.seed,
+            r.plan_events,
+            r.custom_faults,
+            r.net_lost,
+            r.net_duplicated,
+            r.net_reordered,
+            r.grants,
+            r.txns,
+            r.surplus_released,
+            r.dup_grants_ignored,
+            r.stale_releases_filtered,
+            r.counts.amnesia_excused,
+            {
+                let mut d: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in r.audit.bytes() {
+                    d ^= b as u64;
+                    d = d.wrapping_mul(0x100_0000_01b3);
+                }
+                d
+            },
+            if r.is_clean() { "CLEAN" } else { "VIOLATED" },
+        );
+    }
+    let dirty: Vec<&ChaosRun> = runs.iter().filter(|r| !r.is_clean()).collect();
+    if dirty.is_empty() {
+        let _ = writeln!(out, "# all {} schedules clean", runs.len());
+    } else {
+        for r in dirty {
+            for v in &r.violations {
+                let _ = writeln!(
+                    out,
+                    "# VIOLATION {}/{}: at={} kind={} {}",
+                    r.workload.label(),
+                    r.seed,
+                    v.at_ns,
+                    v.kind,
+                    v.detail
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_chaos_single_seed_is_clean_and_replays() {
+        let a = run_chaos_seed(ChaosWorkload::Micro, 1);
+        assert!(a.is_clean(), "{}", a.audit);
+        assert!(a.grants > 500, "progress despite faults: {}", a.grants);
+        assert!(a.plan_events > 0);
+        let b = run_chaos_seed(ChaosWorkload::Micro, 1);
+        assert_eq!(a.audit, b.audit, "audit log must be byte-identical");
+    }
+
+    #[test]
+    fn tpcc_chaos_single_seed_is_clean() {
+        let r = run_chaos_seed(ChaosWorkload::Tpcc, 1);
+        assert!(r.is_clean(), "{}", r.audit);
+        assert!(r.txns > 200, "progress despite faults: {}", r.txns);
+    }
+
+    #[test]
+    fn report_has_one_row_per_run() {
+        let runs = run_suite(1);
+        let report = render(&runs);
+        let rows = report
+            .lines()
+            .filter(|l| l.starts_with("micro\t") || l.starts_with("tpcc\t"))
+            .count();
+        assert_eq!(rows, runs.len());
+        assert!(report.contains("verdict"));
+    }
+}

@@ -22,6 +22,14 @@ pub struct FailureResult {
     pub fail_at: SimDuration,
     /// When the switch was reactivated.
     pub revive_at: SimDuration,
+    /// Packets the links dropped.
+    pub net_lost: u64,
+    /// Extra packet copies the links created.
+    pub net_duplicated: u64,
+    /// Packets delivered out of order on faulted links.
+    pub net_reordered: u64,
+    /// Packets that arrived at the dead switch and vanished.
+    pub net_to_dead: u64,
 }
 
 /// Run the failure timeline: fail at `fail_at`, revive at `revive_at`,
@@ -65,11 +73,18 @@ pub fn run_failure(
             // "The switch retains none of its former state or register
             // values": wipe and reprogram, as the control plane would.
             let n_servers = rack.lock_servers.len();
-            rack.sim.with_node::<SwitchNode, _>(switch, |s| {
+            let tick = rack.sim.with_node::<SwitchNode, _>(switch, |s| {
                 s.reboot();
                 s.dataplane_mut().set_default_servers(n_servers);
                 netlock_switch::control::apply_allocation(s.dataplane_mut(), &alloc);
+                s.config().control_tick
             });
+            // The control tick (lease sweeper) died with the node;
+            // restart it or stranded holders are never reclaimed.
+            if !tick.is_zero() {
+                rack.sim
+                    .inject_timer(switch, tick, SwitchNode::CONTROL_TIMER_TOKEN);
+            }
             revived = true;
         }
         rack.sim.run_until(netlock_sim::SimTime(next.as_nanos()));
@@ -81,10 +96,15 @@ pub fn run_failure(
         last = now_total;
         t = next;
     }
+    let net = rack.sim.stats();
     FailureResult {
         series,
         fail_at,
         revive_at,
+        net_lost: net.packets_lost,
+        net_duplicated: net.packets_duplicated,
+        net_reordered: net.packets_reordered,
+        net_to_dead: net.packets_to_dead_node,
     }
 }
 
@@ -106,6 +126,11 @@ pub fn render(quick: bool) -> String {
         "# Figure 15: switch stopped at {:.1}s, reactivated at {:.1}s",
         r.fail_at.as_secs_f64(),
         r.revive_at.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "# network: lost={} duplicated={} reordered={} to_dead_switch={}",
+        r.net_lost, r.net_duplicated, r.net_reordered, r.net_to_dead
     );
     let _ = writeln!(out, "time_s\ttps");
     for &(t, tps) in r.series.points() {

@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod common;
 pub mod fig08;
 pub mod fig09;

@@ -1,0 +1,444 @@
+//! Chaos fault-injection for NetLock racks.
+//!
+//! Builds seeded, fully deterministic [`FaultPlan`]s over an assembled
+//! [`Rack`] — loss bursts, duplication, reordering jitter, link flaps,
+//! switch reboot, server crash-restart, client crashes — and drives the
+//! simulator through them while a [`Oracle`] watches every packet. A
+//! chaos run is a pure function of `(rack spec, chaos seed)`: replaying
+//! the same pair reproduces the same fault schedule, the same packet
+//! trace and the same byte-identical audit log.
+//!
+//! Fault scoping mirrors the paper's failure model (§4.5): the network
+//! between clients and the rack misbehaves, and whole machines fail and
+//! recover, but the in-rack switch↔server fabric is reliable — NetLock's
+//! migration and forwarding protocols assume lossless in-rack delivery
+//! the way the Tofino's internal paths do, so only client↔switch links
+//! receive loss/duplication/jitter.
+//!
+//! Switch reboot and server restart need control-plane help that lives
+//! above the simulator (reprogramming the directory, re-owning locks,
+//! re-arming sweep timers), so the plan carries [`FaultAction::Custom`]
+//! markers and [`run_chaos`] pauses at each one, applies the matching
+//! recovery via rack-level code, declares an amnesia point to the
+//! oracle, and resumes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netlock_server::ServerNode;
+use netlock_sim::{
+    FaultAction, FaultPlan, GeParams, LinkConfig, LinkFaults, NodeId, RunOutcome, SimDuration,
+    SimRng, SimTime,
+};
+use netlock_switch::control::{apply_allocation, Allocation};
+use netlock_switch::SwitchNode;
+
+use crate::oracle::{Oracle, OracleConfig};
+use crate::rack::Rack;
+
+/// `Custom` token: the switch was revived; wipe and reprogram it.
+pub const CUSTOM_SWITCH_REBOOT: u64 = 1;
+/// `Custom` token base: lock server `token - CUSTOM_SERVER_RESTART_BASE`
+/// was revived; restart it with total state loss and reprovision.
+pub const CUSTOM_SERVER_RESTART_BASE: u64 = 0x1000;
+
+/// Tuning for the random plan generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosPlanConfig {
+    /// No faults before this instant (lets the rack reach steady state).
+    pub start: SimDuration,
+    /// Last instant a fault may *end*; everything after is a fault-free
+    /// tail so leases expire and retries drain before the oracle's
+    /// end-of-run checks.
+    pub settle_by: SimDuration,
+    /// Fault episodes to draw.
+    pub episodes: usize,
+    /// Longest single episode.
+    pub max_episode: SimDuration,
+    /// Allow one switch fail → reboot → reprogram cycle.
+    pub switch_reboot: bool,
+    /// Minimum switch outage. Must exceed the rack's lease: the paper's
+    /// §4.5 failover serves no requests for one lease so every stranded
+    /// pre-failure holder expires before the replacement switch grants
+    /// anew; the simulator models that grace as outage length.
+    pub switch_outage_min: SimDuration,
+    /// Allow server crash-restart cycles.
+    pub server_restart: bool,
+    /// Allow (permanent) client crashes.
+    pub client_crash: bool,
+}
+
+impl Default for ChaosPlanConfig {
+    fn default() -> Self {
+        ChaosPlanConfig {
+            start: SimDuration::from_millis(2),
+            settle_by: SimDuration::from_millis(40),
+            episodes: 6,
+            max_episode: SimDuration::from_millis(4),
+            switch_reboot: true,
+            switch_outage_min: SimDuration::from_millis(12),
+            server_restart: true,
+            client_crash: true,
+        }
+    }
+}
+
+/// Where the rack's roles live, for fault targeting.
+#[derive(Clone, Debug)]
+pub struct RackRoles {
+    /// The lock switch.
+    pub switch: NodeId,
+    /// Lock servers, by directory index.
+    pub servers: Vec<NodeId>,
+    /// Client nodes.
+    pub clients: Vec<NodeId>,
+}
+
+impl RackRoles {
+    /// Roles of an assembled rack.
+    pub fn of(rack: &Rack) -> RackRoles {
+        RackRoles {
+            switch: rack.switch,
+            servers: rack.lock_servers.clone(),
+            clients: rack.clients.iter().map(|&(id, _)| id).collect(),
+        }
+    }
+}
+
+fn episode_window(
+    rng: &mut SimRng,
+    cfg: &ChaosPlanConfig,
+    min_len_ns: u64,
+) -> Option<(SimTime, SimTime)> {
+    let start = cfg.start.as_nanos();
+    let end = cfg.settle_by.as_nanos();
+    if end <= start + min_len_ns {
+        return None;
+    }
+    let at = start + rng.next_below(end - start - min_len_ns);
+    let len = min_len_ns + rng.next_below(cfg.max_episode.as_nanos().max(min_len_ns + 1));
+    let fin = (at + len).min(end);
+    Some((SimTime(at), SimTime(fin)))
+}
+
+/// Pick a faulted client↔switch link direction.
+fn pick_link(rng: &mut SimRng, roles: &RackRoles) -> (NodeId, NodeId) {
+    let client = roles.clients[rng.index(roles.clients.len())];
+    if rng.chance(0.5) {
+        (client, roles.switch)
+    } else {
+        (roles.switch, client)
+    }
+}
+
+/// Generate a seeded fault plan for a rack. Identical
+/// `(seed, cfg, roles)` always yield the identical plan.
+pub fn generate_plan(seed: u64, roles: &RackRoles, cfg: &ChaosPlanConfig) -> FaultPlan {
+    let mut rng = SimRng::new(seed ^ 0xC4A0_5EED);
+    let mut plan = FaultPlan::new();
+    let mut switch_rebooted = false;
+    // At most one client crashes per plan: crashes are permanent (no
+    // client-side recovery protocol exists) and losing too many clients
+    // starves the closed loops the scenarios assert on.
+    let mut client_crashed = false;
+    let base_link = LinkConfig::default();
+
+    for _ in 0..cfg.episodes {
+        match rng.next_below(8) {
+            // Burst loss on a client↔switch link (Gilbert–Elliott).
+            0 | 1 => {
+                let Some((at, fin)) = episode_window(&mut rng, cfg, 100_000) else {
+                    continue;
+                };
+                let (src, dst) = pick_link(&mut rng, roles);
+                let to_bad = 0.02 + rng.unit() * 0.1;
+                let to_good = 0.1 + rng.unit() * 0.3;
+                let faulty = base_link.with_faults(LinkFaults {
+                    ge: Some(GeParams::bursty(to_bad, to_good, 1.0)),
+                    ..LinkFaults::NONE
+                });
+                plan.push(
+                    at,
+                    FaultAction::SetLink {
+                        src,
+                        dst,
+                        cfg: faulty,
+                    },
+                );
+                plan.push(fin, FaultAction::ClearLink { src, dst });
+            }
+            // Duplication episode.
+            2 => {
+                let Some((at, fin)) = episode_window(&mut rng, cfg, 100_000) else {
+                    continue;
+                };
+                let (src, dst) = pick_link(&mut rng, roles);
+                let dup = 0.1 + rng.unit() * 0.9;
+                let faulty = base_link.with_faults(LinkFaults {
+                    duplicate: dup,
+                    ..LinkFaults::NONE
+                });
+                plan.push(
+                    at,
+                    FaultAction::SetLink {
+                        src,
+                        dst,
+                        cfg: faulty,
+                    },
+                );
+                plan.push(fin, FaultAction::ClearLink { src, dst });
+            }
+            // Reordering jitter episode.
+            3 => {
+                let Some((at, fin)) = episode_window(&mut rng, cfg, 100_000) else {
+                    continue;
+                };
+                let (src, dst) = pick_link(&mut rng, roles);
+                let jitter = SimDuration::from_nanos(1_000 + rng.next_below(20_000));
+                let faulty = base_link.with_faults(LinkFaults {
+                    jitter,
+                    ..LinkFaults::NONE
+                });
+                plan.push(
+                    at,
+                    FaultAction::SetLink {
+                        src,
+                        dst,
+                        cfg: faulty,
+                    },
+                );
+                plan.push(fin, FaultAction::ClearLink { src, dst });
+            }
+            // Hard link flap: both directions black-holed.
+            4 => {
+                let Some((at, fin)) = episode_window(&mut rng, cfg, 50_000) else {
+                    continue;
+                };
+                let client = roles.clients[rng.index(roles.clients.len())];
+                let dead = base_link.with_loss(1.0);
+                plan.push(
+                    at,
+                    FaultAction::SetLink {
+                        src: client,
+                        dst: roles.switch,
+                        cfg: dead,
+                    },
+                );
+                plan.push(
+                    at,
+                    FaultAction::SetLink {
+                        src: roles.switch,
+                        dst: client,
+                        cfg: dead,
+                    },
+                );
+                plan.push(
+                    fin,
+                    FaultAction::ClearLink {
+                        src: client,
+                        dst: roles.switch,
+                    },
+                );
+                plan.push(
+                    fin,
+                    FaultAction::ClearLink {
+                        src: roles.switch,
+                        dst: client,
+                    },
+                );
+            }
+            // Switch fail → reboot → reprogram (at most once).
+            5 if cfg.switch_reboot && !switch_rebooted => {
+                let min_outage = cfg.switch_outage_min.as_nanos().max(500_000);
+                let Some((at, fin)) = episode_window(&mut rng, cfg, min_outage) else {
+                    continue;
+                };
+                switch_rebooted = true;
+                plan.push(at, FaultAction::FailNode(roles.switch));
+                plan.push(fin, FaultAction::ReviveNode(roles.switch));
+                plan.push(fin, FaultAction::Custom(CUSTOM_SWITCH_REBOOT));
+            }
+            // Server crash → restart with state loss.
+            6 if cfg.server_restart && !roles.servers.is_empty() => {
+                let Some((at, fin)) = episode_window(&mut rng, cfg, 200_000) else {
+                    continue;
+                };
+                let idx = rng.index(roles.servers.len());
+                plan.push(at, FaultAction::FailNode(roles.servers[idx]));
+                plan.push(fin, FaultAction::ReviveNode(roles.servers[idx]));
+                plan.push(
+                    fin,
+                    FaultAction::Custom(CUSTOM_SERVER_RESTART_BASE + idx as u64),
+                );
+            }
+            // Client crash, permanent.
+            7 if cfg.client_crash && !client_crashed && roles.clients.len() > 1 => {
+                let Some((at, _fin)) = episode_window(&mut rng, cfg, 0) else {
+                    continue;
+                };
+                client_crashed = true;
+                let client = roles.clients[rng.index(roles.clients.len())];
+                plan.push(at, FaultAction::FailNode(client));
+            }
+            // Disallowed pick (e.g. second switch reboot): draw again on
+            // the next episode; skipping keeps the sequence seeded.
+            _ => {}
+        }
+    }
+    plan
+}
+
+/// Attach a fresh oracle to the rack's packet tap. Every client already
+/// added to the rack is registered; add clients *before* calling this.
+pub fn attach_oracle(rack: &mut Rack, cfg: OracleConfig) -> Rc<RefCell<Oracle>> {
+    let mut oracle = Oracle::new(cfg);
+    for &(id, _) in &rack.clients {
+        oracle.register_client(id);
+    }
+    let oracle = Rc::new(RefCell::new(oracle));
+    let tap = Rc::clone(&oracle);
+    rack.sim
+        .set_tap(Box::new(move |ev| tap.borrow_mut().observe(&ev)));
+    oracle
+}
+
+/// Recovery the control plane performs when a `Custom` fault pauses the
+/// run. [`standard_recovery`] covers the tokens [`generate_plan`] emits.
+pub type CustomFaultHandler<'a> = dyn FnMut(&mut Rack, SimTime, u64) + 'a;
+
+/// Apply the standard recovery for [`generate_plan`]'s custom tokens:
+///
+/// - [`CUSTOM_SWITCH_REBOOT`]: wipe the (already revived) switch and
+///   reprogram directory + allocation, exactly like Fig. 15's §6.5
+///   timeline. Clients re-drive their in-flight state via retries.
+/// - [`CUSTOM_SERVER_RESTART_BASE`]` + i`: restart server `i` with total
+///   state loss, re-declare its owned locks, re-arm its lease sweeper
+///   and hold a grace window of one lease so stranded pre-crash holders
+///   expire before the server hands out fresh conflicting grants.
+pub fn standard_recovery(rack: &mut Rack, at: SimTime, token: u64, alloc: &Allocation) {
+    if token == CUSTOM_SWITCH_REBOOT {
+        let n_servers = rack.lock_servers.len();
+        let switch = rack.switch;
+        let tick = rack.sim.with_node::<SwitchNode, _>(switch, |s| {
+            s.reboot();
+            s.dataplane_mut().set_default_servers(n_servers);
+            apply_allocation(s.dataplane_mut(), alloc);
+            s.config().control_tick
+        });
+        // The control tick re-arms itself, so the chain died with the
+        // node; without a restart the lease sweeper never runs again
+        // and any holder whose grant the network ate wedges its queue
+        // forever.
+        if !tick.is_zero() {
+            rack.sim
+                .inject_timer(switch, tick, SwitchNode::CONTROL_TIMER_TOKEN);
+        }
+    } else if token >= CUSTOM_SERVER_RESTART_BASE {
+        let idx = (token - CUSTOM_SERVER_RESTART_BASE) as usize;
+        let server = rack.lock_servers[idx];
+        let owned: Vec<_> = alloc
+            .in_server
+            .iter()
+            .filter(|&&(_, home)| home == idx)
+            .map(|&(lock, _)| lock)
+            .collect();
+        let (grace, sweep) = rack
+            .sim
+            .read_node::<ServerNode, _>(server, |s| (s.config().lease, s.config().sweep_tick));
+        rack.sim.with_node::<ServerNode, _>(server, |s| {
+            s.restart();
+            for lock in owned {
+                s.own_lock(lock);
+            }
+            s.set_grace_until(at.as_nanos() + grace.as_nanos());
+        });
+        if !sweep.is_zero() {
+            rack.sim
+                .inject_timer(server, sweep, ServerNode::SWEEP_TIMER_TOKEN);
+        }
+    }
+}
+
+/// Drive the rack to `until`, pausing at every `Custom` fault to apply
+/// `recover` and declare an amnesia point to the oracle (a rebooted
+/// lock manager silently forgets queued requests). Finishes the oracle
+/// at the deadline and returns the number of custom faults handled.
+pub fn run_chaos(
+    rack: &mut Rack,
+    until: SimTime,
+    oracle: &Rc<RefCell<Oracle>>,
+    recover: &mut CustomFaultHandler<'_>,
+) -> usize {
+    let mut handled = 0;
+    loop {
+        match rack.sim.run_until_fault(until) {
+            RunOutcome::ReachedDeadline => break,
+            RunOutcome::CustomFault { at, token } => {
+                recover(rack, at, token);
+                oracle.borrow_mut().note_amnesia(at.as_nanos());
+                handled += 1;
+            }
+        }
+    }
+    oracle.borrow_mut().finish(until.as_nanos());
+    handled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roles() -> RackRoles {
+        RackRoles {
+            switch: NodeId(2),
+            servers: vec![NodeId(0), NodeId(1)],
+            clients: vec![NodeId(3), NodeId(4), NodeId(5)],
+        }
+    }
+
+    #[test]
+    fn plan_generation_is_deterministic() {
+        let cfg = ChaosPlanConfig::default();
+        let a = generate_plan(7, &roles(), &cfg);
+        let b = generate_plan(7, &roles(), &cfg);
+        assert_eq!(a.events(), b.events());
+        let c = generate_plan(8, &roles(), &cfg);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn plan_respects_settle_window() {
+        let cfg = ChaosPlanConfig {
+            episodes: 32,
+            ..Default::default()
+        };
+        let plan = generate_plan(3, &roles(), &cfg);
+        assert!(!plan.is_empty());
+        for ev in plan.events() {
+            assert!(ev.at.as_nanos() >= cfg.start.as_nanos());
+            assert!(ev.at.as_nanos() <= cfg.settle_by.as_nanos());
+        }
+    }
+
+    #[test]
+    fn faults_never_touch_server_links_or_kill_switch_twice() {
+        let cfg = ChaosPlanConfig {
+            episodes: 64,
+            ..Default::default()
+        };
+        let r = roles();
+        let plan = generate_plan(11, &r, &cfg);
+        let mut switch_fails = 0;
+        for ev in plan.events() {
+            match ev.action {
+                FaultAction::SetLink { src, dst, .. } | FaultAction::ClearLink { src, dst } => {
+                    let touches_client = r.clients.contains(&src) || r.clients.contains(&dst);
+                    assert!(touches_client, "faulted a rack-internal link: {ev:?}");
+                }
+                FaultAction::FailNode(n) if n == r.switch => switch_fails += 1,
+                _ => {}
+            }
+        }
+        assert!(switch_fails <= 1);
+    }
+}

@@ -61,6 +61,11 @@ pub struct TxnClientStats {
     pub retries: u64,
     /// Surplus grants released (stale transactions or retry duplicates).
     pub stale_grants: u64,
+    /// Network-duplicated grants ignored: a second delivery of a grant
+    /// this transaction already consumed (same lock, txn and
+    /// `issued_at_ns`). Releasing it would free our own held entry, so
+    /// it is dropped instead.
+    pub dup_grants_ignored: u64,
     /// End-to-end transaction latency (ns).
     pub txn_latency: Histogram,
     /// Per-lock acquire→grant latency (ns).
@@ -79,7 +84,10 @@ struct Worker {
     txn_id: TxnId,
     started: SimTime,
     phase: Phase,
-    held: Vec<LockNeed>,
+    /// Held locks with the `issued_at_ns` of the consuming grant (the
+    /// issue stamp identifies which grant a duplicate delivery copies:
+    /// retries re-stamp, network duplicates don't).
+    held: Vec<(LockNeed, u64)>,
     /// Per-worker transaction sequence (encoded into txn ids).
     seq: u64,
     /// Timer-staleness guard; bumped on every state transition.
@@ -94,6 +102,10 @@ pub struct TxnClient {
     workers: Vec<Worker>,
     rng: SimRng,
     stats: TxnClientStats,
+    /// Test hook: when set, surplus grants are counted but not
+    /// released (chaos-suite sabotage; leaks queue entries so the
+    /// safety oracle's conservation check must fire).
+    surplus_release_disabled: bool,
 }
 
 const SEQ_BITS: u32 = 24;
@@ -117,7 +129,15 @@ impl TxnClient {
             workers: Vec::new(),
             rng: SimRng::new(seed),
             stats: TxnClientStats::default(),
+            surplus_release_disabled: false,
         }
+    }
+
+    /// Disable the surplus-grant release path (chaos-suite sabotage
+    /// hook; proves the safety oracle detects the leaked holders).
+    #[doc(hidden)]
+    pub fn sabotage_disable_surplus_release(&mut self) {
+        self.surplus_release_disabled = true;
     }
 
     /// Counters (harness access).
@@ -213,6 +233,9 @@ impl TxnClient {
 
     fn release_surplus(&mut self, grant: &GrantMsg, ctx: &mut Context<'_, NetLockMsg>) {
         self.stats.stale_grants += 1;
+        if self.surplus_release_disabled {
+            return;
+        }
         let rel = ReleaseRequest {
             lock: grant.lock,
             txn: grant.txn,
@@ -228,7 +251,22 @@ impl TxnClient {
         let worker = Self::worker_of(grant.txn);
         if worker >= self.workers.len() || self.workers[worker].txn_id != grant.txn {
             // Grant for a transaction this worker finished or abandoned.
+            // Releasing is safe even if this delivery is a network
+            // duplicate: the switch's release guard admits at most one
+            // release per grant it issued.
             self.release_surplus(&grant, ctx);
+            return;
+        }
+        // Network-duplicate detection for the *current* transaction: a
+        // second delivery of a grant we already consumed carries the
+        // same `issued_at_ns` (retry duplicates re-stamp it). Releasing
+        // it would dequeue our own live entry, so drop it instead.
+        if self.workers[worker]
+            .held
+            .iter()
+            .any(|&(need, issued)| need.lock == grant.lock && issued == grant.issued_at_ns)
+        {
+            self.stats.dup_grants_ignored += 1;
             return;
         }
         let (next, acquire_sent) = match self.workers[worker].phase {
@@ -253,7 +291,9 @@ impl TxnClient {
         }
         let wait = ctx.now().as_nanos() - acquire_sent.as_nanos() + self.cfg.rx_delay.as_nanos();
         self.stats.wait_latency.record(wait);
-        self.workers[worker].held.push(expected);
+        self.workers[worker]
+            .held
+            .push((expected, grant.issued_at_ns));
 
         let lock_count = self.workers[worker].txn.locks.len();
         if next + 1 < lock_count {
@@ -280,7 +320,7 @@ impl TxnClient {
             let w = &self.workers[worker];
             (w.txn_id, w.txn.priority, w.held.clone())
         };
-        for need in held {
+        for (need, _issued) in held {
             let rel = ReleaseRequest {
                 lock: need.lock,
                 txn: txn_id,

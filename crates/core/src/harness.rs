@@ -30,6 +30,19 @@ pub struct RunStats {
     pub txns: u64,
     /// Acquire retransmissions.
     pub retries: u64,
+    /// Surplus grants released by txn clients (stale transactions or
+    /// retry duplicates shed back to the queue).
+    pub surplus_released: u64,
+    /// Network-duplicated grants txn clients ignored.
+    pub dup_grants_ignored: u64,
+    /// Packets dropped by link loss/faults (whole-simulation counter —
+    /// includes warmup; see [`netlock_sim::Simulator::link_counters`]
+    /// for the per-link split).
+    pub net_lost: u64,
+    /// Extra packet copies created by duplication faults (whole run).
+    pub net_duplicated: u64,
+    /// Packets delivered out of send order on faulted links (whole run).
+    pub net_reordered: u64,
     /// Acquire→grant latency across all clients (ns).
     pub lock_latency: Histogram,
     /// Transaction latency across all clients (ns).
@@ -101,11 +114,17 @@ pub fn collect(rack: &Rack, measured: SimDuration) -> RunStats {
                 out.grants_server += s.grants_server;
                 out.txns += s.txns;
                 out.retries += s.retries;
+                out.surplus_released += s.stale_grants;
+                out.dup_grants_ignored += s.dup_grants_ignored;
                 out.lock_latency.merge(&s.wait_latency);
                 out.txn_latency.merge(&s.txn_latency);
             }),
         }
     }
+    let net = rack.sim.stats();
+    out.net_lost = net.packets_lost;
+    out.net_duplicated = net.packets_duplicated;
+    out.net_reordered = net.packets_reordered;
     out
 }
 

@@ -49,15 +49,21 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client_micro;
 pub mod client_txn;
 pub mod db_server;
 pub mod harness;
+pub mod oracle;
 pub mod rack;
 pub mod txn;
 
 /// Convenient single import for building experiments.
 pub mod prelude {
+    pub use crate::chaos::{
+        attach_oracle, generate_plan, run_chaos, standard_recovery, ChaosPlanConfig, RackRoles,
+        CUSTOM_SERVER_RESTART_BASE, CUSTOM_SWITCH_REBOOT,
+    };
     pub use crate::client_micro::{MicroClient, MicroClientConfig, MicroClientStats};
     pub use crate::client_txn::{TxnClient, TxnClientConfig, TxnClientStats};
     pub use crate::db_server::{DbServer, DbServerConfig};
@@ -65,6 +71,7 @@ pub mod prelude {
         collect, reset_clients, switch_breakdown, tps_series, txns_by_client, warmup_and_measure,
         RunStats,
     };
+    pub use crate::oracle::{Oracle, OracleConfig, OracleCounts, Violation, ViolationKind};
     pub use crate::rack::{ClientKind, EngineSpec, Rack, RackConfig};
     pub use crate::txn::{LockNeed, SingleLockSource, Transaction, TxnSource};
     pub use netlock_sim::{LatencySummary, SimDuration, SimTime};

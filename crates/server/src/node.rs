@@ -115,6 +115,35 @@ impl ServerNode {
         self.ownership.insert(lock, Ownership::Owned);
     }
 
+    /// The configuration this server runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Timer token of the lease sweep. After a crash-restart the sweep
+    /// chain is broken (timers to a dead node are dropped); the harness
+    /// re-arms it with `Simulator::inject_timer` using this token.
+    pub const SWEEP_TIMER_TOKEN: u64 = TIMER_LEASE_SWEEP;
+
+    /// Model a crash-restart with total state loss (§4.5 failure
+    /// handling): lock table, q2 buffers, ownership, migration and
+    /// grace buffers, and the CPU model are all wiped, as if the
+    /// process was restarted on a fresh machine. Counters are kept —
+    /// they belong to the harness, not the process. The harness must
+    /// re-declare owned locks ([`ServerNode::own_lock`]), re-arm the
+    /// sweep timer ([`ServerNode::SWEEP_TIMER_TOKEN`]) and usually
+    /// apply a failover grace period ([`ServerNode::set_grace_until`])
+    /// so stranded leases expire before new grants.
+    pub fn restart(&mut self) {
+        self.table = LockTable::new();
+        self.q2.clear();
+        self.ownership.clear();
+        self.promote_buf.clear();
+        self.grace_buf.clear();
+        self.grace_until_ns = 0;
+        self.cores = CoreModel::new(self.cfg.cores, self.cfg.service.as_nanos());
+    }
+
     /// Repoint the server at a different ToR switch (backup switch
     /// failover, §4.5).
     pub fn set_switch(&mut self, switch: NodeId) {

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 mod link;
 pub mod metrics;
 mod node;
@@ -49,10 +50,11 @@ mod rng;
 mod sim;
 mod time;
 
-pub use link::{LinkConfig, Topology};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, RunOutcome};
+pub use link::{GeParams, LinkConfig, LinkFaults, Topology};
 pub use metrics::{Histogram, IntervalCounter, LatencySummary, TimeSeries};
 pub use node::{AsAny, Context, Node, NodeId, Packet};
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use sim::{SimStats, Simulator};
+pub use sim::{LinkCounters, SimStats, Simulator, Tap, TapEvent};
 pub use time::{SimDuration, SimTime};

@@ -11,6 +11,66 @@ use std::collections::HashMap;
 use crate::node::NodeId;
 use crate::time::SimDuration;
 
+/// Gilbert–Elliott two-state burst-loss parameters. The channel flips
+/// between a *good* and a *bad* state per packet; each state has its own
+/// drop probability, so losses cluster into bursts instead of the
+/// memoryless Bernoulli pattern of [`LinkConfig::loss`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeParams {
+    /// Probability of transitioning good → bad on a packet.
+    pub to_bad: f64,
+    /// Probability of transitioning bad → good on a packet.
+    pub to_good: f64,
+    /// Drop probability while in the good state (usually ~0).
+    pub loss_good: f64,
+    /// Drop probability while in the bad state (usually near 1).
+    pub loss_bad: f64,
+}
+
+impl GeParams {
+    /// A bursty channel: mostly clean, but bursts of `loss_bad` losses
+    /// with mean burst length `1/to_good` packets.
+    pub fn bursty(to_bad: f64, to_good: f64, loss_bad: f64) -> GeParams {
+        GeParams {
+            to_bad,
+            to_good,
+            loss_good: 0.0,
+            loss_bad,
+        }
+    }
+}
+
+/// Fault-injection parameters of a link, all off by default. Kept
+/// separate from the base delay/loss so the common healthy-link path
+/// can skip fault processing entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct LinkFaults {
+    /// Probability that a packet is delivered twice (default 0). The
+    /// duplicate takes an independent jitter draw, so it may arrive
+    /// before or after the original.
+    pub duplicate: f64,
+    /// Bound of uniform extra delay added per packet (default 0).
+    /// Non-zero jitter reorders packets that were sent close together.
+    pub jitter: SimDuration,
+    /// Optional Gilbert–Elliott burst-loss channel (overrides the plain
+    /// Bernoulli `loss` when set).
+    pub ge: Option<GeParams>,
+}
+
+impl LinkFaults {
+    /// No faults at all (the default).
+    pub const NONE: LinkFaults = LinkFaults {
+        duplicate: 0.0,
+        jitter: SimDuration(0),
+        ge: None,
+    };
+
+    /// Whether any fault processing is required for this link.
+    pub fn any(&self) -> bool {
+        self.duplicate > 0.0 || self.jitter.as_nanos() > 0 || self.ge.is_some()
+    }
+}
+
 /// Per-link parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkConfig {
@@ -18,12 +78,28 @@ pub struct LinkConfig {
     pub delay: SimDuration,
     /// Probability that a packet is dropped in flight (default 0).
     pub loss: f64,
+    /// Fault-injection behaviour (burst loss, duplication, jitter).
+    pub faults: LinkFaults,
 }
 
 impl LinkConfig {
     /// A lossless link with the given one-way delay.
     pub fn with_delay(delay: SimDuration) -> LinkConfig {
-        LinkConfig { delay, loss: 0.0 }
+        LinkConfig {
+            delay,
+            loss: 0.0,
+            faults: LinkFaults::NONE,
+        }
+    }
+
+    /// A copy of this link with Bernoulli loss probability `loss`.
+    pub fn with_loss(self, loss: f64) -> LinkConfig {
+        LinkConfig { loss, ..self }
+    }
+
+    /// A copy of this link with the given fault parameters.
+    pub fn with_faults(self, faults: LinkFaults) -> LinkConfig {
+        LinkConfig { faults, ..self }
     }
 }
 
@@ -33,6 +109,7 @@ impl Default for LinkConfig {
             // Intra-rack one-way hop: ~1.2 us (cable + NIC + switch port).
             delay: SimDuration::from_nanos(1_200),
             loss: 0.0,
+            faults: LinkFaults::NONE,
         }
     }
 }
@@ -64,6 +141,12 @@ impl Topology {
     /// Override a specific directed link.
     pub fn set_link(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
         self.per_pair.insert((src, dst), cfg);
+    }
+
+    /// Remove a directed-link override, restoring the per-node or
+    /// global default. Used by fault plans to end a link fault episode.
+    pub fn clear_link(&mut self, src: NodeId, dst: NodeId) {
+        self.per_pair.remove(&(src, dst));
     }
 
     /// The configuration used for a packet from `src` to `dst`.
@@ -119,11 +202,33 @@ mod tests {
     #[test]
     fn set_default_applies() {
         let mut t = Topology::default();
-        t.set_default(LinkConfig {
-            delay: SimDuration(5),
-            loss: 0.5,
-        });
+        t.set_default(LinkConfig::with_delay(SimDuration(5)).with_loss(0.5));
         assert_eq!(t.link(NodeId(9), NodeId(8)).delay, SimDuration(5));
         assert_eq!(t.link(NodeId(9), NodeId(8)).loss, 0.5);
+    }
+
+    #[test]
+    fn clear_link_restores_fallback() {
+        let mut t = Topology::new(LinkConfig::with_delay(SimDuration(100)));
+        t.set_link(
+            NodeId(1),
+            NodeId(2),
+            LinkConfig::with_delay(SimDuration(300)),
+        );
+        assert_eq!(t.link(NodeId(1), NodeId(2)).delay, SimDuration(300));
+        t.clear_link(NodeId(1), NodeId(2));
+        assert_eq!(t.link(NodeId(1), NodeId(2)).delay, SimDuration(100));
+    }
+
+    #[test]
+    fn faults_default_off() {
+        let cfg = LinkConfig::default();
+        assert!(!cfg.faults.any());
+        let bursty = cfg.with_faults(LinkFaults {
+            ge: Some(GeParams::bursty(0.01, 0.2, 0.9)),
+            ..LinkFaults::NONE
+        });
+        assert!(bursty.faults.any());
+        assert_eq!(bursty.delay, cfg.delay);
     }
 }

@@ -9,6 +9,9 @@
 //! `O(1)` scheduling for near-future events instead of a global binary
 //! heap's `O(log n)`, with identical `(time, seq)` pop order.
 
+use std::collections::HashMap;
+
+use crate::fault::{FaultAction, FaultPlan, RunOutcome};
 use crate::link::{LinkConfig, Topology};
 use crate::node::{Context, Effect, Node, NodeId, Packet};
 use crate::queue::EventQueue;
@@ -18,6 +21,7 @@ use crate::time::{SimDuration, SimTime};
 enum EventKind<M> {
     Deliver(Packet<M>),
     Timer { node: NodeId, token: u64 },
+    Fault(FaultAction),
 }
 
 /// Run statistics maintained by the simulator itself.
@@ -27,10 +31,17 @@ pub struct SimStats {
     pub packets_delivered: u64,
     /// Packets dropped by link loss.
     pub packets_lost: u64,
+    /// Extra packet copies scheduled by link duplication faults.
+    pub packets_duplicated: u64,
+    /// Packets whose jittered arrival overtook an earlier send on the
+    /// same directed link.
+    pub packets_reordered: u64,
     /// Packets dropped because the destination node was removed/failed.
     pub packets_to_dead_node: u64,
     /// Timer events fired.
     pub timers_fired: u64,
+    /// Fault-plan events applied.
+    pub faults_applied: u64,
     /// Events pushed into the pending queue (packets and timers,
     /// including ones later dropped at a dead node).
     pub events_scheduled: u64,
@@ -38,6 +49,91 @@ pub struct SimStats {
     pub events_fired: u64,
     /// High-water mark of the pending-event queue.
     pub max_queue_depth: u64,
+}
+
+/// Per-directed-link fault counters, exposed via
+/// [`Simulator::link_counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Packets dropped on this link (Bernoulli or Gilbert–Elliott).
+    pub lost: u64,
+    /// Extra copies scheduled on this link.
+    pub duplicated: u64,
+    /// Packets that overtook an earlier send on this link.
+    pub reordered: u64,
+}
+
+/// Mutable per-directed-link channel state (Gilbert–Elliott state plus
+/// reorder tracking). Only allocated for links that see faults.
+#[derive(Clone, Copy, Debug, Default)]
+struct LinkState {
+    ge_bad: bool,
+    last_arrival: SimTime,
+    counters: LinkCounters,
+}
+
+/// Observer hook: receives a [`TapEvent`] for every packet-level event.
+/// Installed with [`Simulator::set_tap`]; used by safety oracles and
+/// chaos harnesses to audit the run without perturbing it.
+pub type Tap<M> = Box<dyn FnMut(TapEvent<'_, M>)>;
+
+/// One packet-level observation delivered to the tap.
+#[derive(Debug)]
+pub enum TapEvent<'a, M> {
+    /// A node emitted a packet (observed before loss/duplication).
+    Sent {
+        /// Emission time.
+        at: SimTime,
+        /// Sending node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// The payload.
+        payload: &'a M,
+    },
+    /// The packet was dropped by link loss.
+    Lost {
+        /// Emission time (the drop is decided at send).
+        at: SimTime,
+        /// Sending node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// The payload.
+        payload: &'a M,
+    },
+    /// An extra copy of the packet was scheduled.
+    Duplicated {
+        /// Emission time.
+        at: SimTime,
+        /// Sending node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// The payload.
+        payload: &'a M,
+    },
+    /// A packet is about to be dispatched to a live destination.
+    Delivered {
+        /// Delivery time.
+        at: SimTime,
+        /// The packet.
+        pkt: &'a Packet<M>,
+    },
+    /// A packet reached a dead node and was discarded.
+    DeliveredToDead {
+        /// Delivery time.
+        at: SimTime,
+        /// The packet.
+        pkt: &'a Packet<M>,
+    },
+    /// A fault-plan action fired.
+    Fault {
+        /// Firing time.
+        at: SimTime,
+        /// The action applied (for `Custom`, applied by the harness).
+        action: FaultAction,
+    },
 }
 
 /// A deterministic discrete-event simulator over message type `M`.
@@ -51,9 +147,12 @@ pub struct Simulator<M> {
     rng: SimRng,
     effects: Vec<Effect<M>>,
     stats: SimStats,
+    link_states: HashMap<(NodeId, NodeId), LinkState>,
+    tap: Option<Tap<M>>,
+    pending_custom: Option<(SimTime, u64)>,
 }
 
-impl<M: 'static> Simulator<M> {
+impl<M: Clone + 'static> Simulator<M> {
     /// A simulator with the given topology and RNG seed.
     pub fn new(topology: Topology, seed: u64) -> Simulator<M> {
         Simulator {
@@ -66,6 +165,9 @@ impl<M: 'static> Simulator<M> {
             rng: SimRng::new(seed),
             effects: Vec::new(),
             stats: SimStats::default(),
+            link_states: HashMap::new(),
+            tap: None,
+            pending_custom: None,
         }
     }
 
@@ -82,6 +184,43 @@ impl<M: 'static> Simulator<M> {
     /// Simulator-level statistics.
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    /// Per-directed-link fault counters, sorted by `(src, dst)` so the
+    /// output is deterministic. Only links that saw at least one loss,
+    /// duplication or reorder (or carry fault state) appear.
+    pub fn link_counters(&self) -> Vec<((NodeId, NodeId), LinkCounters)> {
+        let mut out: Vec<_> = self
+            .link_states
+            .iter()
+            .map(|(k, v)| (*k, v.counters))
+            .collect();
+        out.sort_by_key(|&((s, d), _)| (s.0, d.0));
+        out
+    }
+
+    /// Install a packet-level observer. Replaces any previous tap.
+    pub fn set_tap(&mut self, tap: Tap<M>) {
+        self.tap = Some(tap);
+    }
+
+    /// Remove the packet-level observer.
+    pub fn clear_tap(&mut self) {
+        self.tap = None;
+    }
+
+    /// Schedule one fault action as a first-class simulator event.
+    pub fn schedule_fault(&mut self, at: SimTime, action: FaultAction) {
+        assert!(at >= self.now, "fault scheduled in the past");
+        self.push(at, EventKind::Fault(action));
+    }
+
+    /// Install every event of a [`FaultPlan`]. Events are sorted by
+    /// firing time (stable at ties) before insertion.
+    pub fn install_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.sorted_events() {
+            self.schedule_fault(ev.at, ev.action);
+        }
     }
 
     /// Mutable access to the topology (reconfigurable mid-run).
@@ -194,6 +333,7 @@ impl<M: 'static> Simulator<M> {
     }
 
     fn apply_effects(&mut self, from: NodeId, effects: &mut Vec<Effect<M>>) {
+        let mut tap = self.tap.take();
         for eff in effects.drain(..) {
             match eff {
                 Effect::Send {
@@ -201,27 +341,158 @@ impl<M: 'static> Simulator<M> {
                     payload,
                     extra_delay,
                 } => {
-                    let link = self.topology.link(from, dst);
-                    if link.loss > 0.0 && self.rng.chance(link.loss) {
-                        self.stats.packets_lost += 1;
-                        continue;
-                    }
-                    let at = self.now + link.delay + extra_delay;
-                    self.push(
-                        at,
-                        EventKind::Deliver(Packet {
-                            src: from,
-                            dst,
-                            sent_at: self.now,
-                            payload,
-                        }),
-                    );
+                    self.transmit(&mut tap, from, dst, payload, extra_delay);
                 }
                 Effect::Timer { delay, token } => {
                     let at = self.now + delay;
                     self.push(at, EventKind::Timer { node: from, token });
                 }
             }
+        }
+        self.tap = tap;
+    }
+
+    /// Send one packet over the `(src, dst)` link, applying the link's
+    /// loss (Bernoulli or Gilbert–Elliott), jitter and duplication.
+    ///
+    /// RNG draw order is fixed and conditional, so fault-free links draw
+    /// exactly as before faults existed (byte-compatibility): GE
+    /// transition + state loss (iff `ge` set), else Bernoulli loss (iff
+    /// `loss > 0`), then jitter (iff `jitter > 0`), then duplication
+    /// (iff `duplicate > 0`), then the duplicate's jitter.
+    fn transmit(
+        &mut self,
+        tap: &mut Option<Tap<M>>,
+        src: NodeId,
+        dst: NodeId,
+        payload: M,
+        extra_delay: SimDuration,
+    ) {
+        let link = self.topology.link(src, dst);
+        let faulty = link.faults.any();
+        if let Some(t) = tap.as_mut() {
+            t(TapEvent::Sent {
+                at: self.now,
+                src,
+                dst,
+                payload: &payload,
+            });
+        }
+        // Loss: Gilbert–Elliott channel if configured, else Bernoulli.
+        let lost = if let Some(ge) = link.faults.ge {
+            let bad = self.link_states.entry((src, dst)).or_default().ge_bad;
+            let p_flip = if bad { ge.to_good } else { ge.to_bad };
+            let flipped = self.rng.chance(p_flip);
+            let now_bad = bad ^ flipped;
+            if flipped {
+                self.link_states.entry((src, dst)).or_default().ge_bad = now_bad;
+            }
+            let p_loss = if now_bad { ge.loss_bad } else { ge.loss_good };
+            self.rng.chance(p_loss)
+        } else {
+            link.loss > 0.0 && self.rng.chance(link.loss)
+        };
+        if lost {
+            self.stats.packets_lost += 1;
+            self.link_states
+                .entry((src, dst))
+                .or_default()
+                .counters
+                .lost += 1;
+            if let Some(t) = tap.as_mut() {
+                t(TapEvent::Lost {
+                    at: self.now,
+                    src,
+                    dst,
+                    payload: &payload,
+                });
+            }
+            return;
+        }
+        let jitter = link.faults.jitter.as_nanos();
+        let base = self.now + link.delay + extra_delay;
+        let at = if jitter > 0 {
+            base + SimDuration(self.rng.next_below(jitter + 1))
+        } else {
+            base
+        };
+        let duplicated = link.faults.duplicate > 0.0 && self.rng.chance(link.faults.duplicate);
+        let dup_at = if duplicated {
+            if jitter > 0 {
+                Some(base + SimDuration(self.rng.next_below(jitter + 1)))
+            } else {
+                Some(base)
+            }
+        } else {
+            None
+        };
+        if faulty {
+            // Reorder accounting: a packet overtakes when it is scheduled
+            // to arrive before the latest already-scheduled arrival on
+            // this directed link.
+            let state = self.link_states.entry((src, dst)).or_default();
+            for &t_arr in [Some(at), dup_at].iter().flatten() {
+                if t_arr < state.last_arrival {
+                    state.counters.reordered += 1;
+                    self.stats.packets_reordered += 1;
+                } else {
+                    state.last_arrival = t_arr;
+                }
+            }
+        }
+        if let Some(dup_at) = dup_at {
+            self.stats.packets_duplicated += 1;
+            self.link_states
+                .entry((src, dst))
+                .or_default()
+                .counters
+                .duplicated += 1;
+            if let Some(t) = tap.as_mut() {
+                t(TapEvent::Duplicated {
+                    at: self.now,
+                    src,
+                    dst,
+                    payload: &payload,
+                });
+            }
+            self.push(
+                dup_at,
+                EventKind::Deliver(Packet {
+                    src,
+                    dst,
+                    sent_at: self.now,
+                    payload: payload.clone(),
+                }),
+            );
+        }
+        self.push(
+            at,
+            EventKind::Deliver(Packet {
+                src,
+                dst,
+                sent_at: self.now,
+                payload,
+            }),
+        );
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        self.stats.faults_applied += 1;
+        let mut tap = self.tap.take();
+        if let Some(t) = tap.as_mut() {
+            t(TapEvent::Fault {
+                at: self.now,
+                action,
+            });
+        }
+        self.tap = tap;
+        match action {
+            FaultAction::SetDefaultLink(cfg) => self.topology.set_default(cfg),
+            FaultAction::SetLink { src, dst, cfg } => self.topology.set_link(src, dst, cfg),
+            FaultAction::ClearLink { src, dst } => self.topology.clear_link(src, dst),
+            FaultAction::FailNode(id) => self.fail_node(id),
+            FaultAction::ReviveNode(id) => self.revive_node(id),
+            FaultAction::Custom(token) => self.pending_custom = Some((self.now, token)),
         }
     }
 
@@ -236,10 +507,29 @@ impl<M: 'static> Simulator<M> {
         let node_id = match &kind {
             EventKind::Deliver(pkt) => pkt.dst,
             EventKind::Timer { node, .. } => *node,
+            EventKind::Fault(action) => {
+                let action = *action;
+                self.apply_fault(action);
+                return true;
+            }
         };
         if node_id.index() >= self.nodes.len() || !self.alive[node_id.index()] {
             self.stats.packets_to_dead_node += 1;
+            if let EventKind::Deliver(pkt) = &kind {
+                let mut tap = self.tap.take();
+                if let Some(t) = tap.as_mut() {
+                    t(TapEvent::DeliveredToDead { at: self.now, pkt });
+                }
+                self.tap = tap;
+            }
             return true;
+        }
+        if let EventKind::Deliver(pkt) = &kind {
+            let mut tap = self.tap.take();
+            if let Some(t) = tap.as_mut() {
+                t(TapEvent::Delivered { at: self.now, pkt });
+            }
+            self.tap = tap;
         }
         let mut node = self.nodes[node_id.index()]
             .take()
@@ -258,6 +548,7 @@ impl<M: 'static> Simulator<M> {
                     self.stats.timers_fired += 1;
                     node.on_timer(token, &mut ctx)
                 }
+                EventKind::Fault(_) => unreachable!("fault handled above"),
             }
         }
         self.nodes[node_id.index()] = Some(node);
@@ -270,8 +561,33 @@ impl<M: 'static> Simulator<M> {
     /// Run until the clock reaches `deadline` (events at exactly `deadline`
     /// are processed) or the queue empties. The clock is advanced to
     /// `deadline` on return so subsequent scheduling is relative to it.
+    /// [`FaultAction::Custom`] events encountered here are dropped —
+    /// chaos harnesses use [`Simulator::run_until_fault`] instead.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(head_at) = self.queue.peek_at() {
+            if head_at > deadline {
+                break;
+            }
+            self.step();
+            self.pending_custom = None;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Like [`Simulator::run_until`], but pauses when a
+    /// [`FaultAction::Custom`] fires, returning
+    /// [`RunOutcome::CustomFault`] so the caller can apply the
+    /// domain-specific fault and resume with another call.
+    pub fn run_until_fault(&mut self, deadline: SimTime) -> RunOutcome {
+        loop {
+            if let Some((at, token)) = self.pending_custom.take() {
+                return RunOutcome::CustomFault { at, token };
+            }
+            let Some(head_at) = self.queue.peek_at() else {
+                break;
+            };
             if head_at > deadline {
                 break;
             }
@@ -280,6 +596,7 @@ impl<M: 'static> Simulator<M> {
         if self.now < deadline {
             self.now = deadline;
         }
+        RunOutcome::ReachedDeadline
     }
 
     /// Run for `d` more simulated time.
@@ -406,10 +723,7 @@ mod tests {
         s.topology_mut().set_link(
             b,
             a,
-            LinkConfig {
-                delay: SimDuration(100),
-                loss: 1.0,
-            },
+            LinkConfig::with_delay(SimDuration(100)).with_loss(1.0),
         );
         // a -> b delivered; echo b -> a always lost.
         s.inject(a, b, 0);
@@ -448,10 +762,8 @@ mod tests {
             let mut s: Simulator<u32> = Simulator::with_seed(seed);
             let a = s.add_node(Box::new(Echo { received: vec![] }));
             let b = s.add_node(Box::new(Echo { received: vec![] }));
-            s.topology_mut().set_default(LinkConfig {
-                delay: SimDuration(50),
-                loss: 0.3,
-            });
+            s.topology_mut()
+                .set_default(LinkConfig::with_delay(SimDuration(50)).with_loss(0.3));
             s.inject(a, b, 0);
             s.run_until(SimTime(100_000));
             s.read_node::<Echo, _>(b, |n| n.received.clone())
@@ -528,5 +840,247 @@ mod more_tests {
         s.inject_timer(n, SimDuration(1_000), 0);
         s.inject_timer(n, SimDuration(2_000), 0);
         assert_eq!(s.pending_events(), 2);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultAction, FaultPlan, RunOutcome};
+    use crate::link::{GeParams, LinkFaults};
+
+    /// Sends `total` sequence-numbered packets to `dst`, one per `gap`.
+    struct Flood {
+        dst: NodeId,
+        total: u32,
+        sent: u32,
+        gap: SimDuration,
+    }
+    impl Node<u32> for Flood {
+        fn on_packet(&mut self, _p: Packet<u32>, _c: &mut Context<'_, u32>) {}
+        fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_, u32>) {
+            if self.sent < self.total {
+                ctx.send(self.dst, self.sent);
+                self.sent += 1;
+                ctx.set_timer(self.gap, 0);
+            }
+        }
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.set_timer(self.gap, 0);
+        }
+    }
+
+    struct Rec {
+        got: Vec<u32>,
+    }
+    impl Node<u32> for Rec {
+        fn on_packet(&mut self, pkt: Packet<u32>, _ctx: &mut Context<'_, u32>) {
+            self.got.push(pkt.payload);
+        }
+        fn on_timer(&mut self, _t: u64, _c: &mut Context<'_, u32>) {}
+    }
+
+    fn flood_sim(seed: u64, total: u32, faults: LinkFaults) -> (Simulator<u32>, NodeId, NodeId) {
+        let mut s: Simulator<u32> = Simulator::with_seed(seed);
+        let r = s.add_node(Box::new(Rec { got: vec![] }));
+        let f = s.add_node(Box::new(Flood {
+            dst: r,
+            total,
+            sent: 0,
+            gap: SimDuration(1_000),
+        }));
+        let cfg = LinkConfig::with_delay(SimDuration(500)).with_faults(faults);
+        s.topology_mut().set_link(f, r, cfg);
+        (s, f, r)
+    }
+
+    #[test]
+    fn ge_losses_cluster_into_bursts() {
+        let faults = LinkFaults {
+            ge: Some(GeParams::bursty(0.05, 0.25, 1.0)),
+            ..LinkFaults::NONE
+        };
+        let (mut s, f, r) = flood_sim(11, 400, faults);
+        s.run_until(SimTime(1_000_000));
+        let got = s.read_node::<Rec, _>(r, |n| n.got.clone());
+        let lost = 400 - got.len() as u64;
+        assert!(lost > 0, "GE channel must drop packets");
+        assert_eq!(s.stats().packets_lost, lost);
+        let per_link = s.link_counters();
+        let entry = per_link.iter().find(|((a, b), _)| (*a, *b) == (f, r));
+        assert_eq!(entry.expect("link counters recorded").1.lost, lost);
+        // Burstiness: with loss_bad = 1 every bad-state packet drops, so
+        // some run of >= 2 consecutive sequence numbers must be missing.
+        let mut missing_run = 0u32;
+        let mut best = 0u32;
+        let present: std::collections::HashSet<u32> = got.iter().copied().collect();
+        for i in 0..400 {
+            if present.contains(&i) {
+                missing_run = 0;
+            } else {
+                missing_run += 1;
+                best = best.max(missing_run);
+            }
+        }
+        assert!(best >= 2, "losses should cluster, longest run {best}");
+        // Mean loss rate stays near the stationary bad fraction (~1/6),
+        // nowhere near loss_bad itself.
+        assert!(lost < 200, "loss rate should be far below loss_bad");
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_counts() {
+        let faults = LinkFaults {
+            duplicate: 1.0,
+            ..LinkFaults::NONE
+        };
+        let (mut s, f, r) = flood_sim(5, 10, faults);
+        s.run_until(SimTime(1_000_000));
+        let got = s.read_node::<Rec, _>(r, |n| n.got.clone());
+        assert_eq!(got.len(), 20, "every packet delivered twice");
+        assert_eq!(s.stats().packets_duplicated, 10);
+        let per_link = s.link_counters();
+        let entry = per_link.iter().find(|((a, b), _)| (*a, *b) == (f, r));
+        assert_eq!(entry.expect("counters").1.duplicated, 10);
+        // With zero jitter the original precedes its duplicate (FIFO at
+        // equal timestamps), so the sequence is 0,0,1,1,...
+        for i in 0..10u32 {
+            assert_eq!(got[2 * i as usize], i);
+            assert_eq!(got[2 * i as usize + 1], i);
+        }
+    }
+
+    #[test]
+    fn jitter_reorders_back_to_back_sends() {
+        let faults = LinkFaults {
+            jitter: SimDuration(10_000),
+            ..LinkFaults::NONE
+        };
+        let (mut s, _f, r) = flood_sim(7, 100, faults);
+        s.run_until(SimTime(10_000_000));
+        let got = s.read_node::<Rec, _>(r, |n| n.got.clone());
+        assert_eq!(got.len(), 100, "jitter never loses packets");
+        assert!(
+            got.windows(2).any(|w| w[0] > w[1]),
+            "10us jitter over 1us spacing must reorder"
+        );
+        assert!(s.stats().packets_reordered > 0);
+    }
+
+    #[test]
+    fn fault_plan_flaps_link_and_pauses_on_custom() {
+        let plan = FaultPlan::new()
+            .with(
+                SimTime(10_000),
+                FaultAction::SetDefaultLink(
+                    LinkConfig::with_delay(SimDuration(500)).with_loss(1.0),
+                ),
+            )
+            .with(SimTime(20_000), FaultAction::Custom(42))
+            .with(
+                SimTime(30_000),
+                FaultAction::SetDefaultLink(LinkConfig::with_delay(SimDuration(500))),
+            );
+        let mut s: Simulator<u32> = Simulator::with_seed(3);
+        let r = s.add_node(Box::new(Rec { got: vec![] }));
+        let f = s.add_node(Box::new(Flood {
+            dst: r,
+            total: 50,
+            sent: 0,
+            gap: SimDuration(1_000),
+        }));
+        s.topology_mut()
+            .set_default(LinkConfig::with_delay(SimDuration(500)));
+        s.install_plan(&plan);
+        let outcome = s.run_until_fault(SimTime(100_000));
+        assert_eq!(
+            outcome,
+            RunOutcome::CustomFault {
+                at: SimTime(20_000),
+                token: 42
+            }
+        );
+        assert_eq!(s.now(), SimTime(20_000));
+        let outcome = s.run_until_fault(SimTime(100_000));
+        assert_eq!(outcome, RunOutcome::ReachedDeadline);
+        let got = s.read_node::<Rec, _>(r, |n| n.got.clone());
+        // Packets sent in [10us, 30us) are all lost; the rest arrive.
+        assert!(got.len() < 50 && !got.is_empty());
+        assert_eq!(s.stats().packets_lost, 50 - got.len() as u64);
+        assert_eq!(s.stats().faults_applied, 3);
+        // Sends outside the flap window are unaffected.
+        assert!(got.contains(&0) && got.contains(&49));
+        let _ = f;
+    }
+
+    #[test]
+    fn fail_and_revive_via_plan() {
+        let plan = FaultPlan::new()
+            .with(SimTime(5_500), FaultAction::FailNode(NodeId(0)))
+            .with(SimTime(15_500), FaultAction::ReviveNode(NodeId(0)));
+        let mut s: Simulator<u32> = Simulator::with_seed(9);
+        let r = s.add_node(Box::new(Rec { got: vec![] }));
+        let _f = s.add_node(Box::new(Flood {
+            dst: r,
+            total: 30,
+            sent: 0,
+            gap: SimDuration(1_000),
+        }));
+        s.install_plan(&plan);
+        s.run_until(SimTime(100_000));
+        assert!(s.is_alive(r));
+        let got = s.read_node::<Rec, _>(r, |n| n.got.clone());
+        assert!(s.stats().packets_to_dead_node > 0);
+        assert_eq!(got.len() as u64 + s.stats().packets_to_dead_node, 30);
+    }
+
+    #[test]
+    fn tap_observes_sends_losses_and_deliveries() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let counts = Rc::new(RefCell::new((0u64, 0u64, 0u64, 0u64)));
+        let c2 = Rc::clone(&counts);
+        let faults = LinkFaults {
+            duplicate: 1.0,
+            ..LinkFaults::NONE
+        };
+        let (mut s, _f, _r) = flood_sim(5, 10, faults);
+        s.set_tap(Box::new(move |ev| {
+            let mut c = c2.borrow_mut();
+            match ev {
+                TapEvent::Sent { .. } => c.0 += 1,
+                TapEvent::Lost { .. } => c.1 += 1,
+                TapEvent::Duplicated { .. } => c.2 += 1,
+                TapEvent::Delivered { .. } => c.3 += 1,
+                _ => {}
+            }
+        }));
+        s.run_until(SimTime(1_000_000));
+        let c = counts.borrow();
+        assert_eq!(c.0, 10, "one Sent per logical send");
+        assert_eq!(c.1, 0);
+        assert_eq!(c.2, 10);
+        assert_eq!(c.3, 20, "original + duplicate deliveries");
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic() {
+        let run = |seed: u64| {
+            let faults = LinkFaults {
+                duplicate: 0.2,
+                jitter: SimDuration(5_000),
+                ge: Some(GeParams::bursty(0.1, 0.3, 0.9)),
+            };
+            let (mut s, _f, r) = flood_sim(seed, 200, faults);
+            s.run_until(SimTime(10_000_000));
+            (
+                s.read_node::<Rec, _>(r, |n| n.got.clone()),
+                s.stats().packets_lost,
+                s.stats().packets_duplicated,
+                s.stats().packets_reordered,
+            )
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21).0, run(22).0, "different seed, different trace");
     }
 }

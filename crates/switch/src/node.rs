@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use netlock_proto::{GrantMsg, LockId, NetLockMsg};
+use netlock_proto::{GrantMsg, LockId, NetLockMsg, TxnId};
 use netlock_sim::{Context, Node, NodeId, Packet, SimDuration};
 
 use crate::control::{self, MigrationOp};
@@ -85,6 +85,11 @@ pub struct SwitchNodeStats {
     pub lease_expirations: u64,
     /// Migration operations completed.
     pub migrations_done: u64,
+    /// Releases dropped by the grant/release conservation guard: the
+    /// `(lock, txn)` had no outstanding grant (already released, already
+    /// force-released by the lease sweeper, or a network duplicate), so
+    /// processing it would blindly dequeue some other holder's entry.
+    pub stale_releases_filtered: u64,
 }
 
 /// The ToR lock switch.
@@ -103,6 +108,16 @@ pub struct SwitchNode {
     /// only when the server's CtrlPromoteReady arrives (§4.3: the
     /// queue must drain before the move).
     promote_reservations: HashMap<LockId, (usize, u32, u32, usize)>,
+    /// Release guard: outstanding grants per `(lock, txn)` for
+    /// switch-resident locks. The data plane dequeues blindly on
+    /// release (the paper's §4.2 queue is not content-addressable), so
+    /// the control plane keeps this shadow ledger and drops releases
+    /// that no outstanding grant authorizes — making releases
+    /// idempotent under duplication, retries and lease expiry.
+    granted_outstanding: HashMap<(LockId, TxnId), u32>,
+    /// Test hook: when set, the release guard admits every release
+    /// (restores the unguarded blind-dequeue behaviour).
+    release_guard_disabled: bool,
     stats: SwitchNodeStats,
 }
 
@@ -117,7 +132,36 @@ impl SwitchNode {
             pending_demotes: HashSet::new(),
             pending_promotes: Vec::new(),
             promote_reservations: HashMap::new(),
+            granted_outstanding: HashMap::new(),
+            release_guard_disabled: false,
             stats: SwitchNodeStats::default(),
+        }
+    }
+
+    /// Disable the release guard (chaos-suite sabotage hook; proves the
+    /// safety oracle detects the resulting double-dequeues).
+    #[doc(hidden)]
+    pub fn sabotage_disable_release_guard(&mut self) {
+        self.release_guard_disabled = true;
+    }
+
+    /// Whether a release for `(lock, txn)` is authorized by an
+    /// outstanding grant. Only consulted for switch-resident locks;
+    /// server-resident releases are forwarded (the server's lock table
+    /// matches holders by txn and is naturally idempotent).
+    fn admit_release(&mut self, lock: LockId, txn: TxnId) -> bool {
+        if self.release_guard_disabled {
+            return true;
+        }
+        match self.granted_outstanding.get_mut(&(lock, txn)) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    self.granted_outstanding.remove(&(lock, txn));
+                }
+                true
+            }
+            _ => false,
         }
     }
 
@@ -151,6 +195,17 @@ impl SwitchNode {
         self.stats
     }
 
+    /// The configuration this switch runs with.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+
+    /// Timer token of the control-plane tick (lease sweeping, demote
+    /// drains). The tick re-arms itself, so the chain breaks while the
+    /// node is dead; after a revive the harness must restart it with
+    /// `Simulator::inject_timer` using this token.
+    pub const CONTROL_TIMER_TOKEN: u64 = TIMER_CONTROL_TICK;
+
     /// Model a reboot: all data-plane registers and tables are wiped
     /// (§6.5) and migration state is forgotten. The harness reprograms
     /// the directory afterwards, as the real control plane would.
@@ -159,6 +214,9 @@ impl SwitchNode {
         self.pending_demotes.clear();
         self.pending_promotes.clear();
         self.promote_reservations.clear();
+        // The ledger dies with the registers: releases for pre-reboot
+        // grants must not dequeue entries of the rebuilt queues.
+        self.granted_outstanding.clear();
     }
 
     /// Start executing a migration plan (control-plane operation).
@@ -272,6 +330,11 @@ impl SwitchNode {
         delay: SimDuration,
         ctx: &mut Context<'_, NetLockMsg>,
     ) {
+        // Every grant the switch emits authorizes exactly one release.
+        *self
+            .granted_outstanding
+            .entry((grant.lock, grant.txn))
+            .or_insert(0) += 1;
         if self.cfg.one_rtt && !self.db_servers.is_empty() {
             // One-RTT transactions: forward the granted request to the
             // database server that owns the item; the client gets data
@@ -378,6 +441,10 @@ impl SwitchNode {
                 control::expired_leases(&self.dp, ctx.now().as_nanos(), self.cfg.lease.as_nanos());
             for rel in expired {
                 self.stats.lease_expirations += 1;
+                // The expiry consumes the holder's outstanding grant;
+                // the holder's own (late) release will then be filtered
+                // instead of dequeuing whoever was granted next.
+                let _ = self.admit_release(rel.lock, rel.txn);
                 let before = self.dp.stats().passes;
                 let actions = self
                     .dp
@@ -414,6 +481,20 @@ impl Node<NetLockMsg> for SwitchNode {
             NetLockMsg::Release(rel) => Some(rel.lock),
             _ => None,
         };
+        // Release guard: a release for a switch-resident lock is only
+        // admitted if an outstanding grant authorizes it. Server-resident
+        // (and unknown) locks are forwarded untouched — the server's
+        // lock table matches releases by txn itself.
+        if let NetLockMsg::Release(rel) = &pkt.payload {
+            let switch_resident = matches!(
+                self.dp.directory().get(rel.lock).map(|e| e.residence),
+                Some(crate::directory::Residence::Switch { .. })
+            );
+            if switch_resident && !self.admit_release(rel.lock, rel.txn) {
+                self.stats.stale_releases_filtered += 1;
+                return;
+            }
+        }
         // Complete a reserved promotion: install the region + directory
         // entry just before the buffered requests are enqueued.
         if let NetLockMsg::CtrlPromoteReady { lock, .. } = &pkt.payload {

@@ -260,9 +260,8 @@ impl LossHelper for netlock_sim::Simulator<NetLockMsg> {
         dst: netlock_sim::NodeId,
         p: f64,
     ) {
-        let delay = self.topology().link(src, dst).delay;
-        self.topology_mut()
-            .set_link(src, dst, netlock_sim::LinkConfig { delay, loss: p });
+        let cfg = self.topology().link(src, dst).with_loss(p);
+        self.topology_mut().set_link(src, dst, cfg);
     }
 }
 

@@ -29,12 +29,14 @@ fn bench_shared_queue(c: &mut Criterion) {
         let mut q = SharedQueue::new(&SharedQueueLayout::small(4, 4_096, 64));
         q.cp_set_region(0, 0, 1_024);
         let mut pa = PassAllocator::new();
+        let mut grants = Vec::new();
         let mut i = 0u64;
         b.iter(|| {
             FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Exclusive, i));
-            let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Exclusive);
+            grants.clear();
+            FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Exclusive, &mut grants);
             i += 1;
-            black_box(out.grants.len())
+            black_box(grants.len())
         });
     });
     g.bench_function("shared_cascade_release", |b| {
@@ -52,8 +54,9 @@ fn bench_shared_queue(c: &mut Criterion) {
                 (q, pa)
             },
             |(mut q, mut pa)| {
-                let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Exclusive);
-                black_box(out.grants.len())
+                let mut grants = Vec::new();
+                FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Exclusive, &mut grants);
+                black_box(grants.len())
             },
             criterion::BatchSize::SmallInput,
         );
@@ -87,6 +90,7 @@ fn bench_lock_table(c: &mut Criterion) {
     let mut g = c.benchmark_group("server_lock_table");
     g.bench_function("acquire_release_cycle", |b| {
         let mut t = LockTable::new();
+        let mut grants = Vec::new();
         let mut i = 0u64;
         b.iter(|| {
             let req = LockRequest {
@@ -99,9 +103,10 @@ fn bench_lock_table(c: &mut Criterion) {
                 issued_at_ns: i,
             };
             t.acquire(req);
-            let g = t.release(req.lock, req.txn);
+            grants.clear();
+            t.release(req.lock, req.txn, &mut grants);
             i += 1;
-            black_box(g.len())
+            black_box(grants.len())
         });
     });
     g.finish();

@@ -8,15 +8,33 @@
 //! ```
 //!
 //! The report is written to `BENCH_sim.json` in the current directory
-//! (override the path with a single positional argument).
+//! (override the path with a positional argument). `--quick` shrinks
+//! the round counts and skips the end-to-end points — used by the CI
+//! bench-regression smoke step, which parses the JSON and fails on
+//! `allocs_per_packet > 0` or a large `dataplane_ns_per_op` regression.
+//!
+//! The binary installs the counting global allocator, so
+//! `allocs_per_packet` is measured, not asserted: the steady-state
+//! packet path of the switch data plane must not allocate at all.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use netlock_bench::report::Json;
-use netlock_bench::{fig08, fig09, Runner, TimeScale};
+use netlock_bench::{allocation_count, fig08, fig09, CountingAlloc, Runner, TimeScale};
+use netlock_proto::{
+    ClientAddr, LockId, LockMode, LockRequest, NetLockMsg, Priority, ReleaseRequest, TenantId,
+    TxnId,
+};
+use netlock_server::LockTable;
 use netlock_sim::{EventQueue, SimDuration, SimTime};
+use netlock_switch::control::{apply_allocation, knapsack_allocate, LockStats};
+use netlock_switch::shared_queue::SharedQueueLayout;
+use netlock_switch::{ActionBuf, DataPlane};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Deterministic xorshift so both queue implementations replay the
 /// same event schedule.
@@ -138,24 +156,137 @@ fn churn_heap_boxed(depth: usize, rounds: usize, max_delay: u64) -> f64 {
 }
 
 /// One queue comparison at a given steady depth and delay range.
-fn queue_point(depth: usize, max_delay: u64) -> Json {
-    const ROUNDS: usize = 200_000;
+///
+/// `old_over_new` compares the calendar queue against the *inline
+/// heap* — the strongest of the two predecessors — so ≥ 1.0 means the
+/// tuned calendar wins outright (the boxed-closure heap the simulator
+/// originally used is also reported, as `heap_boxed_ns_per_op`).
+fn queue_point(depth: usize, max_delay: u64, rounds: usize) -> Json {
     // Warm up, then take the better of two runs per implementation to
     // damp scheduler noise on shared machines.
     let cal =
-        churn_calendar(depth, ROUNDS, max_delay).min(churn_calendar(depth, ROUNDS, max_delay));
-    let heap = churn_heap(depth, ROUNDS, max_delay).min(churn_heap(depth, ROUNDS, max_delay));
+        churn_calendar(depth, rounds, max_delay).min(churn_calendar(depth, rounds, max_delay));
+    let heap = churn_heap(depth, rounds, max_delay).min(churn_heap(depth, rounds, max_delay));
     let boxed =
-        churn_heap_boxed(depth, ROUNDS, max_delay).min(churn_heap_boxed(depth, ROUNDS, max_delay));
+        churn_heap_boxed(depth, rounds, max_delay).min(churn_heap_boxed(depth, rounds, max_delay));
     Json::obj([
         ("depth", Json::Int(depth as u64)),
         ("max_delay_ns", Json::Int(max_delay)),
-        ("rounds", Json::Int(ROUNDS as u64)),
+        ("rounds", Json::Int(rounds as u64)),
         ("calendar_ns_per_op", Json::Num(cal)),
         ("heap_inline_ns_per_op", Json::Num(heap)),
         ("heap_boxed_ns_per_op", Json::Num(boxed)),
-        ("old_over_new", Json::Num(boxed / cal)),
+        ("old_over_new", Json::Num(heap / cal)),
     ])
+}
+
+fn acquire(lock: u32, txn: u64, mode: LockMode) -> NetLockMsg {
+    NetLockMsg::Acquire(LockRequest {
+        lock: LockId(lock),
+        mode,
+        txn: TxnId(txn),
+        client: ClientAddr(1),
+        tenant: TenantId(0),
+        priority: Priority(0),
+        issued_at_ns: 0,
+    })
+}
+
+fn release(lock: u32, txn: u64, mode: LockMode) -> NetLockMsg {
+    NetLockMsg::Release(ReleaseRequest {
+        lock: LockId(lock),
+        txn: TxnId(txn),
+        mode,
+        client: ClientAddr(1),
+        priority: Priority(0),
+    })
+}
+
+/// Steady-state churn through the full switch data plane with a
+/// reusable `ActionBuf`. Returns `(ns_per_packet, allocs_per_packet)`;
+/// the latter must be exactly 0 — the tentpole claim of this harness.
+fn dataplane_point(rounds: usize) -> (f64, f64) {
+    let mut dp = DataPlane::new_fcfs(&SharedQueueLayout::small(8, 16_384, 64));
+    let stats: Vec<LockStats> = (0..64)
+        .map(|l| LockStats {
+            lock: LockId(l),
+            rate: 1.0,
+            contention: 64,
+            home_server: 0,
+        })
+        .collect();
+    apply_allocation(&mut dp, &knapsack_allocate(&stats, 16_384 * 8));
+    let mut out = ActionBuf::new();
+    // Warm up: touch every lock in every mode so interning, buffers and
+    // region state reach steady shape before counting.
+    let mut txn = 0u64;
+    for _ in 0..4 {
+        for lock in 0..64u32 {
+            dp.process(acquire(lock, txn, LockMode::Exclusive), 0, &mut out);
+            dp.process(release(lock, txn, LockMode::Exclusive), 0, &mut out);
+            txn += 1;
+            dp.process(acquire(lock, txn, LockMode::Shared), 0, &mut out);
+            dp.process(release(lock, txn, LockMode::Shared), 0, &mut out);
+            txn += 1;
+        }
+    }
+    let allocs_before = allocation_count();
+    let t = Instant::now();
+    let mut acc = 0usize;
+    for i in 0..rounds {
+        let lock = (i % 64) as u32;
+        let mode = if i % 2 == 0 {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
+        dp.process(acquire(lock, txn, mode), 0, &mut out);
+        acc += out.len();
+        dp.process(release(lock, txn, mode), 0, &mut out);
+        acc += out.len();
+        txn += 1;
+    }
+    let elapsed = t.elapsed().as_nanos() as f64;
+    let allocs = allocation_count() - allocs_before;
+    std::hint::black_box(acc);
+    let packets = (rounds * 2) as f64;
+    (elapsed / packets, allocs as f64 / packets)
+}
+
+/// Steady-state churn through the server lock table with the reusable
+/// grant out-buffer. Returns ns per acquire+release pair.
+fn lock_table_point(rounds: usize) -> f64 {
+    let mut table = LockTable::new();
+    let mut grants: Vec<LockRequest> = Vec::new();
+    let mut txn = 0u64;
+    let req = |lock: u32, txn: u64| LockRequest {
+        lock: LockId(lock),
+        mode: LockMode::Exclusive,
+        txn: TxnId(txn),
+        client: ClientAddr(1),
+        tenant: TenantId(0),
+        priority: Priority(0),
+        issued_at_ns: txn,
+    };
+    for lock in 0..64u32 {
+        table.acquire(req(lock, txn));
+        grants.clear();
+        table.release(LockId(lock), TxnId(txn), &mut grants);
+        txn += 1;
+    }
+    let t = Instant::now();
+    let mut acc = 0usize;
+    for i in 0..rounds {
+        let lock = (i % 64) as u32;
+        table.acquire(req(lock, txn));
+        grants.clear();
+        table.release(LockId(lock), TxnId(txn), &mut grants);
+        acc += grants.len();
+        txn += 1;
+    }
+    let elapsed = t.elapsed().as_nanos() as f64;
+    std::hint::black_box(acc);
+    elapsed / rounds as f64
 }
 
 /// Times one end-to-end figure point and returns (label, millis).
@@ -166,47 +297,73 @@ fn timed_ms(f: impl FnOnce()) -> f64 {
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sim.json".to_string());
-    let seq = Runner::with_threads(1);
-    let scale = TimeScale::quick();
+    let mut quick = false;
+    let mut path = "BENCH_sim.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            path = arg;
+        }
+    }
+    // Queue churn is cheap (a few ms per point) and shallow depths are
+    // noise-prone, so --quick keeps the full round count there; the
+    // savings come from the hot-path loops and skipped end-to-end runs.
+    let queue_rounds = 200_000;
+    let hot_rounds = if quick { 200_000 } else { 1_000_000 };
 
     eprintln!("# event-queue microbench ...");
     let queue = Json::Arr(vec![
-        queue_point(64, 4_096),
-        queue_point(1_024, 4_096),
-        queue_point(8_192, 4_096),
-        queue_point(1_024, 40_000_000),
+        queue_point(64, 4_096, queue_rounds),
+        queue_point(1_024, 4_096, queue_rounds),
+        queue_point(8_192, 4_096, queue_rounds),
+        queue_point(1_024, 40_000_000, queue_rounds),
     ]);
 
-    eprintln!("# end-to-end figure points (quick scale, 1 thread) ...");
-    let fig09_ms = timed_ms(|| {
-        std::hint::black_box(fig09::run_switch(fig09::Workload::Shared, scale));
-    });
-    let fig08_ms = timed_ms(|| {
-        std::hint::black_box(fig08::run_8a(&seq, scale).len());
-    });
+    eprintln!("# data-plane / lock-table hot path ...");
+    let (dp_a, allocs_a) = dataplane_point(hot_rounds);
+    let (dp_b, allocs_b) = dataplane_point(hot_rounds);
+    let dataplane_ns = dp_a.min(dp_b);
+    let allocs_per_packet = allocs_a.max(allocs_b);
+    let lock_table_ns = lock_table_point(hot_rounds).min(lock_table_point(hot_rounds));
 
-    let report = Json::obj([
-        ("schema", Json::str("netlock-bench-sim/1")),
+    let mut fields = vec![
+        ("schema", Json::str("netlock-bench-sim/2")),
+        ("quick", Json::Bool(quick)),
         ("queue_churn", queue),
-        (
+        ("dataplane_ns_per_op", Json::Num(dataplane_ns)),
+        ("lock_table_ns_per_op", Json::Num(lock_table_ns)),
+        ("allocs_per_packet", Json::Num(allocs_per_packet)),
+    ];
+
+    if !quick {
+        eprintln!("# end-to-end figure points (quick scale, 1 thread) ...");
+        let seq = Runner::with_threads(1);
+        let scale = TimeScale::quick();
+        let fig09_ms = timed_ms(|| {
+            std::hint::black_box(fig09::run_switch(fig09::Workload::Shared, scale));
+        });
+        let fig08_ms = timed_ms(|| {
+            std::hint::black_box(fig08::run_8a(&seq, scale).len());
+        });
+        fields.push((
             "end_to_end_ms",
             Json::obj([
                 ("fig09_switch_shared", Json::Num(fig09_ms)),
                 ("fig08a_sweep", Json::Num(fig08_ms)),
             ]),
+        ));
+    }
+    fields.push((
+        "threads_available",
+        Json::Int(
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
         ),
-        (
-            "threads_available",
-            Json::Int(
-                std::thread::available_parallelism()
-                    .map(|n| n.get() as u64)
-                    .unwrap_or(1),
-            ),
-        ),
-    ]);
+    ));
+
+    let report = Json::obj(fields);
     std::fs::write(&path, report.render()).expect("write report");
     eprintln!("# wrote {path}");
 }

@@ -2,7 +2,14 @@
 //! TPC-C racks with the lock-safety oracle attached. Prints the
 //! scenario report as TSV and exits nonzero if any schedule produced
 //! an oracle violation.
-use netlock_bench::BinArgs;
+//!
+//! Runs under the counting global allocator, like `bench_sim` and the
+//! alloc-tracking integration test, so chaos runs exercise the exact
+//! allocator configuration the zero-allocation claims are made under.
+use netlock_bench::{BinArgs, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     let args = BinArgs::parse();

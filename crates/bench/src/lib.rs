@@ -11,6 +11,7 @@
 
 pub mod chaos;
 pub mod common;
+pub mod count_alloc;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
@@ -25,4 +26,5 @@ pub use common::{
     build_netlock_tpcc, scale_for, tpcc_alloc_stats, tpcc_allocation, tpcc_sources, BinArgs, Fig,
     SystemResult, TimeScale, TpccRackSpec,
 };
+pub use count_alloc::{allocation_count, CountingAlloc};
 pub use runner::{Job, Runner};

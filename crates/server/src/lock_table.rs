@@ -123,33 +123,41 @@ impl LockTable {
         out
     }
 
-    /// Process a release; returns the requests granted as a result, in
-    /// grant order. Unknown `(lock, txn)` pairs are ignored (stale or
-    /// duplicate releases), returning an empty grant set.
-    pub fn release(&mut self, lock: LockId, txn: TxnId) -> Vec<LockRequest> {
+    /// Process a release; appends the requests granted as a result, in
+    /// grant order, to `granted` (which is NOT cleared — the caller
+    /// owns and reuses the buffer). Unknown `(lock, txn)` pairs are
+    /// ignored (stale or duplicate releases), appending nothing.
+    pub fn release(&mut self, lock: LockId, txn: TxnId, granted: &mut Vec<LockRequest>) {
         let Some(st) = self.locks.get_mut(&lock) else {
-            return Vec::new();
+            return;
         };
         let Some(pos) = st.holders.iter().position(|h| h.txn == txn) else {
-            return Vec::new();
+            return;
         };
         st.holders.swap_remove(pos);
-        Self::promote(st)
+        Self::promote(st, granted);
     }
 
     /// Force-release every holder of `lock` whose request is older than
-    /// `now_ns - lease_ns` (lease expiry). Returns newly granted requests.
-    pub fn expire_leases(&mut self, lock: LockId, now_ns: u64, lease_ns: u64) -> Vec<LockRequest> {
+    /// `now_ns - lease_ns` (lease expiry). Appends newly granted
+    /// requests to `granted` (not cleared; caller owns the buffer).
+    pub fn expire_leases(
+        &mut self,
+        lock: LockId,
+        now_ns: u64,
+        lease_ns: u64,
+        granted: &mut Vec<LockRequest>,
+    ) {
         let Some(st) = self.locks.get_mut(&lock) else {
-            return Vec::new();
+            return;
         };
         let before = st.holders.len();
         st.holders
             .retain(|h| now_ns.saturating_sub(h.req.issued_at_ns) <= lease_ns);
         if st.holders.len() == before {
-            return Vec::new();
+            return;
         }
-        Self::promote(st)
+        Self::promote(st, granted);
     }
 
     /// Locks with any state, for sweep iteration.
@@ -159,9 +167,9 @@ impl LockTable {
         v
     }
 
-    /// Grant from the wait queue whatever is now compatible.
-    fn promote(st: &mut LockState) -> Vec<LockRequest> {
-        let mut granted = Vec::new();
+    /// Grant from the wait queue whatever is now compatible, appending
+    /// each grant to `granted`.
+    fn promote(st: &mut LockState, granted: &mut Vec<LockRequest>) {
         while let Some(next) = st.waiters.front() {
             let ok = match next.mode {
                 LockMode::Shared => st.holders.iter().all(|h| h.mode == LockMode::Shared),
@@ -178,7 +186,6 @@ impl LockTable {
             });
             granted.push(req);
         }
-        granted
     }
 
     /// Harvest and reset `(r_i, c_i)` for every touched lock.
@@ -209,6 +216,19 @@ mod tests {
     use super::*;
     use netlock_proto::{ClientAddr, Priority, TenantId};
 
+    /// Collect-style shims over the out-buffer API for test brevity.
+    fn release(t: &mut LockTable, lock: LockId, txn: TxnId) -> Vec<LockRequest> {
+        let mut granted = Vec::new();
+        t.release(lock, txn, &mut granted);
+        granted
+    }
+
+    fn expire(t: &mut LockTable, lock: LockId, now_ns: u64, lease_ns: u64) -> Vec<LockRequest> {
+        let mut granted = Vec::new();
+        t.expire_leases(lock, now_ns, lease_ns, &mut granted);
+        granted
+    }
+
     fn req(lock: u32, mode: LockMode, txn: u64) -> LockRequest {
         LockRequest {
             lock: LockId(lock),
@@ -232,7 +252,7 @@ mod tests {
             t.acquire(req(1, LockMode::Exclusive, 2)),
             TableAcquire::Queued
         );
-        let g = t.release(LockId(1), TxnId(1));
+        let g = release(&mut t, LockId(1), TxnId(1));
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].txn, TxnId(2));
     }
@@ -258,9 +278,9 @@ mod tests {
         t.acquire(req(1, LockMode::Exclusive, 2));
         // A shared request must not jump over the waiting exclusive.
         assert_eq!(t.acquire(req(1, LockMode::Shared, 3)), TableAcquire::Queued);
-        let g = t.release(LockId(1), TxnId(1));
+        let g = release(&mut t, LockId(1), TxnId(1));
         assert_eq!(g[0].txn, TxnId(2));
-        let g = t.release(LockId(1), TxnId(2));
+        let g = release(&mut t, LockId(1), TxnId(2));
         assert_eq!(g[0].txn, TxnId(3));
     }
 
@@ -271,7 +291,7 @@ mod tests {
         t.acquire(req(1, LockMode::Shared, 2));
         t.acquire(req(1, LockMode::Shared, 3));
         t.acquire(req(1, LockMode::Exclusive, 4));
-        let g = t.release(LockId(1), TxnId(1));
+        let g = release(&mut t, LockId(1), TxnId(1));
         let txns: Vec<u64> = g.iter().map(|r| r.txn.0).collect();
         assert_eq!(txns, vec![2, 3]);
     }
@@ -283,8 +303,8 @@ mod tests {
         t.acquire(req(1, LockMode::Shared, 2));
         t.acquire(req(1, LockMode::Exclusive, 3));
         // Holder 2 releases before holder 1.
-        assert!(t.release(LockId(1), TxnId(2)).is_empty());
-        let g = t.release(LockId(1), TxnId(1));
+        assert!(release(&mut t, LockId(1), TxnId(2)).is_empty());
+        let g = release(&mut t, LockId(1), TxnId(1));
         assert_eq!(g[0].txn, TxnId(3));
     }
 
@@ -292,8 +312,8 @@ mod tests {
     fn stale_release_ignored() {
         let mut t = LockTable::new();
         t.acquire(req(1, LockMode::Exclusive, 1));
-        assert!(t.release(LockId(1), TxnId(99)).is_empty());
-        assert!(t.release(LockId(2), TxnId(1)).is_empty());
+        assert!(release(&mut t, LockId(1), TxnId(99)).is_empty());
+        assert!(release(&mut t, LockId(2), TxnId(1)).is_empty());
         assert_eq!(t.get(LockId(1)).unwrap().holders().len(), 1);
     }
 
@@ -302,9 +322,9 @@ mod tests {
         let mut t = LockTable::new();
         t.acquire(req(1, LockMode::Exclusive, 1)); // issued at t=1
         t.acquire(req(1, LockMode::Exclusive, 1000)); // waits
-        let g = t.expire_leases(LockId(1), 500, 1_000);
+        let g = expire(&mut t, LockId(1), 500, 1_000);
         assert!(g.is_empty(), "lease not yet expired");
-        let g = t.expire_leases(LockId(1), 5_000, 1_000);
+        let g = expire(&mut t, LockId(1), 5_000, 1_000);
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].txn, TxnId(1000));
     }
@@ -338,7 +358,7 @@ mod tests {
         let mut t = LockTable::new();
         t.acquire(req(1, LockMode::Exclusive, 1));
         assert!(!t.get(LockId(1)).unwrap().is_idle());
-        t.release(LockId(1), TxnId(1));
+        release(&mut t, LockId(1), TxnId(1));
         assert!(t.get(LockId(1)).unwrap().is_idle());
     }
 }

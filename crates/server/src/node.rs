@@ -90,6 +90,9 @@ pub struct ServerNode {
     /// leases to expire before granting the locks").
     grace_until_ns: u64,
     grace_buf: Vec<LockRequest>,
+    /// Reusable grant out-buffer for `LockTable::release` /
+    /// `expire_leases`: one allocation per node, not per release.
+    grant_buf: Vec<LockRequest>,
     stats: ServerStats,
 }
 
@@ -106,6 +109,7 @@ impl ServerNode {
             switch,
             grace_until_ns: 0,
             grace_buf: Vec::new(),
+            grant_buf: Vec::new(),
             stats: ServerStats::default(),
         }
     }
@@ -277,10 +281,13 @@ impl ServerNode {
                 self.stats.spurious_releases += 1;
             }
             Ownership::Owned | Ownership::Promoting => {
-                let granted = self.table.release(rel.lock, rel.txn);
+                let mut granted = std::mem::take(&mut self.grant_buf);
+                granted.clear();
+                self.table.release(rel.lock, rel.txn, &mut granted);
                 for req in &granted {
                     self.send_grant(req, delay, ctx);
                 }
+                self.grant_buf = granted;
                 self.maybe_finish_promote(rel.lock, delay, ctx);
             }
         }
@@ -357,15 +364,18 @@ impl ServerNode {
         }
         let now = ctx.now().as_nanos();
         for lock in self.table.touched_locks() {
-            let granted = self
-                .table
-                .expire_leases(lock, now, self.cfg.lease.as_nanos());
+            let mut granted = std::mem::take(&mut self.grant_buf);
+            granted.clear();
+            self.table
+                .expire_leases(lock, now, self.cfg.lease.as_nanos(), &mut granted);
             for req in &granted {
                 self.stats.lease_grants += 1;
                 let delay = self.charge(lock, now);
                 self.send_grant(req, delay, ctx);
             }
-            if !granted.is_empty() {
+            let any = !granted.is_empty();
+            self.grant_buf = granted;
+            if any {
                 let delay = self.charge(lock, now);
                 self.maybe_finish_promote(lock, delay, ctx);
             }

@@ -1,5 +1,5 @@
-//! The pending-event queue: a calendar queue (bucketed timing wheel)
-//! with an overflow heap.
+//! The pending-event queue: a self-tuning calendar queue (bucketed
+//! timing wheel) with an overflow heap.
 //!
 //! The simulator's hot path is `push` + `pop` of one event per
 //! dispatched packet or timer — hundreds of thousands to millions of
@@ -10,18 +10,38 @@
 //! wheel horizon) and only keeps a heap over the *current bucket*,
 //! whose occupancy is a small slice of the pending set.
 //!
+//! A calendar queue is only as good as its bucket width: too wide and
+//! every pending event piles into one bucket (the structure degrades
+//! to a heap plus bookkeeping); too narrow and the horizon shrinks
+//! until everything lands in the overflow heap. Both failure modes
+//! showed up in the PR 2 microbench, so the width is no longer a
+//! compile-time constant. The queue samples the push-time delay
+//! distribution (`at - last_pop`) and every [`RETUNE_PERIOD`] pushes
+//! recomputes the bucket-width exponent so that the pending set
+//! spreads at a few events per bucket; when the exponent moves by two
+//! or more (hysteresis against thrash) the wheel is rebuilt at the new
+//! width. Sparse wheels are cheap to walk: an occupancy bitmap lets
+//! the cursor jump straight to the next non-empty bucket instead of
+//! sweeping empties one at a time.
+//!
 //! Ordering contract (identical to the heap it replaces): events pop
 //! in ascending `(at, seq)` order, so same-instant events are FIFO by
-//! insertion sequence and runs remain bit-for-bit deterministic. The
+//! insertion sequence and runs remain bit-for-bit deterministic —
+//! retuning moves events between tiers but never reorders keys. The
 //! equivalence tests at the bottom of this file (and the property
 //! tests in `tests/prop_queue.rs`) check the contract against a
 //! reference `BinaryHeap` on randomized and adversarial schedules.
 //!
 //! Layout:
-//! - `current`: a small heap holding every pending event in the
-//!   cursor's bucket *or earlier* (late pushes at the current instant
-//!   land here even if the cursor has run ahead — see `push`).
-//! - `ring`: `N_BUCKETS` unsorted `Vec`s, each covering `2^SHIFT` ns;
+//! - `due`: the drained contents of the cursor's bucket, sorted once
+//!   (descending, popped from the back) instead of heapified — a
+//!   bucket holds only a handful of events, so one small sort beats
+//!   per-event heap sifts.
+//! - `late`: a small heap for events at or before the cursor's bucket
+//!   that arrive *after* it was drained (late pushes at the current
+//!   instant land here even if the cursor has run ahead — see
+//!   `push`); almost always empty on the hot path.
+//! - `ring`: `N_BUCKETS` unsorted `Vec`s, each covering `2^shift` ns;
 //!   an event within the wheel horizon is appended to its bucket.
 //! - `overflow`: a heap for events beyond the horizon (client retry
 //!   timeouts, lease expiries — rare relative to per-packet traffic).
@@ -33,11 +53,25 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// Bucket width exponent: each bucket spans `2^SHIFT` ns (≈4.1 µs).
-const SHIFT: u32 = 12;
+/// Initial bucket width exponent: each bucket spans `2^shift` ns
+/// (≈4.1 µs before the first retune).
+const INITIAL_SHIFT: u32 = 12;
+/// Bounds for the tuned exponent. `0` is a 1 ns bucket; `40` (≈18
+/// minutes per bucket) is far beyond any delay the racks schedule.
+const MIN_SHIFT: u32 = 0;
+const MAX_SHIFT: u32 = 40;
 /// Number of wheel buckets (must be a power of two). Horizon:
-/// `N_BUCKETS << SHIFT` ≈ 16.8 ms of simulated time.
+/// `N_BUCKETS << shift`.
 const N_BUCKETS: usize = 4_096;
+/// Words in the occupancy bitmap (64 buckets per word).
+const N_WORDS: usize = N_BUCKETS / 64;
+/// Pushes between width recomputations. Large enough that the stats
+/// smooth over bursts, small enough to adapt within one warmup.
+const RETUNE_PERIOD: u32 = 4_096;
+/// Width-formula numerator: the pending set spreads at roughly one
+/// event per occupied bucket, so a drain is an append of one or two
+/// entries and the sort is a no-op.
+const WIDTH_NUMERATOR: u64 = 2;
 
 struct Entry<T> {
     at: SimTime,
@@ -70,17 +104,33 @@ impl<T> Ord for Entry<T> {
 /// debug-asserts this). Same-instant pushes after a pop are allowed
 /// and ordered by `seq`.
 pub struct EventQueue<T> {
-    /// Absolute bucket index (`at >> SHIFT`) of the cursor.
+    /// Current bucket width exponent (buckets span `2^shift` ns).
+    shift: u32,
+    /// Absolute bucket index (`at >> shift`) of the cursor.
     cur_abs: u64,
-    /// Events at `abs <= cur_abs`, popped in `(at, seq)` order.
-    current: BinaryHeap<Reverse<Entry<T>>>,
+    /// The cursor bucket's drained events, sorted descending by
+    /// `(at, seq)` and popped from the back.
+    due: Vec<Entry<T>>,
+    /// Events at `abs <= cur_abs` that arrived after the cursor's
+    /// bucket was drained. Usually empty.
+    late: BinaryHeap<Reverse<Entry<T>>>,
     /// The wheel: bucket `abs & (N_BUCKETS-1)` holds events for the
     /// unique `abs` in `(cur_abs, cur_abs + N_BUCKETS)` mapping to it.
     ring: Box<[Vec<Entry<T>>]>,
+    /// One bit per ring bucket: set iff the bucket is non-empty. Lets
+    /// `seek` jump over runs of empty buckets in O(words scanned).
+    occupied: [u64; N_WORDS],
     /// Total events stored in `ring`.
     ring_len: usize,
     /// Events at or beyond the wheel horizon.
     overflow: BinaryHeap<Reverse<Entry<T>>>,
+    /// Timestamp of the most recent pop — the "now" that push delays
+    /// are measured against, and the anchor the wheel is rebuilt at.
+    last_pop_at: u64,
+    /// Sum of `at - last_pop_at` over pushes since the last retune.
+    delay_sum: u64,
+    /// Pushes since the last retune.
+    pushes_since_retune: u32,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -95,17 +145,23 @@ impl<T> EventQueue<T> {
         let mut ring = Vec::with_capacity(N_BUCKETS);
         ring.resize_with(N_BUCKETS, Vec::new);
         EventQueue {
+            shift: INITIAL_SHIFT,
             cur_abs: 0,
-            current: BinaryHeap::new(),
+            due: Vec::new(),
+            late: BinaryHeap::new(),
             ring: ring.into_boxed_slice(),
+            occupied: [0; N_WORDS],
             ring_len: 0,
             overflow: BinaryHeap::new(),
+            last_pop_at: 0,
+            delay_sum: 0,
+            pushes_since_retune: 0,
         }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.current.len() + self.ring_len + self.overflow.len()
+        self.due.len() + self.late.len() + self.ring_len + self.overflow.len()
     }
 
     /// Whether no events are pending.
@@ -116,26 +172,32 @@ impl<T> EventQueue<T> {
     /// Insert an event. `seq` must be unique per queue (the simulator
     /// uses a monotone counter); it breaks ties among equal `at`.
     pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
-        let abs = at.0 >> SHIFT;
-        let entry = Entry { at, seq, item };
-        // `abs <= cur_abs` happens when the cursor ran ahead hunting
-        // for the next event (peek/pop across empty buckets) and a
-        // same-instant event is then scheduled: it must still pop
-        // before everything in later buckets, so it joins `current`.
-        if abs <= self.cur_abs {
-            self.current.push(Reverse(entry));
-        } else if abs - self.cur_abs < N_BUCKETS as u64 {
-            self.ring[(abs & (N_BUCKETS as u64 - 1)) as usize].push(entry);
-            self.ring_len += 1;
-        } else {
-            self.overflow.push(Reverse(entry));
+        self.delay_sum = self
+            .delay_sum
+            .saturating_add(at.0.saturating_sub(self.last_pop_at));
+        self.pushes_since_retune += 1;
+        if self.pushes_since_retune == RETUNE_PERIOD {
+            self.maybe_retune();
         }
+        self.place(Entry { at, seq, item });
     }
 
     /// Remove and return the earliest event as `(at, seq, item)`.
     pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
         self.seek();
-        self.current.pop().map(|Reverse(e)| (e.at, e.seq, e.item))
+        let from_late = match (self.due.last(), self.late.peek()) {
+            (Some(d), Some(Reverse(l))) => l < d,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => return None,
+        };
+        let e = if from_late {
+            self.late.pop().expect("peeked").0
+        } else {
+            self.due.pop().expect("peeked")
+        };
+        self.last_pop_at = e.at.0;
+        Some((e.at, e.seq, e.item))
     }
 
     /// Timestamp of the earliest event without removing it.
@@ -144,13 +206,42 @@ impl<T> EventQueue<T> {
     /// logical contents are unchanged.
     pub fn peek_at(&mut self) -> Option<SimTime> {
         self.seek();
-        self.current.peek().map(|Reverse(e)| e.at)
+        match (self.due.last(), self.late.peek()) {
+            (Some(d), Some(Reverse(l))) => Some(d.at.min(l.at)),
+            (Some(d), None) => Some(d.at),
+            (None, Some(Reverse(l))) => Some(l.at),
+            (None, None) => None,
+        }
     }
 
-    /// Advance the cursor until `current` holds the earliest event
-    /// (no-op if it already does, or if the queue is empty).
+    /// Route one entry to the tier its bucket index demands.
+    ///
+    /// `abs <= cur_abs` happens when the cursor ran ahead hunting
+    /// for the next event (peek/pop across empty buckets) and a
+    /// same-instant event is then scheduled: it must still pop
+    /// before everything in later buckets, so it joins `late`.
+    fn place(&mut self, entry: Entry<T>) {
+        let abs = entry.at.0 >> self.shift;
+        if abs <= self.cur_abs {
+            self.late.push(Reverse(entry));
+        } else if abs - self.cur_abs < N_BUCKETS as u64 {
+            let bucket = (abs & (N_BUCKETS as u64 - 1)) as usize;
+            self.occupied[bucket >> 6] |= 1 << (bucket & 63);
+            self.ring[bucket].push(entry);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+    }
+
+    /// Advance the cursor until the due/late tier holds the earliest
+    /// event (no-op if it already does, or if the queue is empty).
+    ///
+    /// A non-empty `due` or `late` always holds the global minimum:
+    /// their events are at `abs <= cur_abs`, every ring event is at
+    /// `abs > cur_abs`, and every overflow event is beyond the ring.
     fn seek(&mut self) {
-        while self.current.is_empty() {
+        while self.due.is_empty() && self.late.is_empty() {
             if self.ring_len == 0 {
                 // Everything pending (if anything) is in overflow:
                 // jump the cursor straight to its earliest bucket
@@ -158,35 +249,108 @@ impl<T> EventQueue<T> {
                 let Some(Reverse(head)) = self.overflow.peek() else {
                     return;
                 };
-                self.cur_abs = self.cur_abs.max(head.at.0 >> SHIFT);
+                self.cur_abs = self.cur_abs.max(head.at.0 >> self.shift);
                 self.admit_overflow();
             } else {
-                self.cur_abs += 1;
+                // Any ring event precedes any overflow event (the
+                // overflow invariant: `abs >= cur_abs + N_BUCKETS`),
+                // so jump straight to the next occupied bucket.
+                self.cur_abs += self.next_occupied_delta();
                 let bucket = (self.cur_abs & (N_BUCKETS as u64 - 1)) as usize;
+                self.occupied[bucket >> 6] &= !(1 << (bucket & 63));
                 self.ring_len -= self.ring[bucket].len();
-                for e in self.ring[bucket].drain(..) {
-                    self.current.push(Reverse(e));
-                }
+                // One small sort per bucket beats a heap sift per
+                // event: `due` is empty here, so this is the whole
+                // bucket, typically a handful of events.
+                self.due.append(&mut self.ring[bucket]);
+                self.due.sort_unstable_by(|a, b| b.cmp(a));
                 self.admit_overflow();
             }
         }
+    }
+
+    /// Distance (in buckets) from the cursor to the next occupied ring
+    /// bucket. Caller guarantees `ring_len > 0`; the result is in
+    /// `[1, N_BUCKETS - 1]` because a ring event's `abs` never shares
+    /// the cursor's residue (`abs - cur_abs` is in `[1, N_BUCKETS)`).
+    fn next_occupied_delta(&self) -> u64 {
+        let cur_bucket = (self.cur_abs & (N_BUCKETS as u64 - 1)) as usize;
+        let start = (cur_bucket + 1) & (N_BUCKETS - 1);
+        let (word, bit) = (start >> 6, start & 63);
+        let masked = self.occupied[word] & (!0u64 << bit);
+        let found = if masked != 0 {
+            (word << 6) + masked.trailing_zeros() as usize
+        } else {
+            let mut found = None;
+            for step in 1..=N_WORDS {
+                let w = (word + step) & (N_WORDS - 1);
+                if self.occupied[w] != 0 {
+                    found = Some((w << 6) + self.occupied[w].trailing_zeros() as usize);
+                    break;
+                }
+            }
+            found.expect("ring_len > 0 implies an occupied bucket")
+        };
+        (found.wrapping_sub(cur_bucket) & (N_BUCKETS - 1)) as u64
     }
 
     /// Move overflow events that now fall within the wheel horizon
     /// into the wheel (or `current` if they are due already).
     fn admit_overflow(&mut self) {
         while let Some(Reverse(head)) = self.overflow.peek() {
-            let abs = head.at.0 >> SHIFT;
+            let abs = head.at.0 >> self.shift;
             if abs > self.cur_abs && abs - self.cur_abs >= N_BUCKETS as u64 {
                 break;
             }
             let Reverse(e) = self.overflow.pop().expect("peeked");
             if abs <= self.cur_abs {
-                self.current.push(Reverse(e));
+                self.late.push(Reverse(e));
             } else {
-                self.ring[(abs & (N_BUCKETS as u64 - 1)) as usize].push(e);
+                let bucket = (abs & (N_BUCKETS as u64 - 1)) as usize;
+                self.occupied[bucket >> 6] |= 1 << (bucket & 63);
+                self.ring[bucket].push(e);
                 self.ring_len += 1;
             }
+        }
+    }
+
+    /// Recompute the bucket-width exponent from the sampled delay
+    /// distribution; rebuild the wheel if it moved meaningfully.
+    ///
+    /// Width target: `len` pending events spread over a window of
+    /// roughly `2 * avg_delay` should occupy buckets at a few events
+    /// each, i.e. `width ≈ WIDTH_NUMERATOR * avg_delay / len`. The
+    /// two-step hysteresis keeps a noisy boundary workload from
+    /// rebuilding every period.
+    fn maybe_retune(&mut self) {
+        let avg_delay = self.delay_sum / u64::from(RETUNE_PERIOD);
+        self.delay_sum = 0;
+        self.pushes_since_retune = 0;
+        let len = self.len() as u64;
+        let width = (avg_delay.saturating_mul(WIDTH_NUMERATOR) / len.max(1)).max(1);
+        let desired = (63 - width.leading_zeros()).clamp(MIN_SHIFT, MAX_SHIFT);
+        if desired.abs_diff(self.shift) >= 2 {
+            self.rebuild(desired);
+        }
+    }
+
+    /// Re-key every pending event at a new bucket width, anchoring the
+    /// cursor at the last popped timestamp. Order is unaffected: the
+    /// pop order is derived from `(at, seq)` keys, not tier placement.
+    fn rebuild(&mut self, shift: u32) {
+        let mut stash: Vec<Entry<T>> = Vec::with_capacity(self.len());
+        stash.append(&mut self.due);
+        stash.extend(self.late.drain().map(|Reverse(e)| e));
+        for bucket in self.ring.iter_mut() {
+            stash.append(bucket);
+        }
+        stash.extend(self.overflow.drain().map(|Reverse(e)| e));
+        self.ring_len = 0;
+        self.occupied = [0; N_WORDS];
+        self.shift = shift;
+        self.cur_abs = self.last_pop_at >> shift;
+        for entry in stash {
+            self.place(entry);
         }
     }
 }
@@ -256,14 +420,14 @@ mod tests {
         // far-future overflow; interleaved duplicate instants.
         let mut q = EventQueue::new();
         let mut r = RefQueue::new();
-        let horizon = (N_BUCKETS as u64) << SHIFT;
+        let horizon = (N_BUCKETS as u64) << INITIAL_SHIFT;
         let times = [
             0,
             1,
-            (1 << SHIFT) - 1,
-            1 << SHIFT,
-            (1 << SHIFT) + 1,
-            3 << SHIFT,
+            (1 << INITIAL_SHIFT) - 1,
+            1 << INITIAL_SHIFT,
+            (1 << INITIAL_SHIFT) + 1,
+            3 << INITIAL_SHIFT,
             horizon - 1,
             horizon,
             horizon + 1,
@@ -297,8 +461,8 @@ mod tests {
             // ranges, with a bias toward the hot (small-delay) case.
             let delay = match rnd() % 10 {
                 0..=5 => rnd() % 4_096,
-                6..=7 => rnd() % (64 << SHIFT),
-                8 => rnd() % ((2 * N_BUCKETS as u64) << SHIFT),
+                6..=7 => rnd() % (64 << INITIAL_SHIFT),
+                8 => rnd() % ((2 * N_BUCKETS as u64) << INITIAL_SHIFT),
                 _ => 0, // same-instant
             };
             q.push(SimTime(now + delay), seq, seq);
@@ -316,16 +480,51 @@ mod tests {
     }
 
     #[test]
+    fn retune_mid_stream_preserves_order() {
+        // Enough pushes to cross several RETUNE_PERIOD boundaries with
+        // a delay mix that swings the width formula both narrower and
+        // wider than INITIAL_SHIFT, forcing mid-stream rebuilds.
+        let mut x = 0xDEADBEEFCAFEF00Du64;
+        let mut rnd = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut q = EventQueue::new();
+        let mut r = RefQueue::new();
+        let mut now = 0u64;
+        for seq in 0..(6 * u64::from(RETUNE_PERIOD)) {
+            let delay = match seq % 7 {
+                0..=4 => rnd() % 256,
+                5 => rnd() % (1 << 20),
+                _ => rnd() % (1 << 30),
+            };
+            q.push(SimTime(now + delay), seq, seq);
+            r.push(SimTime(now + delay), seq);
+            if seq % 2 == 1 {
+                let got = q.pop();
+                let want = r.pop().map(|(at, s)| (at, s, s));
+                assert_eq!(got, want);
+                if let Some((at, _, _)) = got {
+                    now = at.0;
+                }
+            }
+        }
+        drain_equal(q, r);
+    }
+
+    #[test]
     fn push_behind_cursor_after_peek() {
         // peek_at advances the cursor across empty buckets; a
         // subsequent same-instant push must still pop first.
         let mut q = EventQueue::new();
-        q.push(SimTime(100 << SHIFT), 0, 0);
-        assert_eq!(q.peek_at(), Some(SimTime(100 << SHIFT)));
+        q.push(SimTime(100 << INITIAL_SHIFT), 0, 0);
+        assert_eq!(q.peek_at(), Some(SimTime(100 << INITIAL_SHIFT)));
         // The harness injects at a time long passed by the cursor.
         q.push(SimTime(5), 1, 1);
         assert_eq!(q.pop(), Some((SimTime(5), 1, 1)));
-        assert_eq!(q.pop(), Some((SimTime(100 << SHIFT), 0, 0)));
+        assert_eq!(q.pop(), Some((SimTime(100 << INITIAL_SHIFT), 0, 0)));
         assert_eq!(q.pop(), None);
     }
 
@@ -333,8 +532,8 @@ mod tests {
     fn len_tracks_all_tiers() {
         let mut q = EventQueue::new();
         q.push(SimTime(0), 0, 0); // current
-        q.push(SimTime(2 << SHIFT), 1, 1); // ring
-        q.push(SimTime((N_BUCKETS as u64 + 10) << SHIFT), 2, 2); // overflow
+        q.push(SimTime(2 << INITIAL_SHIFT), 1, 1); // ring
+        q.push(SimTime((N_BUCKETS as u64 + 10) << INITIAL_SHIFT), 2, 2); // overflow
         assert_eq!(q.len(), 3);
         q.pop();
         assert_eq!(q.len(), 2);

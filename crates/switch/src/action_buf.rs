@@ -1,0 +1,141 @@
+//! Fixed-capacity, caller-owned buffer for data-plane actions.
+//!
+//! [`crate::DataPlane::process`] writes the actions one packet provokes
+//! into an [`ActionBuf`] the caller owns and reuses, so the per-packet
+//! hot path performs zero heap allocation — the software analogue of a
+//! Tofino pipeline, whose per-packet output (mirrors, resubmits, the
+//! forwarded packet itself) is bounded by the compiled program, not by
+//! a dynamically sized container.
+//!
+//! The capacity is a feasibility bound, not a soft limit. The widest
+//! single-packet burst Algorithm 2 can produce is an exclusive→shared
+//! release cascade: one grant per queued shared request, bounded by the
+//! largest per-lock queue region the control plane ever allocates, plus
+//! one push-protocol notification. Every workload in this repository
+//! keeps per-lock contention at or below 600 outstanding requests
+//! (`netlock-core`'s micro-benchmark tail test), so [`ACTION_BUF_CAP`]
+//! of 1024 leaves headroom while still catching runaway fan-out:
+//! overflowing the buffer panics exactly like a register-discipline
+//! violation in [`crate::register`], because a model that emits more
+//! packets per pass than the ASIC could is no longer feasible.
+
+use std::ops::Deref;
+
+use crate::dataplane::{DpAction, DropReason};
+
+/// Upper bound on actions a single processed message may produce.
+pub const ACTION_BUF_CAP: usize = 1024;
+
+/// A reusable, fixed-capacity action buffer (see module docs).
+///
+/// Dereferences to `[DpAction]` for iteration and indexing. `push`
+/// panics on overflow — an infeasible actions-per-packet burst.
+pub struct ActionBuf {
+    len: usize,
+    slots: Box<[DpAction; ACTION_BUF_CAP]>,
+}
+
+impl ActionBuf {
+    /// An empty buffer. Performs the one heap allocation of the
+    /// buffer's lifetime; construct once per node, not per packet.
+    pub fn new() -> ActionBuf {
+        // The fill value is arbitrary — `len` delimits the live prefix.
+        let fill = DpAction::Drop {
+            reason: DropReason::UnknownLock,
+        };
+        ActionBuf {
+            len: 0,
+            slots: Box::new([fill; ACTION_BUF_CAP]),
+        }
+    }
+
+    /// Discard all actions (the buffer's capacity is retained).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Append one action.
+    ///
+    /// # Panics
+    /// If the buffer is full: a single packet provoking more than
+    /// [`ACTION_BUF_CAP`] actions means the model diverged from a
+    /// feasible switch program (see module docs).
+    pub fn push(&mut self, action: DpAction) {
+        assert!(
+            self.len < ACTION_BUF_CAP,
+            "infeasible action burst: one packet provoked more than {ACTION_BUF_CAP} \
+             data-plane actions; Algorithm 2's per-packet fan-out is bounded by the \
+             largest queue region, so this exceeds the Tofino feasibility envelope"
+        );
+        self.slots[self.len] = action;
+        self.len += 1;
+    }
+
+    /// The recorded actions.
+    pub fn as_slice(&self) -> &[DpAction] {
+        &self.slots[..self.len]
+    }
+}
+
+impl Default for ActionBuf {
+    fn default() -> Self {
+        ActionBuf::new()
+    }
+}
+
+impl PartialEq<Vec<DpAction>> for ActionBuf {
+    fn eq(&self, other: &Vec<DpAction>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Deref for ActionBuf {
+    type Target = [DpAction];
+    fn deref(&self) -> &[DpAction] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for ActionBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice().iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_clear_and_deref() {
+        let mut buf = ActionBuf::new();
+        assert!(buf.is_empty());
+        buf.push(DpAction::Drop {
+            reason: DropReason::OverQuota,
+        });
+        buf.push(DpAction::Drop {
+            reason: DropReason::UnknownLock,
+        });
+        assert_eq!(buf.len(), 2);
+        assert!(matches!(
+            buf[1],
+            DpAction::Drop {
+                reason: DropReason::UnknownLock
+            }
+        ));
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_slice(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible action burst")]
+    fn overflow_panics_like_a_feasibility_violation() {
+        let mut buf = ActionBuf::new();
+        for _ in 0..=ACTION_BUF_CAP {
+            buf.push(DpAction::Drop {
+                reason: DropReason::OverQuota,
+            });
+        }
+    }
+}

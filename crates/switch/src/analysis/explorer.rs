@@ -199,12 +199,12 @@ fn build_state(kind: EngineKind, state: ResidenceKind, sink: &TraceSink) -> Data
             match protocol {
                 Protocol::Normal => {
                     for m in fill_msgs(kind, fullness) {
-                        dp.process(m, 0);
+                        dp.process_collect(m, 0);
                     }
                 }
                 Protocol::Draining => {
                     for m in fill_msgs(kind, fullness) {
-                        dp.process(m, 0);
+                        dp.process_collect(m, 0);
                     }
                     dp.begin_demote(SWITCH_LOCK);
                 }
@@ -213,16 +213,16 @@ fn build_state(kind: EngineKind, state: ResidenceKind, sink: &TraceSink) -> Data
                     // queue and buffers arrivals without granting.
                     dp.begin_handback_suppression(SWITCH_LOCK);
                     for m in fill_msgs(kind, fullness) {
-                        dp.process(m, 0);
+                        dp.process_collect(m, 0);
                     }
                 }
                 Protocol::Overflow => {
                     // Reachable only through a full region (FCFS): fill,
                     // overflow once, then drain back to the target level.
                     for m in fill_msgs(kind, Fullness::Full) {
-                        dp.process(m, 0);
+                        dp.process_collect(m, 0);
                     }
-                    dp.process(acq(SWITCH_LOCK, LockMode::Exclusive, 1, 900), 0);
+                    dp.process_collect(acq(SWITCH_LOCK, LockMode::Exclusive, 1, 900), 0);
                     let releases: &[NetLockMsg] = &[
                         rel(SWITCH_LOCK, LockMode::Exclusive, 1, 100),
                         rel(SWITCH_LOCK, LockMode::Shared, 0, 101),
@@ -234,7 +234,7 @@ fn build_state(kind: EngineKind, state: ResidenceKind, sink: &TraceSink) -> Data
                         Fullness::Empty => 3,
                     };
                     for m in &releases[..drain] {
-                        dp.process(m.clone(), 0);
+                        dp.process_collect(m.clone(), 0);
                     }
                 }
             }
@@ -373,7 +373,7 @@ pub fn explore(kind: EngineKind) -> Result<ExplorationSummary, ExplorationError>
                     probe: "setup",
                     violation,
                 })?;
-            dp.process(msg, 0);
+            dp.process_collect(msg, 0);
             let probe_trace = sink.borrow_mut().take();
             let probe_stats =
                 check_discipline(&probe_trace, bound).map_err(|violation| ExplorationError {

@@ -481,7 +481,7 @@ mod tests {
         let alloc = knapsack_allocate(&[st(1, 1.0, 4)], 4);
         apply_allocation(&mut dp, &alloc);
         for t in 0..3 {
-            dp.process(acquire(1, t, 0), 0);
+            dp.process_collect(acquire(1, t, 0), 0);
         }
         let stats = harvest_stats(&mut dp, 1.0);
         assert_eq!(stats.len(), 1);
@@ -521,8 +521,8 @@ mod tests {
         let mut dp = dp_small();
         let alloc = knapsack_allocate(&[st(1, 1.0, 4)], 4);
         apply_allocation(&mut dp, &alloc);
-        dp.process(acquire(1, 7, 1_000), 1_000);
-        dp.process(acquire(1, 8, 2_000), 2_000); // queued, not a holder
+        dp.process_collect(acquire(1, 7, 1_000), 1_000);
+        dp.process_collect(acquire(1, 8, 2_000), 2_000); // queued, not a holder
         let lease = 1_000_000;
         assert!(expired_leases(&dp, 500_000, lease).is_empty());
         let expired = expired_leases(&dp, 2_000_000, lease);
@@ -537,7 +537,7 @@ mod tests {
         let alloc = knapsack_allocate(&[st(1, 1.0, 4)], 4);
         apply_allocation(&mut dp, &alloc);
         for t in 0..2 {
-            dp.process(
+            dp.process_collect(
                 NetLockMsg::Acquire(LockRequest {
                     lock: LockId(1),
                     mode: LockMode::Shared,

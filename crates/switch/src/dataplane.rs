@@ -7,15 +7,22 @@
 //! reach this module.
 //!
 //! The module is a pure state machine: `process` consumes a message and
-//! returns the actions the switch must take (grants to mirror out,
-//! forwards to lock servers, push-protocol notifications). The sim node
-//! in [`crate::node`] turns actions into packets; tests drive the state
-//! machine directly.
-
-use std::collections::HashMap;
+//! writes the actions the switch must take (grants to mirror out,
+//! forwards to lock servers, push-protocol notifications) into a
+//! caller-owned [`ActionBuf`]. The sim node in [`crate::node`] turns
+//! actions into packets; tests drive the state machine directly.
+//!
+//! Hot-path memory discipline: `process` performs no steady-state heap
+//! allocation. Actions land in the reusable `ActionBuf`, release-grant
+//! cascades collect into a reusable scratch buffer, tenant meters live
+//! in a dense array indexed by `TenantId`, and per-lock forward counts
+//! live in a dense array indexed by the directory's interned lock
+//! index — mirroring the ASIC, whose tables and counters are all fixed
+//! at compile time.
 
 use netlock_proto::{GrantMsg, Grantor, LockId, LockRequest, NetLockMsg, ReleaseRequest, TenantId};
 
+use crate::action_buf::ActionBuf;
 use crate::analysis::layout::ProgramLayout;
 use crate::analysis::trace::TraceSink;
 use crate::directory::{LockDirectory, Residence};
@@ -61,7 +68,7 @@ struct OverflowState {
 }
 
 /// An action the switch must take after processing a message.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DpAction {
     /// Mirror a grant notification to the client.
     SendGrant(GrantMsg),
@@ -142,9 +149,17 @@ pub struct DataPlane {
     /// engine the program was "compiled" with.
     layout: ProgramLayout,
     overflow: Vec<OverflowState>,
-    meters: HashMap<TenantId, TokenBucket>,
+    /// Per-tenant meters, dense by `TenantId` (`None` = unmetered).
+    /// Tenant ids are assigned densely by the rack harness, so the
+    /// array stays small; sizing happens at `set_tenant_meter` time,
+    /// never per packet.
+    meters: Vec<Option<TokenBucket>>,
     passes: PassAllocator,
     stats: DpStats,
+    /// Reusable buffer for release/kickstart grant cascades; cleared
+    /// per packet, so the retained capacity makes the engines'
+    /// out-params allocation-free in steady state.
+    grant_scratch: Vec<Slot>,
     /// Number of lock servers for default routing. Locks without a
     /// directory entry are forwarded to `hash(lock) % default_servers`
     /// — the paper's "set the destination IP to that of the server
@@ -153,10 +168,11 @@ pub struct DataPlane {
     /// unknown locks are dropped.
     default_servers: usize,
     /// Per-lock acquire counts for server-resident locks (control-plane
-    /// rate measurement for promotion decisions). On hardware this is a
+    /// rate measurement for promotion decisions), dense by the
+    /// directory's interned lock index. On hardware this is a
     /// count-min sketch or sampled mirror; exact counting is harmless
     /// in the model because only the heavy hitters matter.
-    forward_counts: HashMap<LockId, u64>,
+    forward_counts: Vec<u64>,
 }
 
 impl DataPlane {
@@ -171,11 +187,12 @@ impl DataPlane {
             engine: Engine::Fcfs(q),
             layout: program,
             overflow: vec![OverflowState::default(); regions],
-            meters: HashMap::new(),
+            meters: Vec::new(),
             passes: PassAllocator::new(),
             stats: DpStats::default(),
+            grant_scratch: Vec::new(),
             default_servers: 0,
-            forward_counts: HashMap::new(),
+            forward_counts: Vec::new(),
         }
     }
 
@@ -190,11 +207,12 @@ impl DataPlane {
             engine: Engine::Priority(e),
             layout: program,
             overflow: vec![OverflowState::default(); regions],
-            meters: HashMap::new(),
+            meters: Vec::new(),
             passes: PassAllocator::new(),
             stats: DpStats::default(),
+            grant_scratch: Vec::new(),
             default_servers: 0,
-            forward_counts: HashMap::new(),
+            forward_counts: Vec::new(),
         }
     }
 
@@ -262,8 +280,11 @@ impl DataPlane {
         burst: u64,
         now_ns: u64,
     ) {
-        self.meters
-            .insert(tenant, TokenBucket::new(rate_per_sec, burst, now_ns));
+        let idx = tenant.0 as usize;
+        if idx >= self.meters.len() {
+            self.meters.resize(idx + 1, None);
+        }
+        self.meters[idx] = Some(TokenBucket::new(rate_per_sec, burst, now_ns));
     }
 
     /// Remove all meters.
@@ -288,18 +309,43 @@ impl DataPlane {
     }
 
     /// Process one NetLock message; `now_ns` is the switch clock.
-    pub fn process(&mut self, msg: NetLockMsg, now_ns: u64) -> Vec<DpAction> {
+    ///
+    /// Actions are written into `out` (cleared first). The caller owns
+    /// the buffer and reuses it across packets, so the per-packet path
+    /// performs zero heap allocation in steady state.
+    pub fn process(&mut self, msg: NetLockMsg, now_ns: u64, out: &mut ActionBuf) {
+        out.clear();
         match msg {
-            NetLockMsg::Acquire(req) => self.on_acquire(req, now_ns),
-            NetLockMsg::Release(rel) => self.on_release(rel, now_ns),
-            NetLockMsg::Push { lock, reqs } => self.on_push(lock, reqs),
-            NetLockMsg::CtrlPromoteReady { lock, reqs } => self.on_promote_ready(lock, reqs),
-            NetLockMsg::CtrlHandback { lock } => self.on_handback(lock),
+            NetLockMsg::Acquire(req) => self.on_acquire(req, now_ns, out),
+            NetLockMsg::Release(rel) => self.on_release(rel, now_ns, out),
+            NetLockMsg::Push { lock, reqs } => self.on_push(lock, reqs, out),
+            NetLockMsg::CtrlPromoteReady { lock, reqs } => self.on_promote_ready(lock, reqs, out),
+            NetLockMsg::CtrlHandback { lock } => self.on_handback(lock, out),
             // Grants / forwards / fetches pass through the switch as
             // ordinary routed traffic; the data plane does not act on
             // them (the sim node routes them by destination).
-            _ => Vec::new(),
+            _ => {}
         }
+    }
+
+    /// [`process`] into a freshly allocated buffer — a convenience for
+    /// tests and offline analysis. Hot paths reuse a buffer instead.
+    ///
+    /// [`process`]: DataPlane::process
+    pub fn process_collect(&mut self, msg: NetLockMsg, now_ns: u64) -> ActionBuf {
+        let mut out = ActionBuf::new();
+        self.process(msg, now_ns, &mut out);
+        out
+    }
+
+    /// Bump the forward counter of a server-resident (or default-routed)
+    /// lock, growing the dense array if the lock is new to the intern.
+    fn bump_forward_count(&mut self, lock: LockId) {
+        let idx = self.directory.lock_index(lock);
+        if idx >= self.forward_counts.len() {
+            self.forward_counts.resize(idx + 1, 0);
+        }
+        self.forward_counts[idx] += 1;
     }
 
     fn grant_of(req: &LockRequest, grantor: Grantor) -> GrantMsg {
@@ -326,15 +372,16 @@ impl DataPlane {
         }
     }
 
-    fn on_acquire(&mut self, req: LockRequest, now_ns: u64) -> Vec<DpAction> {
+    fn on_acquire(&mut self, req: LockRequest, now_ns: u64, out: &mut ActionBuf) {
         self.stats.passes += 1;
         // Tenant meter at ingress.
-        if let Some(meter) = self.meters.get_mut(&req.tenant) {
+        if let Some(Some(meter)) = self.meters.get_mut(req.tenant.0 as usize) {
             if !meter.try_consume(now_ns) {
                 self.stats.quota_drops += 1;
-                return vec![DpAction::Drop {
+                out.push(DpAction::Drop {
                     reason: DropReason::OverQuota,
-                }];
+                });
+                return;
             }
         }
         let entry = match self.directory.get(req.lock) {
@@ -342,29 +389,31 @@ impl DataPlane {
             None => match self.default_server_of(req.lock) {
                 Some(server) => {
                     self.stats.forwarded_server_locks += 1;
-                    *self.forward_counts.entry(req.lock).or_insert(0) += 1;
-                    return vec![DpAction::ForwardAcquire {
+                    self.bump_forward_count(req.lock);
+                    out.push(DpAction::ForwardAcquire {
                         server,
                         req,
                         buffer_only: false,
-                    }];
+                    });
+                    return;
                 }
                 None => {
-                    return vec![DpAction::Drop {
+                    out.push(DpAction::Drop {
                         reason: DropReason::UnknownLock,
-                    }]
+                    });
+                    return;
                 }
             },
         };
         match entry.residence {
             Residence::Server => {
                 self.stats.forwarded_server_locks += 1;
-                *self.forward_counts.entry(req.lock).or_insert(0) += 1;
-                vec![DpAction::ForwardAcquire {
+                self.bump_forward_count(req.lock);
+                out.push(DpAction::ForwardAcquire {
                     server: entry.home_server,
                     req,
                     buffer_only: false,
-                }]
+                });
             }
             Residence::Switch { qid } => {
                 // Handback suppression: the backup switch still grants;
@@ -383,26 +432,28 @@ impl DataPlane {
                             self.overflow[qid].active = true;
                             self.overflow[qid].forwarded += 1;
                             self.stats.forwarded_overflow += 1;
-                            return vec![DpAction::ForwardAcquire {
+                            out.push(DpAction::ForwardAcquire {
                                 server: entry.home_server,
                                 req,
                                 buffer_only: true,
-                            }];
+                            });
+                            return;
                         }
                         self.stats.queued += 1;
                     }
-                    return Vec::new();
+                    return;
                 }
                 // Overflow mode: preserve single-queue order by sending
                 // every new request to q2 until it fully drains (§4.3).
                 if self.overflow[qid].active {
                     self.overflow[qid].forwarded += 1;
                     self.stats.forwarded_overflow += 1;
-                    return vec![DpAction::ForwardAcquire {
+                    out.push(DpAction::ForwardAcquire {
                         server: entry.home_server,
                         req,
                         buffer_only: true,
-                    }];
+                    });
+                    return;
                 }
                 let slot = Slot::from_request(&req);
                 let (outcome, extra_passes) = match &mut self.engine {
@@ -416,86 +467,99 @@ impl DataPlane {
                 match outcome {
                     AcquireOutcome::Granted => {
                         self.stats.grants_immediate += 1;
-                        vec![DpAction::SendGrant(Self::grant_of(&req, Grantor::Switch))]
+                        out.push(DpAction::SendGrant(Self::grant_of(&req, Grantor::Switch)));
                     }
                     AcquireOutcome::Queued => {
                         self.stats.queued += 1;
-                        Vec::new()
                     }
                     AcquireOutcome::Overflow => match &self.engine {
                         Engine::Fcfs(_) => {
                             self.overflow[qid].active = true;
                             self.overflow[qid].forwarded += 1;
                             self.stats.forwarded_overflow += 1;
-                            vec![DpAction::ForwardAcquire {
+                            out.push(DpAction::ForwardAcquire {
                                 server: entry.home_server,
                                 req,
                                 buffer_only: true,
-                            }]
+                            });
                         }
-                        Engine::Priority(_) => vec![DpAction::Drop {
+                        Engine::Priority(_) => out.push(DpAction::Drop {
                             reason: DropReason::PriorityOverflow,
-                        }],
+                        }),
                     },
                 }
             }
         }
     }
 
-    fn on_release(&mut self, rel: ReleaseRequest, now_ns: u64) -> Vec<DpAction> {
+    fn on_release(&mut self, rel: ReleaseRequest, now_ns: u64, out: &mut ActionBuf) {
         self.stats.passes += 1;
         self.stats.releases += 1;
         let entry = match self.directory.get(rel.lock) {
             Some(e) => e,
             None => match self.default_server_of(rel.lock) {
-                Some(server) => return vec![DpAction::ForwardRelease { server, rel }],
+                Some(server) => {
+                    out.push(DpAction::ForwardRelease { server, rel });
+                    return;
+                }
                 None => {
-                    return vec![DpAction::Drop {
+                    out.push(DpAction::Drop {
                         reason: DropReason::UnknownLock,
-                    }]
+                    });
+                    return;
                 }
             },
         };
         match entry.residence {
-            Residence::Server => vec![DpAction::ForwardRelease {
+            Residence::Server => out.push(DpAction::ForwardRelease {
                 server: entry.home_server,
                 rel,
-            }],
+            }),
             Residence::Switch { qid } => {
-                let out = match &mut self.engine {
-                    Engine::Fcfs(q) => FcfsEngine::release(q, &mut self.passes, qid, rel.mode),
-                    Engine::Priority(e) => {
-                        e.release(&mut self.passes, qid, rel.mode, rel.priority.0, now_ns)
-                    }
+                // Grants land in the reusable scratch buffer — the one
+                // place Algorithm 2 fans out — then are copied into the
+                // caller's `ActionBuf`. No per-packet allocation.
+                self.grant_scratch.clear();
+                let out_r = match &mut self.engine {
+                    Engine::Fcfs(q) => FcfsEngine::release(
+                        q,
+                        &mut self.passes,
+                        qid,
+                        rel.mode,
+                        &mut self.grant_scratch,
+                    ),
+                    Engine::Priority(e) => e.release(
+                        &mut self.passes,
+                        qid,
+                        rel.mode,
+                        rel.priority.0,
+                        now_ns,
+                        &mut self.grant_scratch,
+                    ),
                 };
-                self.stats.passes += (out.passes as u64).saturating_sub(1);
-                if out.spurious {
+                self.stats.passes += (out_r.passes as u64).saturating_sub(1);
+                if out_r.spurious {
                     self.stats.releases_spurious += 1;
-                    return Vec::new();
+                    return;
                 }
-                let mut actions: Vec<DpAction> = out
-                    .grants
-                    .iter()
-                    .map(|s| {
-                        self.stats.grants_on_release += 1;
-                        DpAction::SendGrant(Self::grant_of_slot(rel.lock, s))
-                    })
-                    .collect();
+                self.stats.grants_on_release += self.grant_scratch.len() as u64;
+                for s in &self.grant_scratch {
+                    out.push(DpAction::SendGrant(Self::grant_of_slot(rel.lock, s)));
+                }
                 // q1 drained while in overflow mode → ask the server to
                 // push from q2 (suppressed while draining for demotion).
-                if out.now_empty {
+                if out_r.now_empty {
                     let of = &mut self.overflow[qid];
                     if of.active && !of.space_pending && !of.draining {
                         of.space_pending = true;
                         let space = self.region_capacity(qid);
-                        actions.push(DpAction::SendQueueSpace {
+                        out.push(DpAction::SendQueueSpace {
                             server: entry.home_server,
                             lock: rel.lock,
                             space,
                         });
                     }
                 }
-                actions
             }
         }
     }
@@ -503,27 +567,27 @@ impl DataPlane {
     /// Server pushes `reqs` from q2 into q1. A push with `reqs.len() <
     /// space` means q2 is (momentarily) empty; overflow mode ends when
     /// the forwarded/pushed counters agree, i.e. nothing is in flight.
-    fn on_push(&mut self, lock: LockId, reqs: Vec<LockRequest>) -> Vec<DpAction> {
+    fn on_push(&mut self, lock: LockId, reqs: Vec<LockRequest>, out: &mut ActionBuf) {
         self.stats.passes += 1;
         self.stats.pushes += 1;
         let Some(entry) = self.directory.get(lock) else {
-            return vec![DpAction::Drop {
+            out.push(DpAction::Drop {
                 reason: DropReason::UnknownLock,
-            }];
+            });
+            return;
         };
         let Residence::Switch { qid } = entry.residence else {
             // Lock was demoted while the push was in flight; bounce the
             // requests to the server as owner.
-            return reqs
-                .into_iter()
-                .map(|req| DpAction::ForwardAcquire {
+            for req in reqs {
+                out.push(DpAction::ForwardAcquire {
                     server: entry.home_server,
                     req,
                     buffer_only: false,
-                })
-                .collect();
+                });
+            }
+            return;
         };
-        let mut actions = Vec::new();
         let n = reqs.len() as u64;
         for req in reqs {
             let slot = Slot::from_request(&req);
@@ -535,7 +599,7 @@ impl DataPlane {
             match outcome {
                 AcquireOutcome::Granted => {
                     self.stats.grants_immediate += 1;
-                    actions.push(DpAction::SendGrant(Self::grant_of(&req, Grantor::Switch)));
+                    out.push(DpAction::SendGrant(Self::grant_of(&req, Grantor::Switch)));
                 }
                 AcquireOutcome::Queued => {
                     self.stats.queued += 1;
@@ -562,43 +626,41 @@ impl DataPlane {
                 // in flight or buffered): ask again.
                 self.overflow[qid].space_pending = true;
                 let space = self.region_capacity(qid);
-                actions.push(DpAction::SendQueueSpace {
+                out.push(DpAction::SendQueueSpace {
                     server: entry.home_server,
                     lock,
                     space,
                 });
             }
         }
-        actions
     }
 
     /// The requests a promoted lock accumulated at its server arrive via
     /// CtrlPromoteReady and enter the fresh queue region in order.
-    fn on_promote_ready(&mut self, lock: LockId, reqs: Vec<LockRequest>) -> Vec<DpAction> {
+    fn on_promote_ready(&mut self, lock: LockId, reqs: Vec<LockRequest>, out: &mut ActionBuf) {
         self.stats.passes += 1;
         let Some(entry) = self.directory.get(lock) else {
-            return vec![DpAction::Drop {
+            out.push(DpAction::Drop {
                 reason: DropReason::UnknownLock,
-            }];
+            });
+            return;
         };
         let Residence::Switch { .. } = entry.residence else {
             // Promotion was cancelled; hand the requests back to the
             // server as owner.
-            return reqs
-                .into_iter()
-                .map(|req| DpAction::ForwardAcquire {
+            for req in reqs {
+                out.push(DpAction::ForwardAcquire {
                     server: entry.home_server,
                     req,
                     buffer_only: false,
-                })
-                .collect();
+                });
+            }
+            return;
         };
-        let mut actions = Vec::new();
         for req in reqs {
             let now = req.issued_at_ns;
-            actions.extend(self.on_acquire(req, now));
+            self.on_acquire(req, now, out);
         }
-        actions
     }
 
     // ------------------------------------------------------------------
@@ -668,30 +730,28 @@ impl DataPlane {
 
     /// The backup reports `lock` drained: stop suppressing and grant
     /// the head run that accumulated.
-    fn on_handback(&mut self, lock: LockId) -> Vec<DpAction> {
+    fn on_handback(&mut self, lock: LockId, out: &mut ActionBuf) {
         self.stats.passes += 1;
         let Some(entry) = self.directory.get(lock) else {
-            return Vec::new();
+            return;
         };
         let Residence::Switch { qid } = entry.residence else {
-            return Vec::new();
+            return;
         };
         if !self.overflow[qid].suppressed {
-            return Vec::new();
+            return;
         }
         self.overflow[qid].suppressed = false;
         let Engine::Fcfs(q) = &mut self.engine else {
-            return Vec::new();
+            return;
         };
-        let out = FcfsEngine::kickstart(q, &mut self.passes, qid);
-        self.stats.passes += (out.passes as u64).saturating_sub(1);
-        out.grants
-            .iter()
-            .map(|s| {
-                self.stats.grants_on_release += 1;
-                DpAction::SendGrant(Self::grant_of_slot(lock, s))
-            })
-            .collect()
+        self.grant_scratch.clear();
+        let out_k = FcfsEngine::kickstart(q, &mut self.passes, qid, &mut self.grant_scratch);
+        self.stats.passes += (out_k.passes as u64).saturating_sub(1);
+        self.stats.grants_on_release += self.grant_scratch.len() as u64;
+        for s in &self.grant_scratch {
+            out.push(DpAction::SendGrant(Self::grant_of_slot(lock, s)));
+        }
     }
 
     /// Whether grants for `lock` are currently suppressed (tests/CP).
@@ -725,9 +785,15 @@ impl DataPlane {
     }
 
     /// Take and reset the per-lock forward counts (one measurement
-    /// epoch of server-resident lock rates).
+    /// epoch of server-resident lock rates). Output is sorted by lock
+    /// id — the control-plane sweep must never depend on table order.
     pub fn cp_take_forward_counts(&mut self) -> Vec<(LockId, u64)> {
-        let mut v: Vec<(LockId, u64)> = self.forward_counts.drain().collect();
+        let mut v: Vec<(LockId, u64)> = Vec::new();
+        for (idx, count) in self.forward_counts.iter_mut().enumerate() {
+            if *count != 0 {
+                v.push((self.directory.lock_of_index(idx), std::mem::take(count)));
+            }
+        }
         v.sort_by_key(|&(l, _)| l);
         v
     }
@@ -774,7 +840,7 @@ mod tests {
     #[test]
     fn switch_lock_grants_immediately() {
         let mut dp = dp_with_lock(8);
-        let acts = dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 10)), 0);
+        let acts = dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 10)), 0);
         assert_eq!(acts.len(), 1);
         assert!(matches!(acts[0], DpAction::SendGrant(g) if g.txn == TxnId(10)));
         assert_eq!(dp.stats().grants_immediate, 1);
@@ -783,7 +849,7 @@ mod tests {
     #[test]
     fn server_lock_forwards() {
         let mut dp = dp_with_lock(8);
-        let acts = dp.process(NetLockMsg::Acquire(req(2, LockMode::Shared, 11)), 0);
+        let acts = dp.process_collect(NetLockMsg::Acquire(req(2, LockMode::Shared, 11)), 0);
         assert_eq!(
             acts,
             vec![DpAction::ForwardAcquire {
@@ -792,7 +858,7 @@ mod tests {
                 buffer_only: false,
             }]
         );
-        let acts = dp.process(NetLockMsg::Release(rel(2, LockMode::Shared, 11)), 0);
+        let acts = dp.process_collect(NetLockMsg::Release(rel(2, LockMode::Shared, 11)), 0);
         assert!(matches!(
             acts[0],
             DpAction::ForwardRelease { server: 1, .. }
@@ -802,7 +868,7 @@ mod tests {
     #[test]
     fn unknown_lock_dropped() {
         let mut dp = dp_with_lock(8);
-        let acts = dp.process(NetLockMsg::Acquire(req(99, LockMode::Shared, 1)), 0);
+        let acts = dp.process_collect(NetLockMsg::Acquire(req(99, LockMode::Shared, 1)), 0);
         assert_eq!(
             acts,
             vec![DpAction::Drop {
@@ -814,10 +880,10 @@ mod tests {
     #[test]
     fn release_hands_off_to_waiter() {
         let mut dp = dp_with_lock(8);
-        dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 1)), 0);
-        let acts = dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 2)), 0);
+        dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 1)), 0);
+        let acts = dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 2)), 0);
         assert!(acts.is_empty(), "second X is queued silently");
-        let acts = dp.process(NetLockMsg::Release(rel(1, LockMode::Exclusive, 1)), 0);
+        let acts = dp.process_collect(NetLockMsg::Release(rel(1, LockMode::Exclusive, 1)), 0);
         assert!(matches!(acts[0], DpAction::SendGrant(g) if g.txn == TxnId(2)));
         assert_eq!(dp.stats().grants_on_release, 1);
     }
@@ -826,10 +892,10 @@ mod tests {
     fn overflow_enters_buffer_only_mode_and_recovers() {
         let mut dp = dp_with_lock(2);
         // Fill q1.
-        dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 1)), 0);
-        dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 2)), 0);
+        dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 1)), 0);
+        dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 2)), 0);
         // Overflow → buffer-only forward.
-        let acts = dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 3)), 0);
+        let acts = dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 3)), 0);
         assert_eq!(
             acts,
             vec![DpAction::ForwardAcquire {
@@ -841,7 +907,7 @@ mod tests {
         assert!(dp.overflow_active(0));
         // While in overflow mode, even though q1 may have space, new
         // requests still go to q2 to preserve order.
-        let acts = dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 4)), 0);
+        let acts = dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 4)), 0);
         assert!(matches!(
             acts[0],
             DpAction::ForwardAcquire {
@@ -852,9 +918,9 @@ mod tests {
 
         // Drain q1: txn1 release grants txn2; txn2 release empties q1 →
         // QueueSpace to the server.
-        let acts = dp.process(NetLockMsg::Release(rel(1, LockMode::Exclusive, 1)), 0);
+        let acts = dp.process_collect(NetLockMsg::Release(rel(1, LockMode::Exclusive, 1)), 0);
         assert!(matches!(acts[0], DpAction::SendGrant(g) if g.txn == TxnId(2)));
-        let acts = dp.process(NetLockMsg::Release(rel(1, LockMode::Exclusive, 2)), 0);
+        let acts = dp.process_collect(NetLockMsg::Release(rel(1, LockMode::Exclusive, 2)), 0);
         assert!(matches!(
             acts[0],
             DpAction::SendQueueSpace {
@@ -865,7 +931,7 @@ mod tests {
         ));
 
         // Server pushes both buffered requests; first is granted.
-        let acts = dp.process(
+        let acts = dp.process_collect(
             NetLockMsg::Push {
                 lock: LockId(1),
                 reqs: vec![
@@ -883,15 +949,15 @@ mod tests {
     #[test]
     fn overflow_mode_persists_until_counters_match() {
         let mut dp = dp_with_lock(1);
-        dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 1)), 0);
+        dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 1)), 0);
         // Two overflows.
-        dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 2)), 0);
-        dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 3)), 0);
+        dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 2)), 0);
+        dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 3)), 0);
         // Drain; QueueSpace(space=1).
-        let acts = dp.process(NetLockMsg::Release(rel(1, LockMode::Exclusive, 1)), 0);
+        let acts = dp.process_collect(NetLockMsg::Release(rel(1, LockMode::Exclusive, 1)), 0);
         assert!(matches!(acts[0], DpAction::SendQueueSpace { space: 1, .. }));
         // Server pushes one of two.
-        let acts = dp.process(
+        let acts = dp.process_collect(
             NetLockMsg::Push {
                 lock: LockId(1),
                 reqs: vec![req(1, LockMode::Exclusive, 2)],
@@ -901,9 +967,9 @@ mod tests {
         assert!(matches!(acts[0], DpAction::SendGrant(g) if g.txn == TxnId(2)));
         assert!(dp.overflow_active(0), "one request still buffered");
         // Drain again; push the last one.
-        let acts = dp.process(NetLockMsg::Release(rel(1, LockMode::Exclusive, 2)), 0);
+        let acts = dp.process_collect(NetLockMsg::Release(rel(1, LockMode::Exclusive, 2)), 0);
         assert!(matches!(acts[0], DpAction::SendQueueSpace { space: 1, .. }));
-        let acts = dp.process(
+        let acts = dp.process_collect(
             NetLockMsg::Push {
                 lock: LockId(1),
                 reqs: vec![req(1, LockMode::Exclusive, 3)],
@@ -917,11 +983,11 @@ mod tests {
     #[test]
     fn empty_push_retriggers_queue_space() {
         let mut dp = dp_with_lock(1);
-        dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 1)), 0);
-        dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 2)), 0);
-        dp.process(NetLockMsg::Release(rel(1, LockMode::Exclusive, 1)), 0);
+        dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 1)), 0);
+        dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 2)), 0);
+        dp.process_collect(NetLockMsg::Release(rel(1, LockMode::Exclusive, 1)), 0);
         // Server's q2 momentarily empty (request still in flight): empty push.
-        let acts = dp.process(
+        let acts = dp.process_collect(
             NetLockMsg::Push {
                 lock: LockId(1),
                 reqs: vec![],
@@ -937,9 +1003,9 @@ mod tests {
     fn quota_meter_drops_over_rate() {
         let mut dp = dp_with_lock(8);
         dp.set_tenant_meter(TenantId(0), 1_000, 1, 0);
-        let acts = dp.process(NetLockMsg::Acquire(req(1, LockMode::Shared, 1)), 0);
+        let acts = dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Shared, 1)), 0);
         assert!(matches!(acts[0], DpAction::SendGrant(_)));
-        let acts = dp.process(NetLockMsg::Acquire(req(1, LockMode::Shared, 2)), 0);
+        let acts = dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Shared, 2)), 0);
         assert_eq!(
             acts,
             vec![DpAction::Drop {
@@ -948,18 +1014,18 @@ mod tests {
         );
         assert_eq!(dp.stats().quota_drops, 1);
         // A millisecond later one token refilled.
-        let acts = dp.process(NetLockMsg::Acquire(req(1, LockMode::Shared, 3)), 1_000_000);
+        let acts = dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Shared, 3)), 1_000_000);
         assert!(matches!(acts[0], DpAction::SendGrant(_)));
     }
 
     #[test]
     fn reset_wipes_everything() {
         let mut dp = dp_with_lock(8);
-        dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 1)), 0);
+        dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 1)), 0);
         dp.reset();
         assert_eq!(dp.stats().grants_immediate, 0);
         assert!(dp.directory().is_empty());
-        let acts = dp.process(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 2)), 0);
+        let acts = dp.process_collect(NetLockMsg::Acquire(req(1, LockMode::Exclusive, 2)), 0);
         assert_eq!(
             acts,
             vec![DpAction::Drop {
@@ -978,13 +1044,39 @@ mod tests {
         r2.priority = Priority(1);
         let mut r3 = req(1, LockMode::Exclusive, 3);
         r3.priority = Priority(0);
-        dp.process(NetLockMsg::Acquire(r1), 0);
-        dp.process(NetLockMsg::Acquire(r2), 0);
-        dp.process(NetLockMsg::Acquire(r3), 0);
+        dp.process_collect(NetLockMsg::Acquire(r1), 0);
+        dp.process_collect(NetLockMsg::Acquire(r2), 0);
+        dp.process_collect(NetLockMsg::Acquire(r3), 0);
         // Release the priority-1 holder; the priority-0 waiter wins.
         let mut release = rel(1, LockMode::Exclusive, 1);
         release.priority = Priority(1);
-        let acts = dp.process(NetLockMsg::Release(release), 0);
+        let acts = dp.process_collect(NetLockMsg::Release(release), 0);
         assert!(matches!(acts[0], DpAction::SendGrant(g) if g.txn == TxnId(3)));
+    }
+
+    /// The control-plane sweep consumes forward counts in sorted lock
+    /// order — pinned here so the output can never depend on the order
+    /// locks were first seen (or, historically, on hash iteration).
+    #[test]
+    fn forward_counts_drain_sorted_and_reset() {
+        let mut dp = DataPlane::new_fcfs(&SharedQueueLayout::small(2, 16, 4));
+        for lock in [9u32, 3, 7] {
+            dp.directory_mut().set_server_resident(LockId(lock), 0);
+        }
+        // Touch locks in decidedly unsorted order, with distinct counts.
+        for (lock, hits) in [(9u32, 3u64), (3, 1), (7, 2)] {
+            for i in 0..hits {
+                dp.process_collect(NetLockMsg::Acquire(req(lock, LockMode::Shared, 100 + i)), 0);
+            }
+        }
+        assert_eq!(
+            dp.cp_take_forward_counts(),
+            vec![(LockId(3), 1), (LockId(7), 2), (LockId(9), 3)]
+        );
+        // The take resets every counter: a second epoch starts empty.
+        assert!(dp.cp_take_forward_counts().is_empty());
+        // New traffic after the reset is a fresh epoch, still sorted.
+        dp.process_collect(NetLockMsg::Acquire(req(7, LockMode::Shared, 200)), 0);
+        assert_eq!(dp.cp_take_forward_counts(), vec![(LockId(7), 1)]);
     }
 }

@@ -67,10 +67,13 @@ pub enum AcquireOutcome {
 }
 
 /// Result of processing a release.
-#[derive(Clone, Debug, Default)]
+///
+/// Granted slots are appended to the caller-owned buffer passed to
+/// [`FcfsEngine::release`] (in grant order) rather than returned here:
+/// the data plane reuses one buffer across packets so the hot path
+/// never allocates.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ReleaseOutcome {
-    /// Requests granted as a consequence of this release, in grant order.
-    pub grants: Vec<Slot>,
     /// True if the queue is now empty (triggers the q2 push protocol when
     /// the lock is in overflow mode).
     pub now_empty: bool,
@@ -102,12 +105,15 @@ impl FcfsEngine {
 
     /// Process a release (Algorithm 2 lines 7–27).
     ///
-    /// `released_mode` comes from the release packet header.
+    /// `released_mode` comes from the release packet header. Granted
+    /// slots are appended to `grants` in grant order; the caller owns
+    /// (and reuses) the buffer.
     pub fn release(
         queue: &mut SharedQueue,
         passes: &mut PassAllocator,
         qid: usize,
         released_mode: LockMode,
+        grants: &mut Vec<Slot>,
     ) -> ReleaseOutcome {
         let mut out = ReleaseOutcome::default();
 
@@ -141,12 +147,12 @@ impl FcfsEngine {
             (LockMode::Shared, LockMode::Shared) => {}
             // Shared → Exclusive / Exclusive → Exclusive: grant the head.
             (LockMode::Exclusive, _) => {
-                out.grants.push(head);
+                grants.push(head);
             }
             // Exclusive → Shared: grant the head and cascade over the
             // following run of shared requests (meta.flag == 2 passes).
             (LockMode::Shared, LockMode::Exclusive) => {
-                out.grants.push(head);
+                grants.push(head);
                 let mut granted = 1;
                 while granted < remaining {
                     ptr = queue.next_offset(qid, ptr);
@@ -157,7 +163,7 @@ impl FcfsEngine {
                     if s.mode != LockMode::Shared {
                         break;
                     }
-                    out.grants.push(s);
+                    grants.push(s);
                     granted += 1;
                 }
             }
@@ -170,11 +176,13 @@ impl FcfsEngine {
     /// Grant the head run of a queue whose grants were suppressed
     /// (handback from a backup switch, §4.5): reads the head entry and,
     /// for a shared head, the following shared run — one pass each, like
-    /// the release cascade, but without dequeuing anything.
+    /// the release cascade, but without dequeuing anything. Granted
+    /// slots are appended to `grants`.
     pub fn kickstart(
         queue: &mut SharedQueue,
         passes: &mut PassAllocator,
         qid: usize,
+        grants: &mut Vec<Slot>,
     ) -> ReleaseOutcome {
         let mut out = ReleaseOutcome::default();
         let view = queue.cp_region(qid);
@@ -187,7 +195,7 @@ impl FcfsEngine {
         let mut pass = passes.begin(0);
         let head = queue.read_at(&mut pass, qid, ptr);
         out.passes = 1;
-        out.grants.push(head);
+        grants.push(head);
         if head.mode == LockMode::Shared {
             let mut granted = 1;
             while granted < view.count {
@@ -198,7 +206,7 @@ impl FcfsEngine {
                 if s.mode != LockMode::Shared {
                     break;
                 }
-                out.grants.push(s);
+                grants.push(s);
                 granted += 1;
             }
         }
@@ -236,6 +244,28 @@ mod tests {
         grants.iter().map(|s| s.txn.0).collect()
     }
 
+    /// Test shim: collect grants into a fresh buffer per call.
+    fn release(
+        q: &mut SharedQueue,
+        pa: &mut PassAllocator,
+        qid: usize,
+        mode: LockMode,
+    ) -> (ReleaseOutcome, Vec<Slot>) {
+        let mut grants = Vec::new();
+        let out = FcfsEngine::release(q, pa, qid, mode, &mut grants);
+        (out, grants)
+    }
+
+    fn kickstart(
+        q: &mut SharedQueue,
+        pa: &mut PassAllocator,
+        qid: usize,
+    ) -> (ReleaseOutcome, Vec<Slot>) {
+        let mut grants = Vec::new();
+        let out = FcfsEngine::kickstart(q, pa, qid, &mut grants);
+        (out, grants)
+    }
+
     #[test]
     fn shared_to_shared_no_grant() {
         let (mut q, mut pa) = setup(8);
@@ -247,8 +277,8 @@ mod tests {
             FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Shared, 2)),
             AcquireOutcome::Granted
         );
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Shared);
-        assert!(out.grants.is_empty(), "S→S must not re-grant");
+        let (out, grants) = release(&mut q, &mut pa, 0, LockMode::Shared);
+        assert!(grants.is_empty(), "S→S must not re-grant");
         assert!(!out.now_empty);
         assert_eq!(out.passes, 2);
     }
@@ -261,8 +291,8 @@ mod tests {
             FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Exclusive, 2)),
             AcquireOutcome::Queued
         );
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Shared);
-        assert_eq!(txns(&out.grants), vec![2]);
+        let (_out, grants) = release(&mut q, &mut pa, 0, LockMode::Shared);
+        assert_eq!(txns(&grants), vec![2]);
     }
 
     #[test]
@@ -271,8 +301,8 @@ mod tests {
         FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Exclusive, 1));
         FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Exclusive, 2));
         FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Exclusive, 3));
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Exclusive);
-        assert_eq!(txns(&out.grants), vec![2]);
+        let (out, grants) = release(&mut q, &mut pa, 0, LockMode::Exclusive);
+        assert_eq!(txns(&grants), vec![2]);
         assert_eq!(out.passes, 2, "E→E needs exactly one resubmit");
     }
 
@@ -287,8 +317,8 @@ mod tests {
             );
         }
         FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Exclusive, 5));
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Exclusive);
-        assert_eq!(txns(&out.grants), vec![2, 3, 4], "cascade stops at X");
+        let (out, grants) = release(&mut q, &mut pa, 0, LockMode::Exclusive);
+        assert_eq!(txns(&grants), vec![2, 3, 4], "cascade stops at X");
         // passes: dequeue + head read + 2 extra shared reads + stop-read at X
         assert_eq!(out.passes, 5);
     }
@@ -299,24 +329,24 @@ mod tests {
         FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Exclusive, 1));
         FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Shared, 2));
         FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Shared, 3));
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Exclusive);
-        assert_eq!(txns(&out.grants), vec![2, 3]);
+        let (_out, grants) = release(&mut q, &mut pa, 0, LockMode::Exclusive);
+        assert_eq!(txns(&grants), vec![2, 3]);
     }
 
     #[test]
     fn release_to_empty_sets_flag() {
         let (mut q, mut pa) = setup(8);
         FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Exclusive, 1));
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Exclusive);
+        let (out, grants) = release(&mut q, &mut pa, 0, LockMode::Exclusive);
         assert!(out.now_empty);
-        assert!(out.grants.is_empty());
+        assert!(grants.is_empty());
         assert_eq!(out.passes, 1, "empty queue needs no resubmit");
     }
 
     #[test]
     fn spurious_release_flagged() {
         let (mut q, mut pa) = setup(8);
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Shared);
+        let (out, _grants) = release(&mut q, &mut pa, 0, LockMode::Shared);
         assert!(out.spurious);
     }
 
@@ -331,20 +361,20 @@ mod tests {
             let mut pass = pa.begin(0);
             q.enqueue_deciding(&mut pass, 0, slot(*mode, i as u64 + 1), false, |_, _| false);
         }
-        let out = FcfsEngine::kickstart(&mut q, &mut pa, 0);
-        assert_eq!(txns(&out.grants), vec![1, 2], "shared head run granted");
+        let (_out, grants) = kickstart(&mut q, &mut pa, 0);
+        assert_eq!(txns(&grants), vec![1, 2], "shared head run granted");
         // An exclusive head grants exactly one.
         let (mut q2, mut pa2) = setup(8);
         let mut pass = pa2.begin(0);
         q2.enqueue_deciding(&mut pass, 0, slot(LockMode::Exclusive, 9), false, |_, _| {
             false
         });
-        let out = FcfsEngine::kickstart(&mut q2, &mut pa2, 0);
-        assert_eq!(txns(&out.grants), vec![9]);
+        let (_out, grants) = kickstart(&mut q2, &mut pa2, 0);
+        assert_eq!(txns(&grants), vec![9]);
         // An empty queue reports empty.
         let (mut q3, mut pa3) = setup(8);
-        let out = FcfsEngine::kickstart(&mut q3, &mut pa3, 0);
-        assert!(out.now_empty && out.grants.is_empty());
+        let (out, grants) = kickstart(&mut q3, &mut pa3, 0);
+        assert!(out.now_empty && grants.is_empty());
     }
 
     #[test]
@@ -357,16 +387,16 @@ mod tests {
         FcfsEngine::acquire(&mut q, &mut pa, 0, slot(LockMode::Shared, 4));
 
         // S1 releases: head S2 already granted → no grants.
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Shared);
-        assert!(out.grants.is_empty());
+        let (_out, grants) = release(&mut q, &mut pa, 0, LockMode::Shared);
+        assert!(grants.is_empty());
         // S2 releases: head X3 → grant X3.
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Shared);
-        assert_eq!(txns(&out.grants), vec![3]);
+        let (_out, grants) = release(&mut q, &mut pa, 0, LockMode::Shared);
+        assert_eq!(txns(&grants), vec![3]);
         // X3 releases: cascade grants S4.
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Exclusive);
-        assert_eq!(txns(&out.grants), vec![4]);
+        let (_out, grants) = release(&mut q, &mut pa, 0, LockMode::Exclusive);
+        assert_eq!(txns(&grants), vec![4]);
         // S4 releases: empty.
-        let out = FcfsEngine::release(&mut q, &mut pa, 0, LockMode::Shared);
+        let (out, _grants) = release(&mut q, &mut pa, 0, LockMode::Shared);
         assert!(out.now_empty);
     }
 }

@@ -22,6 +22,7 @@
 //! - [`directory`] — the lock match-action table
 //! - [`pipes`] — multi-pipeline layout: NetLock's egress-pipe placement
 //!   and its zero-recirculation property (§4.2)
+//! - [`action_buf`] — the fixed-capacity per-packet action buffer
 //! - [`dataplane`] — Algorithm 1: the full packet-processing module,
 //!   including the q1/q2 overflow protocol (§4.3)
 //! - [`control`] — Algorithm 3 knapsack allocation, measurement
@@ -32,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod action_buf;
 pub mod analysis;
 pub mod control;
 pub mod dataplane;
@@ -45,5 +47,6 @@ pub mod register;
 pub mod shared_queue;
 pub mod slot;
 
+pub use action_buf::{ActionBuf, ACTION_BUF_CAP};
 pub use dataplane::{DataPlane, DpAction, DpStats, DropReason, Engine};
 pub use node::{AutoRealloc, SwitchConfig, SwitchNode, SwitchNodeStats};

@@ -11,6 +11,7 @@ use std::collections::{HashMap, HashSet};
 use netlock_proto::{GrantMsg, LockId, NetLockMsg, TxnId};
 use netlock_sim::{Context, Node, NodeId, Packet, SimDuration};
 
+use crate::action_buf::ActionBuf;
 use crate::control::{self, MigrationOp};
 use crate::dataplane::{DataPlane, DpAction};
 
@@ -118,6 +119,10 @@ pub struct SwitchNode {
     /// Test hook: when set, the release guard admits every release
     /// (restores the unguarded blind-dequeue behaviour).
     release_guard_disabled: bool,
+    /// Reusable per-packet action buffer: allocated once here, filled
+    /// by `DataPlane::process`, drained by `emit`. Zero steady-state
+    /// heap traffic on the packet path.
+    actions: ActionBuf,
     stats: SwitchNodeStats,
 }
 
@@ -134,6 +139,7 @@ impl SwitchNode {
             promote_reservations: HashMap::new(),
             granted_outstanding: HashMap::new(),
             release_guard_disabled: false,
+            actions: ActionBuf::new(),
             stats: SwitchNodeStats::default(),
         }
     }
@@ -274,15 +280,14 @@ impl SwitchNode {
         }
     }
 
-    fn emit(
-        &mut self,
-        actions: Vec<DpAction>,
-        extra_passes: u64,
-        ctx: &mut Context<'_, NetLockMsg>,
-    ) {
+    /// Drain `self.actions` (filled by the preceding `process` call)
+    /// into the network. Actions are `Copy`, so reading them out by
+    /// index keeps the buffer borrow disjoint from the sends below.
+    fn emit(&mut self, extra_passes: u64, ctx: &mut Context<'_, NetLockMsg>) {
         let delay =
             self.cfg.traversal + SimDuration(self.cfg.pass_latency.as_nanos() * extra_passes);
-        for act in actions {
+        for i in 0..self.actions.len() {
+            let act = self.actions[i];
             match act {
                 DpAction::SendGrant(grant) => self.send_grant(grant, delay, ctx),
                 DpAction::ForwardAcquire {
@@ -446,12 +451,14 @@ impl SwitchNode {
                 // instead of dequeuing whoever was granted next.
                 let _ = self.admit_release(rel.lock, rel.txn);
                 let before = self.dp.stats().passes;
-                let actions = self
-                    .dp
-                    .process(NetLockMsg::Release(rel), ctx.now().as_nanos());
+                self.dp.process(
+                    NetLockMsg::Release(rel),
+                    ctx.now().as_nanos(),
+                    &mut self.actions,
+                );
                 let extra = self.dp.stats().passes - before - 1;
                 let lock = rel.lock;
-                self.emit(actions, extra, ctx);
+                self.emit(extra, ctx);
                 if self.pending_demotes.contains(&lock) {
                     self.try_complete_demote(lock, ctx);
                 }
@@ -504,9 +511,10 @@ impl Node<NetLockMsg> for SwitchNode {
             }
         }
         let before = self.dp.stats().passes;
-        let actions = self.dp.process(pkt.payload, ctx.now().as_nanos());
+        self.dp
+            .process(pkt.payload, ctx.now().as_nanos(), &mut self.actions);
         let extra = (self.dp.stats().passes - before).saturating_sub(1);
-        self.emit(actions, extra, ctx);
+        self.emit(extra, ctx);
         // A release may have completed a drain for a demoting lock.
         if let Some(lock) = released_lock {
             if self.pending_demotes.contains(&lock) {

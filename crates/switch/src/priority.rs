@@ -181,7 +181,8 @@ impl PriorityEngine {
     }
 
     /// Process a release issued at priority level `priority`; `now_ns`
-    /// stamps newly granted holders for lease expiry.
+    /// stamps newly granted holders for lease expiry. Granted slots are
+    /// appended to the caller-owned `grants` buffer in grant order.
     pub fn release(
         &mut self,
         passes: &mut PassAllocator,
@@ -189,6 +190,7 @@ impl PriorityEngine {
         released_mode: LockMode,
         priority: u8,
         now_ns: u64,
+        grants: &mut Vec<Slot>,
     ) -> ReleaseOutcome {
         let p = self.clamp_level(priority);
         let mut out = ReleaseOutcome::default();
@@ -242,7 +244,7 @@ impl PriorityEngine {
                             let mut pass = passes.begin(out.passes);
                             self.holder_x.access(&mut pass, qid, |h| *h = 1);
                             out.passes += 1;
-                            out.grants.push(s);
+                            grants.push(s);
                         }
                         // Either way an exclusive waiter halts the scan:
                         // nothing at equal or lower priority may pass it.
@@ -259,7 +261,7 @@ impl PriorityEngine {
                         self.holders_s.access(&mut pass, qid, |h| *h += 1);
                         out.passes += 1;
                         holders_s += 1;
-                        out.grants.push(s);
+                        grants.push(s);
                     }
                 }
                 off = self.levels[l].next_offset(qid, off);
@@ -355,8 +357,22 @@ mod tests {
         )
     }
 
-    fn txns(o: &ReleaseOutcome) -> Vec<u64> {
-        o.grants.iter().map(|s| s.txn.0).collect()
+    fn txns(grants: &[Slot]) -> Vec<u64> {
+        grants.iter().map(|s| s.txn.0).collect()
+    }
+
+    /// Test shim: collect grants into a fresh buffer per call.
+    fn release(
+        e: &mut PriorityEngine,
+        pa: &mut PassAllocator,
+        qid: usize,
+        mode: LockMode,
+        priority: u8,
+        now_ns: u64,
+    ) -> (ReleaseOutcome, Vec<Slot>) {
+        let mut grants = Vec::new();
+        let out = e.release(pa, qid, mode, priority, now_ns, &mut grants);
+        (out, grants)
     }
 
     #[test]
@@ -383,11 +399,11 @@ mod tests {
             AcquireOutcome::Queued
         );
         // Release: priority 1 (txn 3) beats priority 3 (txn 2).
-        let out = e.release(&mut pa, 0, LockMode::Exclusive, 0, 0);
-        assert_eq!(txns(&out), vec![3]);
-        let out = e.release(&mut pa, 0, LockMode::Exclusive, 1, 0);
-        assert_eq!(txns(&out), vec![2]);
-        let out = e.release(&mut pa, 0, LockMode::Exclusive, 3, 0);
+        let (_out, grants) = release(&mut e, &mut pa, 0, LockMode::Exclusive, 0, 0);
+        assert_eq!(txns(&grants), vec![3]);
+        let (_out, grants) = release(&mut e, &mut pa, 0, LockMode::Exclusive, 1, 0);
+        assert_eq!(txns(&grants), vec![2]);
+        let (out, _grants) = release(&mut e, &mut pa, 0, LockMode::Exclusive, 3, 0);
         assert!(out.now_empty);
     }
 
@@ -433,8 +449,8 @@ mod tests {
             AcquireOutcome::Queued
         );
         // Release the holder: S2 (prio 0) granted before X3 (prio 2).
-        let out = e.release(&mut pa, 0, LockMode::Exclusive, 0, 0);
-        assert_eq!(txns(&out), vec![2]);
+        let (_out, grants) = release(&mut e, &mut pa, 0, LockMode::Exclusive, 0, 0);
+        assert_eq!(txns(&grants), vec![2]);
     }
 
     #[test]
@@ -444,8 +460,8 @@ mod tests {
         e.acquire(&mut pa, 0, slot(LockMode::Shared, 2, 1));
         e.acquire(&mut pa, 0, slot(LockMode::Shared, 3, 1));
         e.acquire(&mut pa, 0, slot(LockMode::Exclusive, 4, 1));
-        let out = e.release(&mut pa, 0, LockMode::Exclusive, 1, 0);
-        assert_eq!(txns(&out), vec![2, 3], "shared run granted, X4 waits");
+        let (_out, grants) = release(&mut e, &mut pa, 0, LockMode::Exclusive, 1, 0);
+        assert_eq!(txns(&grants), vec![2, 3], "shared run granted, X4 waits");
     }
 
     #[test]
@@ -454,8 +470,8 @@ mod tests {
         e.acquire(&mut pa, 0, slot(LockMode::Exclusive, 1, 0)); // holder
         e.acquire(&mut pa, 0, slot(LockMode::Shared, 2, 0));
         e.acquire(&mut pa, 0, slot(LockMode::Shared, 3, 2));
-        let out = e.release(&mut pa, 0, LockMode::Exclusive, 0, 0);
-        assert_eq!(txns(&out), vec![2, 3], "shared run spans levels");
+        let (_out, grants) = release(&mut e, &mut pa, 0, LockMode::Exclusive, 0, 0);
+        assert_eq!(txns(&grants), vec![2, 3], "shared run spans levels");
     }
 
     #[test]
@@ -464,10 +480,10 @@ mod tests {
         e.acquire(&mut pa, 0, slot(LockMode::Exclusive, 1, 0)); // holder
         e.acquire(&mut pa, 0, slot(LockMode::Exclusive, 2, 1)); // waiter X
         e.acquire(&mut pa, 0, slot(LockMode::Shared, 3, 2)); // behind X
-        let out = e.release(&mut pa, 0, LockMode::Exclusive, 0, 0);
-        assert_eq!(txns(&out), vec![2], "X2 granted, S3 must wait behind it");
-        let out = e.release(&mut pa, 0, LockMode::Exclusive, 1, 0);
-        assert_eq!(txns(&out), vec![3]);
+        let (_out, grants) = release(&mut e, &mut pa, 0, LockMode::Exclusive, 0, 0);
+        assert_eq!(txns(&grants), vec![2], "X2 granted, S3 must wait behind it");
+        let (_out, grants) = release(&mut e, &mut pa, 0, LockMode::Exclusive, 1, 0);
+        assert_eq!(txns(&grants), vec![3]);
     }
 
     #[test]
@@ -513,7 +529,7 @@ mod tests {
             e.acquire(&mut pa, 0, slot(LockMode::Exclusive, 1, 200)).0,
             AcquireOutcome::Granted
         );
-        let out = e.release(&mut pa, 0, LockMode::Exclusive, 200, 0);
+        let (out, _grants) = release(&mut e, &mut pa, 0, LockMode::Exclusive, 200, 0);
         assert!(out.now_empty);
         assert!(!out.spurious);
     }

@@ -44,6 +44,10 @@ pub struct Pass {
     stage_cursor: usize,
     /// How many resubmits led to this pass (0 for the original packet).
     resubmit_depth: u32,
+    /// Cached `sink.is_some()`, hoisted out of the access hot path so
+    /// the untraced case costs exactly one well-predicted branch; the
+    /// recording body lives out of line behind it (`#[cold]`).
+    tracing: bool,
     /// Optional recorder every register access is reported to.
     sink: Option<TraceSink>,
 }
@@ -55,6 +59,7 @@ impl Pass {
             id,
             stage_cursor: 0,
             resubmit_depth,
+            tracing: false,
             sink: None,
         }
     }
@@ -73,6 +78,25 @@ impl Pass {
     /// pass is recorded into it.
     pub fn set_sink(&mut self, sink: TraceSink) {
         self.sink = Some(sink);
+        self.tracing = true;
+    }
+
+    /// Out-of-line recording path: only reached when a sink is
+    /// attached, so the untraced hot path never constructs an
+    /// [`AccessRecord`] or touches the `RefCell`.
+    #[cold]
+    #[inline(never)]
+    fn record(&self, array: ArrayId, name: &'static str, stage: usize, index: usize) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(AccessRecord {
+                array,
+                name,
+                stage,
+                index,
+                pass: self.id,
+                resubmit_depth: self.resubmit_depth,
+            });
+        }
     }
 }
 
@@ -158,15 +182,8 @@ impl<T: Copy> RegisterArray<T> {
         );
         self.last_access = Some(pass.id);
         pass.stage_cursor = self.stage;
-        if let Some(sink) = &pass.sink {
-            sink.borrow_mut().record(AccessRecord {
-                array: self.id,
-                name: self.name,
-                stage: self.stage,
-                index: idx,
-                pass: pass.id,
-                resubmit_depth: pass.resubmit_depth,
-            });
+        if pass.tracing {
+            pass.record(self.id, self.name, self.stage, idx);
         }
         let cell = self
             .data

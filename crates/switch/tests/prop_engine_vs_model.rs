@@ -137,12 +137,20 @@ impl Harness {
                     .map(|h| h.mode)
             })
             .expect("model must agree the txn holds the lock");
-        let engine_out =
-            FcfsEngine::release(&mut self.queue, &mut self.passes, lock as usize, mode);
+        let mut grants = Vec::new();
+        let engine_out = FcfsEngine::release(
+            &mut self.queue,
+            &mut self.passes,
+            lock as usize,
+            mode,
+            &mut grants,
+        );
         assert!(!engine_out.spurious, "engine lost a holder");
-        let model_granted = self.model.release(LockId(lock as u32), TxnId(txn));
+        let mut model_granted = Vec::new();
+        self.model
+            .release(LockId(lock as u32), TxnId(txn), &mut model_granted);
         // Engine grants carry (mode, txn, client); compare txn ids.
-        let engine_granted: Vec<u64> = engine_out.grants.iter().map(|s| s.txn.0).collect();
+        let engine_granted: Vec<u64> = grants.iter().map(|s| s.txn.0).collect();
         let model_ids: Vec<u64> = model_granted.iter().map(|r| r.txn.0).collect();
         assert_eq!(
             engine_granted, model_ids,

@@ -97,10 +97,13 @@ impl Harness {
             return;
         }
         let h = self.holders.remove(0);
-        let out = self.engine.release(&mut self.passes, 0, h.mode, h.prio, 0);
+        let mut grants = Vec::new();
+        let out = self
+            .engine
+            .release(&mut self.passes, 0, h.mode, h.prio, 0, &mut grants);
         assert!(!out.spurious, "engine lost holder {}", h.txn);
         self.outstanding -= 1;
-        for g in &out.grants {
+        for g in &grants {
             self.holders.push(Holder {
                 txn: g.txn.0,
                 mode: g.mode,

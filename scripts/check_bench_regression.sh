@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Bench-regression smoke check for the simulator hot paths.
+#
+# Runs `bench_sim --quick` to a temp file and compares it against the
+# committed BENCH_sim.json baseline. Fails if:
+#   - allocs_per_packet > 0      (the packet path started allocating)
+#   - dataplane_ns_per_op        regressed > 25% vs the baseline
+#   - the committed baseline's old_over_new < 1.0 at depths
+#     64/1024/8192 (the calendar queue fell behind the inline heap —
+#     the full-scale committed artifact is the acceptance gate)
+#   - the fresh quick run's old_over_new < 0.9 at those depths (the
+#     quick run is short and shallow depths are noisy, so it gets a
+#     10% noise margin; a genuine regression lands far below it)
+#
+# Absolute nanosecond numbers vary across machines; the 25% bound is a
+# smoke threshold to catch order-of-magnitude mistakes (an accidental
+# debug path, a reintroduced per-packet allocation made of time instead
+# of memory), not a precision gate.
+#
+# Usage: scripts/check_bench_regression.sh  (expects release bench_sim
+# built; override the binary dir with BIN_DIR=...)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN_DIR=${BIN_DIR:-target/release}
+
+out=$(mktemp)
+"$BIN_DIR/bench_sim" "$out" --quick >/dev/null
+
+python3 - "$out" BENCH_sim.json <<'EOF'
+import json, sys
+
+new = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+fail = []
+
+allocs = new["allocs_per_packet"]
+if allocs > 0:
+    fail.append(f"allocs_per_packet = {allocs} (must be 0)")
+
+dp_new, dp_base = new["dataplane_ns_per_op"], base["dataplane_ns_per_op"]
+if dp_new > dp_base * 1.25:
+    fail.append(
+        f"dataplane_ns_per_op regressed: {dp_new:.1f} vs baseline "
+        f"{dp_base:.1f} (> 25%)"
+    )
+
+for point in base["queue_churn"]:
+    if point["depth"] in (64, 1024, 8192) and point["old_over_new"] < 1.0:
+        fail.append(
+            f"committed baseline: calendar queue behind inline heap at depth "
+            f"{point['depth']}: old_over_new = {point['old_over_new']:.3f}"
+        )
+
+for point in new["queue_churn"]:
+    if point["depth"] in (64, 1024, 8192) and point["old_over_new"] < 0.9:
+        fail.append(
+            f"calendar queue lost to inline heap at depth {point['depth']}: "
+            f"old_over_new = {point['old_over_new']:.3f} (noise margin 0.9)"
+        )
+
+if fail:
+    for f in fail:
+        print(f"FAIL  {f}")
+    sys.exit(1)
+print(
+    f"ok    allocs_per_packet=0  dataplane {dp_new:.1f}ns/op "
+    f"(baseline {dp_base:.1f})  queue ratios "
+    + " ".join(f"{p['old_over_new']:.2f}" for p in new["queue_churn"])
+)
+EOF

@@ -1,7 +1,9 @@
 //! Writes `BENCH_sim.json`: a machine-readable snapshot of simulator
 //! hot-path performance — calendar-queue vs reference-heap event
-//! scheduling cost, plus the wall-clock of representative end-to-end
-//! figure points. Run from the repo root:
+//! scheduling cost, the whole-spine events/sec rate through the public
+//! `Simulator` API, the event-slot size, plus the wall-clock (and
+//! events/sec) of representative end-to-end figure points. Run from
+//! the repo root:
 //!
 //! ```text
 //! cargo run --release --bin bench_sim
@@ -28,7 +30,10 @@ use netlock_proto::{
     TxnId,
 };
 use netlock_server::LockTable;
-use netlock_sim::{EventQueue, SimDuration, SimTime};
+use netlock_sim::{
+    Context, EventQueue, LinkConfig, Node, NodeId, Packet, SimDuration, SimTime, Simulator,
+    Topology,
+};
 use netlock_switch::control::{apply_allocation, knapsack_allocate, LockStats};
 use netlock_switch::shared_queue::SharedQueueLayout;
 use netlock_switch::{ActionBuf, DataPlane};
@@ -47,6 +52,9 @@ fn xorshift(state: &mut u64) -> u64 {
     x
 }
 
+/// Untimed ops run before each churn measurement starts.
+const WARMUP_ROUNDS: usize = 50_000;
+
 /// Steady-depth churn through the calendar queue; returns ns/op.
 fn churn_calendar(depth: usize, rounds: usize, max_delay: u64) -> f64 {
     let mut q = EventQueue::new();
@@ -57,8 +65,18 @@ fn churn_calendar(depth: usize, rounds: usize, max_delay: u64) -> f64 {
         q.push(now + SimDuration(xorshift(&mut rng) % max_delay), seq, seq);
         seq += 1;
     }
-    let t = Instant::now();
     let mut acc = 0u64;
+    // Untimed warmup churn: settle the queue's self-tuning, caches and
+    // CPU frequency before the clock starts (shallow depths are a few
+    // ms of work — without this the first measured point eats the ramp).
+    for _ in 0..WARMUP_ROUNDS {
+        let (at, _, item) = q.pop().expect("steady depth");
+        now = at;
+        acc = acc.wrapping_add(item);
+        q.push(now + SimDuration(xorshift(&mut rng) % max_delay), seq, seq);
+        seq += 1;
+    }
+    let t = Instant::now();
     for _ in 0..rounds {
         let (at, _, item) = q.pop().expect("steady depth");
         now = at;
@@ -85,8 +103,20 @@ fn churn_heap(depth: usize, rounds: usize, max_delay: u64) -> f64 {
         )));
         seq += 1;
     }
-    let t = Instant::now();
     let mut acc = 0u64;
+    // Untimed warmup, as in `churn_calendar`.
+    for _ in 0..WARMUP_ROUNDS {
+        let Reverse((at, _, item)) = q.pop().expect("steady depth");
+        now = at;
+        acc = acc.wrapping_add(item);
+        q.push(Reverse((
+            now + SimDuration(xorshift(&mut rng) % max_delay),
+            seq,
+            seq,
+        )));
+        seq += 1;
+    }
+    let t = Instant::now();
     for _ in 0..rounds {
         let Reverse((at, _, item)) = q.pop().expect("steady depth");
         now = at;
@@ -143,8 +173,15 @@ fn churn_heap_boxed(depth: usize, rounds: usize, max_delay: u64) -> f64 {
     for _ in 0..depth {
         push(&mut q, now, &mut rng, &mut seq);
     }
-    let t = Instant::now();
     let mut acc = 0u64;
+    // Untimed warmup, as in `churn_calendar`.
+    for _ in 0..WARMUP_ROUNDS {
+        let Reverse(ev) = q.pop().expect("steady depth");
+        now = ev.at;
+        (ev.run)(&mut acc);
+        push(&mut q, now, &mut rng, &mut seq);
+    }
+    let t = Instant::now();
     for _ in 0..rounds {
         let Reverse(ev) = q.pop().expect("steady depth");
         now = ev.at;
@@ -178,6 +215,54 @@ fn queue_point(depth: usize, max_delay: u64, rounds: usize) -> Json {
         ("heap_boxed_ns_per_op", Json::Num(boxed)),
         ("old_over_new", Json::Num(heap / cal)),
     ])
+}
+
+/// Ping-pong hop node for the whole-spine events/sec microbench: each
+/// receipt at TTL `p > 0` forwards `p - 1` to the peer, and every 16th
+/// hop also arms a timer, so the run exercises packet dispatch, timer
+/// dispatch, and topology resolution together.
+struct HopNode {
+    peer: NodeId,
+}
+
+impl Node<u64> for HopNode {
+    fn on_packet(&mut self, pkt: Packet<u64>, ctx: &mut Context<'_, u64>) {
+        if pkt.payload > 0 {
+            ctx.send(self.peer, pkt.payload - 1);
+            if pkt.payload.is_multiple_of(16) {
+                ctx.set_timer(SimDuration(500), pkt.payload);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_, u64>) {}
+}
+
+/// End-to-end spine rate through the *public* `Simulator` API: pop,
+/// clock advance, dense-topology lookup, node dispatch, push. All
+/// `messages` ping-pong flights traverse equal-delay links, so every
+/// generation lands on one instant — the same-timestamp burst shape
+/// the fused drain exists for. Returns events per wall-clock second.
+fn sim_events_point(messages: u64, hops: u64) -> f64 {
+    let link = LinkConfig::with_delay(SimDuration(1_000));
+    let mut topo = Topology::new(link);
+    topo.set_default(link);
+    let mut sim: Simulator<u64> = Simulator::new(topo, 7);
+    let a = sim.add_node(Box::new(HopNode { peer: NodeId(1) }));
+    let b = sim.add_node(Box::new(HopNode { peer: NodeId(0) }));
+    for i in 0..messages {
+        if i % 2 == 0 {
+            sim.inject(a, b, hops);
+        } else {
+            sim.inject(b, a, hops);
+        }
+    }
+    let t = Instant::now();
+    sim.run_until(SimTime(u64::MAX));
+    let elapsed = t.elapsed().as_secs_f64();
+    let events = sim.stats().events_fired;
+    std::hint::black_box(&sim);
+    events as f64 / elapsed.max(1e-12)
 }
 
 fn acquire(lock: u32, txn: u64, mode: LockMode) -> NetLockMsg {
@@ -320,6 +405,13 @@ fn main() {
         queue_point(1_024, 40_000_000, queue_rounds),
     ]);
 
+    eprintln!("# simulator spine events/sec ...");
+    // Full-spine microbench through the public Simulator API; --quick
+    // shrinks the flight length, not the burst width, so the smoke run
+    // still exercises the same-timestamp drain path.
+    let hop_ttl = if quick { 5_000 } else { 100_000 };
+    let sim_events_per_sec = sim_events_point(64, hop_ttl).max(sim_events_point(64, hop_ttl));
+
     eprintln!("# data-plane / lock-table hot path ...");
     let (dp_a, allocs_a) = dataplane_point(hot_rounds);
     let (dp_b, allocs_b) = dataplane_point(hot_rounds);
@@ -328,9 +420,14 @@ fn main() {
     let lock_table_ns = lock_table_point(hot_rounds).min(lock_table_point(hot_rounds));
 
     let mut fields = vec![
-        ("schema", Json::str("netlock-bench-sim/2")),
+        ("schema", Json::str("netlock-bench-sim/3")),
         ("quick", Json::Bool(quick)),
         ("queue_churn", queue),
+        ("sim_events_per_sec", Json::Num(sim_events_per_sec)),
+        (
+            "packet_bytes",
+            Json::Int(std::mem::size_of::<Packet<NetLockMsg>>() as u64),
+        ),
         ("dataplane_ns_per_op", Json::Num(dataplane_ns)),
         ("lock_table_ns_per_op", Json::Num(lock_table_ns)),
         ("allocs_per_packet", Json::Num(allocs_per_packet)),
@@ -340,9 +437,12 @@ fn main() {
         eprintln!("# end-to-end figure points (quick scale, 1 thread) ...");
         let seq = Runner::with_threads(1);
         let scale = TimeScale::quick();
-        let fig09_ms = timed_ms(|| {
-            std::hint::black_box(fig09::run_switch(fig09::Workload::Shared, scale));
-        });
+        let t = Instant::now();
+        let fig09_stats = fig09::run_switch_stats(fig09::Workload::Shared, scale);
+        let fig09_elapsed = t.elapsed().as_secs_f64();
+        std::hint::black_box(fig09_stats.lock_rps());
+        let fig09_ms = fig09_elapsed * 1e3;
+        let fig09_eps = fig09_stats.events_fired as f64 / fig09_elapsed.max(1e-12);
         let fig08_ms = timed_ms(|| {
             std::hint::black_box(fig08::run_8a(&seq, scale).len());
         });
@@ -352,6 +452,10 @@ fn main() {
                 ("fig09_switch_shared", Json::Num(fig09_ms)),
                 ("fig08a_sweep", Json::Num(fig08_ms)),
             ]),
+        ));
+        fields.push((
+            "events_per_sec",
+            Json::obj([("fig09_switch_shared", Json::Num(fig09_eps))]),
         ));
     }
     fields.push((

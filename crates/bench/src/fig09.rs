@@ -79,6 +79,14 @@ fn add_clients(rack: &mut Rack, workload: Workload, total_locks: u32) {
 
 /// Throughput (MRPS) of the lock switch for one workload.
 pub fn run_switch(workload: Workload, scale: TimeScale) -> f64 {
+    mrps(run_switch_stats(workload, scale).lock_rps())
+}
+
+/// Full measurement stats for the lock-switch run — same rack, seed,
+/// and windows as [`run_switch`]. Used by `bench_sim` to pair the
+/// wall-clock of a figure point with its simulator event count
+/// (`RunStats::events_fired`) for an end-to-end events/sec rate.
+pub fn run_switch_stats(workload: Workload, scale: TimeScale) -> RunStats {
     let total_locks = 6_000u32;
     let mut rack = Rack::build(RackConfig {
         seed: 9,
@@ -99,8 +107,7 @@ pub fn run_switch(workload: Workload, scale: TimeScale) -> f64 {
         .collect();
     rack.program(&knapsack_allocate(&stats, 100_000));
     add_clients(&mut rack, workload, total_locks);
-    let stats = warmup_and_measure(&mut rack, scale.warmup, scale.measure);
-    mrps(stats.lock_rps())
+    warmup_and_measure(&mut rack, scale.warmup, scale.measure)
 }
 
 /// Throughput (MRPS) of a lock server with `cores` cores.

@@ -43,6 +43,10 @@ pub struct RunStats {
     pub net_duplicated: u64,
     /// Packets delivered out of send order on faulted links (whole run).
     pub net_reordered: u64,
+    /// Simulator events dispatched since the simulation started
+    /// (whole-run counter, warmup included). Dividing by wall-clock
+    /// time gives the spine's events-per-second rate for a run.
+    pub events_fired: u64,
     /// Acquire→grant latency across all clients (ns).
     pub lock_latency: Histogram,
     /// Transaction latency across all clients (ns).
@@ -125,6 +129,7 @@ pub fn collect(rack: &Rack, measured: SimDuration) -> RunStats {
     out.net_lost = net.packets_lost;
     out.net_duplicated = net.packets_duplicated;
     out.net_reordered = net.packets_reordered;
+    out.events_fired = net.events_fired;
     out
 }
 

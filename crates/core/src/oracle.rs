@@ -653,7 +653,6 @@ mod tests {
         let pkt = Packet {
             src: NodeId(0),
             dst: NodeId(dst),
-            sent_at: SimTime(at.saturating_sub(1)),
             payload: NetLockMsg::Grant(g),
         };
         o.observe(&TapEvent::Delivered {

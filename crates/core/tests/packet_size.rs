@@ -1,0 +1,27 @@
+//! Compile-time pins for the simulator event-slot layout.
+//!
+//! Every pending event in the calendar queue embeds a
+//! `Packet<NetLockMsg>`, so its size bounds the footprint and memmove
+//! cost of the entire pending set. The bulk `Push` /
+//! `CtrlPromoteReady` variants carry boxed slices precisely to keep
+//! these bounds; if either assertion fires, a variant grew and the hot
+//! loop just got slower everywhere.
+
+use netlock_proto::NetLockMsg;
+use netlock_sim::Packet;
+
+/// `src (4) + dst (4) + NetLockMsg (40)` — the message's niche/padding
+/// absorbs nothing further, so 48 is the floor for this layout.
+const _PACKET_FITS: () = assert!(std::mem::size_of::<Packet<NetLockMsg>>() <= 48);
+
+const _MSG_FITS: () = assert!(std::mem::size_of::<NetLockMsg>() <= 40);
+
+#[test]
+fn packet_slot_stays_compact() {
+    // Runtime mirror of the const assertions (so the bound shows up in
+    // `cargo test` output with the measured value, not just at build).
+    let packet = std::mem::size_of::<Packet<NetLockMsg>>();
+    let msg = std::mem::size_of::<NetLockMsg>();
+    assert!(packet <= 48, "Packet<NetLockMsg> grew to {packet} bytes");
+    assert!(msg <= 40, "NetLockMsg grew to {msg} bytes");
+}

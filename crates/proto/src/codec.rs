@@ -240,7 +240,10 @@ pub fn decode_msg(buf: &mut impl Buf) -> Result<NetLockMsg, DecodeError> {
             for _ in 0..n {
                 reqs.push(get_request(buf)?.0);
             }
-            NetLockMsg::Push { lock, reqs }
+            NetLockMsg::Push {
+                lock,
+                reqs: reqs.into(),
+            }
         }
         Tag::DbFetch => NetLockMsg::DbFetch {
             grant: get_grant(buf)?,
@@ -268,7 +271,10 @@ pub fn decode_msg(buf: &mut impl Buf) -> Result<NetLockMsg, DecodeError> {
             for _ in 0..n {
                 reqs.push(get_request(buf)?.0);
             }
-            NetLockMsg::CtrlPromoteReady { lock, reqs }
+            NetLockMsg::CtrlPromoteReady {
+                lock,
+                reqs: reqs.into(),
+            }
         }
         Tag::CtrlHandback => {
             need(buf, 4)?;
@@ -344,7 +350,7 @@ mod tests {
         });
         roundtrip(NetLockMsg::Push {
             lock: LockId(10),
-            reqs: vec![],
+            reqs: Box::new([]),
         });
         roundtrip(NetLockMsg::DbFetch {
             grant: GrantMsg {

@@ -141,11 +141,16 @@ pub enum NetLockMsg {
         space: u32,
     },
     /// Server → switch: buffered requests being pushed into q1.
+    ///
+    /// `reqs` is a boxed slice (one pointer-plus-length word pair)
+    /// rather than a `Vec` so this rare bulk variant doesn't widen the
+    /// enum — and with it every simulator event slot — by a third
+    /// capacity word.
     Push {
         /// Lock the requests belong to.
         lock: LockId,
         /// The requests, in arrival order.
-        reqs: Vec<LockRequest>,
+        reqs: Box<[LockRequest]>,
     },
     /// Lock manager → database server: a granted request forwarded to
     /// fetch data (one-RTT transaction mode, §4.1).
@@ -174,11 +179,12 @@ pub enum NetLockMsg {
     },
     /// Server → switch: `lock` is drained; `reqs` are the requests that
     /// arrived during the pause, in order, to be enqueued in the switch.
+    /// Boxed slice for the same slot-size reason as [`NetLockMsg::Push`].
     CtrlPromoteReady {
         /// Lock being promoted.
         lock: LockId,
         /// Requests buffered during the move.
-        reqs: Vec<LockRequest>,
+        reqs: Box<[LockRequest]>,
     },
     /// Backup switch → restarted original switch: the backup's queue
     /// for `lock` has drained; the original may start granting from its
@@ -228,6 +234,19 @@ mod tests {
     }
 
     #[test]
+    fn msg_slot_stays_compact() {
+        // Every simulator event embeds a NetLockMsg; the boxed-slice
+        // bulk variants exist precisely to keep this bound. The widest
+        // variants are the 33-byte `Forwarded` and the two-word boxed
+        // slices, rounded up to the 8-byte alignment with the tag.
+        assert!(
+            std::mem::size_of::<NetLockMsg>() <= 40,
+            "NetLockMsg grew to {} bytes; keep bulk payloads boxed",
+            std::mem::size_of::<NetLockMsg>()
+        );
+    }
+
+    #[test]
     fn request_header_roundtrip() {
         let r = req();
         let h = r.to_header();
@@ -273,7 +292,7 @@ mod tests {
         assert_eq!(
             NetLockMsg::Push {
                 lock: LockId(2),
-                reqs: vec![req()]
+                reqs: vec![req()].into()
             }
             .lock(),
             Some(LockId(2))

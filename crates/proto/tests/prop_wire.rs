@@ -145,13 +145,13 @@ mod msg_codec {
             (any::<u32>(), prop::collection::vec(arb_request(), 0..20)).prop_map(|(lock, reqs)| {
                 NetLockMsg::Push {
                     lock: LockId(lock),
-                    reqs,
+                    reqs: reqs.into(),
                 }
             }),
             (any::<u32>(), prop::collection::vec(arb_request(), 0..20)).prop_map(|(lock, reqs)| {
                 NetLockMsg::CtrlPromoteReady {
                     lock: LockId(lock),
-                    reqs,
+                    reqs: reqs.into(),
                 }
             }),
             any::<u32>().prop_map(|lock| NetLockMsg::CtrlDemote { lock: LockId(lock) }),

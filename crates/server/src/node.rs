@@ -249,7 +249,7 @@ impl ServerNode {
                         self.switch,
                         NetLockMsg::Push {
                             lock: req.lock,
-                            reqs: vec![req],
+                            reqs: Box::new([req]),
                         },
                         delay,
                     );
@@ -297,7 +297,7 @@ impl ServerNode {
         let delay = self.charge(lock, ctx.now().as_nanos());
         let q = self.q2.entry(lock).or_default();
         let n = (space as usize).min(q.len());
-        let reqs: Vec<LockRequest> = q.drain(..n).collect();
+        let reqs: Box<[LockRequest]> = q.drain(..n).collect();
         self.stats.q2_pushed += reqs.len() as u64;
         ctx.send_after(self.switch, NetLockMsg::Push { lock, reqs }, delay);
     }
@@ -337,7 +337,7 @@ impl ServerNode {
         }
         self.table.evict(lock);
         self.ownership.insert(lock, Ownership::SwitchOwned);
-        let reqs = self.promote_buf.remove(&lock).unwrap_or_default();
+        let reqs: Box<[LockRequest]> = self.promote_buf.remove(&lock).unwrap_or_default().into();
         ctx.send_after(
             self.switch,
             NetLockMsg::CtrlPromoteReady { lock, reqs },

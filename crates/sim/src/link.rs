@@ -116,11 +116,17 @@ impl Default for LinkConfig {
 
 /// The set of links. Lookups fall back to per-node defaults, then the
 /// global default, so dense racks don't need O(n^2) configuration.
+///
+/// Every mutator bumps a version counter; the simulator uses it to
+/// invalidate its dense resolved `(src, dst)` table (see
+/// [`Topology::resolve_dense`]) so the fallback chain is walked once
+/// per mutation, not once per transmitted packet.
 #[derive(Clone, Debug, Default)]
 pub struct Topology {
     default: LinkConfig,
     per_node: HashMap<NodeId, LinkConfig>,
     per_pair: HashMap<(NodeId, NodeId), LinkConfig>,
+    version: u64,
 }
 
 impl Topology {
@@ -130,23 +136,27 @@ impl Topology {
             default,
             per_node: HashMap::new(),
             per_pair: HashMap::new(),
+            version: 0,
         }
     }
 
     /// Override the link used for packets leaving `src` (any destination).
     pub fn set_node_egress(&mut self, src: NodeId, cfg: LinkConfig) {
         self.per_node.insert(src, cfg);
+        self.version += 1;
     }
 
     /// Override a specific directed link.
     pub fn set_link(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
         self.per_pair.insert((src, dst), cfg);
+        self.version += 1;
     }
 
     /// Remove a directed-link override, restoring the per-node or
     /// global default. Used by fault plans to end a link fault episode.
     pub fn clear_link(&mut self, src: NodeId, dst: NodeId) {
         self.per_pair.remove(&(src, dst));
+        self.version += 1;
     }
 
     /// The configuration used for a packet from `src` to `dst`.
@@ -168,6 +178,39 @@ impl Topology {
     /// Replace the global default link.
     pub fn set_default(&mut self, cfg: LinkConfig) {
         self.default = cfg;
+        self.version += 1;
+    }
+
+    /// Monotone counter bumped by every mutator. Two equal versions on
+    /// the same instance mean every `link()` answer is unchanged.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Resolve the full fallback chain for an `n`-node rack into a
+    /// row-major `n * n` table (`table[src * n + dst]`), reusing the
+    /// caller's buffer. One indexed load then answers any `link()`
+    /// query for in-range ids.
+    pub fn resolve_dense(&self, n: usize, table: &mut Vec<LinkConfig>) {
+        table.clear();
+        table.reserve(n * n);
+        for src in 0..n {
+            let row = self
+                .per_node
+                .get(&NodeId(src as u32))
+                .copied()
+                .unwrap_or(self.default);
+            for _ in 0..n {
+                table.push(row);
+            }
+        }
+        for (&(src, dst), cfg) in &self.per_pair {
+            let (s, d) = (src.index(), dst.index());
+            if s < n && d < n {
+                table[s * n + d] = *cfg;
+            }
+        }
     }
 }
 
@@ -218,6 +261,51 @@ mod tests {
         assert_eq!(t.link(NodeId(1), NodeId(2)).delay, SimDuration(300));
         t.clear_link(NodeId(1), NodeId(2));
         assert_eq!(t.link(NodeId(1), NodeId(2)).delay, SimDuration(100));
+    }
+
+    #[test]
+    fn dense_resolution_matches_fallback_chain() {
+        let mut t = Topology::new(LinkConfig::with_delay(SimDuration(100)));
+        t.set_node_egress(NodeId(1), LinkConfig::with_delay(SimDuration(200)));
+        t.set_link(
+            NodeId(1),
+            NodeId(2),
+            LinkConfig::with_delay(SimDuration(300)),
+        );
+        // Out-of-range override must not corrupt (or panic on) a
+        // smaller dense table.
+        t.set_link(
+            NodeId(9),
+            NodeId(0),
+            LinkConfig::with_delay(SimDuration(999)),
+        );
+        let n = 4;
+        let mut table = Vec::new();
+        t.resolve_dense(n, &mut table);
+        assert_eq!(table.len(), n * n);
+        for s in 0..n {
+            for d in 0..n {
+                assert_eq!(
+                    table[s * n + d],
+                    t.link(NodeId(s as u32), NodeId(d as u32)),
+                    "dense table diverges from link() at ({s}, {d})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutator() {
+        let mut t = Topology::default();
+        let v0 = t.version();
+        t.set_default(LinkConfig::default());
+        t.set_node_egress(NodeId(0), LinkConfig::default());
+        t.set_link(NodeId(0), NodeId(1), LinkConfig::default());
+        t.clear_link(NodeId(0), NodeId(1));
+        assert_eq!(t.version(), v0 + 4);
+        // Reads don't bump.
+        let _ = t.link(NodeId(0), NodeId(1));
+        assert_eq!(t.version(), v0 + 4);
     }
 
     #[test]

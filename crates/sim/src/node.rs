@@ -29,14 +29,18 @@ impl std::fmt::Display for NodeId {
 }
 
 /// A message in flight between two nodes.
+///
+/// Deliberately minimal: a `Packet` is the payload of every `Deliver`
+/// slot in the calendar queue, so each field here is paid for in every
+/// queued event's footprint and memmove. Receivers that care about
+/// send time carry a timestamp inside `M` (as the NetLock requests do
+/// with `issued_at_ns`).
 #[derive(Clone, Debug)]
 pub struct Packet<M> {
     /// Sender.
     pub src: NodeId,
     /// Receiver.
     pub dst: NodeId,
-    /// Time the packet left the sender.
-    pub sent_at: SimTime,
     /// Application payload.
     pub payload: M,
 }

@@ -183,12 +183,42 @@ impl<T> EventQueue<T> {
     }
 
     /// Remove and return the earliest event as `(at, seq, item)`.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        // Inlined so the unbounded deadline constant-folds: the three
+        // `> deadline` early-outs in `pop_due` vanish and this compiles
+        // to the same code the standalone pop had before the fusion.
+        self.pop_due(SimTime(u64::MAX))
+    }
+
+    /// Fused peek-then-pop: remove and return the earliest event iff
+    /// it is due at or before `deadline`.
+    ///
+    /// This is the run-loop primitive. The split `peek_at()` + `pop()`
+    /// pair pays the cursor `seek` and the due/late head comparison
+    /// twice per dispatched event; fusing them does both exactly once
+    /// while popping in the identical ascending `(at, seq)` order.
+    pub fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, u64, T)> {
         self.seek();
         let from_late = match (self.due.last(), self.late.peek()) {
-            (Some(d), Some(Reverse(l))) => l < d,
-            (None, Some(_)) => true,
-            (Some(_), None) => false,
+            (Some(d), Some(Reverse(l))) => {
+                if d.at.min(l.at) > deadline {
+                    return None;
+                }
+                l < d
+            }
+            (None, Some(Reverse(l))) => {
+                if l.at > deadline {
+                    return None;
+                }
+                true
+            }
+            (Some(d), None) => {
+                if d.at > deadline {
+                    return None;
+                }
+                false
+            }
             (None, None) => return None,
         };
         let e = if from_late {
@@ -198,6 +228,55 @@ impl<T> EventQueue<T> {
         };
         self.last_pop_at = e.at.0;
         Some((e.at, e.seq, e.item))
+    }
+
+    /// Drain the maximal run of events sharing the earliest pending
+    /// timestamp into `out` (appended in ascending `(at, seq)` order),
+    /// provided that timestamp is at or before `deadline`. Returns the
+    /// number of events appended (0 if nothing is due).
+    ///
+    /// Completeness: after `seek`, `due` and `late` together hold
+    /// *every* pending event whose bucket index is `<= cur_abs` — ring
+    /// events are strictly later buckets and overflow events are beyond
+    /// the horizon (admitted by `seek`). The head timestamp's bucket is
+    /// `<= cur_abs`, so the whole same-instant run is already resident
+    /// in those two tiers and one interleaved drain (by `seq`) yields
+    /// it without touching the cursor again.
+    pub fn pop_run(&mut self, deadline: SimTime, out: &mut Vec<(SimTime, u64, T)>) -> usize {
+        self.seek();
+        let head_at = match (self.due.last(), self.late.peek()) {
+            (Some(d), Some(Reverse(l))) => d.at.min(l.at),
+            (Some(d), None) => d.at,
+            (None, Some(Reverse(l))) => l.at,
+            (None, None) => return 0,
+        };
+        if head_at > deadline {
+            return 0;
+        }
+        let start = out.len();
+        loop {
+            let from_late = match (self.due.last(), self.late.peek()) {
+                (Some(d), Some(Reverse(l))) => l < d,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => break,
+            };
+            if from_late {
+                if self.late.peek().expect("matched above").0.at != head_at {
+                    break;
+                }
+                let e = self.late.pop().expect("peeked").0;
+                out.push((e.at, e.seq, e.item));
+            } else {
+                if self.due.last().expect("matched above").at != head_at {
+                    break;
+                }
+                let e = self.due.pop().expect("peeked");
+                out.push((e.at, e.seq, e.item));
+            }
+        }
+        self.last_pop_at = head_at.0;
+        out.len() - start
     }
 
     /// Timestamp of the earliest event without removing it.
@@ -526,6 +605,82 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime(5), 1, 1)));
         assert_eq!(q.pop(), Some((SimTime(100 << INITIAL_SHIFT), 0, 0)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_due_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), 0, 0);
+        q.push(SimTime(20), 1, 1);
+        // Not due yet: nothing comes out, nothing is lost.
+        assert_eq!(q.pop_due(SimTime(9)), None);
+        assert_eq!(q.len(), 2);
+        // Due exactly at the deadline.
+        assert_eq!(q.pop_due(SimTime(10)), Some((SimTime(10), 0, 0)));
+        assert_eq!(q.pop_due(SimTime(10)), None);
+        assert_eq!(q.pop_due(SimTime(u64::MAX)), Some((SimTime(20), 1, 1)));
+        assert_eq!(q.pop_due(SimTime(u64::MAX)), None);
+    }
+
+    #[test]
+    fn pop_run_drains_same_instant_in_seq_order() {
+        let mut q = EventQueue::new();
+        // A run at t=50 split across due and late tiers: push one far
+        // event, peek to run the cursor ahead, then push the rest of
+        // the run behind the cursor (they land in `late`).
+        q.push(SimTime(50), 0, 0);
+        q.push(SimTime(900 << INITIAL_SHIFT), 1, 1);
+        assert_eq!(q.peek_at(), Some(SimTime(50)));
+        q.push(SimTime(50), 2, 2);
+        q.push(SimTime(50), 3, 3);
+        q.push(SimTime(60), 4, 4);
+        let mut out = Vec::new();
+        // Deadline before the head: no drain.
+        assert_eq!(q.pop_run(SimTime(49), &mut out), 0);
+        assert!(out.is_empty());
+        // Drains exactly the t=50 run, FIFO by seq, not the t=60 event.
+        assert_eq!(q.pop_run(SimTime(100), &mut out), 3);
+        let got: Vec<_> = out.iter().map(|&(at, seq, _)| (at.0, seq)).collect();
+        assert_eq!(got, vec![(50, 0), (50, 2), (50, 3)]);
+        out.clear();
+        assert_eq!(q.pop_run(SimTime(100), &mut out), 1);
+        assert_eq!(out[0].0, SimTime(60));
+        out.clear();
+        // Far event beyond the deadline stays put.
+        assert_eq!(q.pop_run(SimTime(100), &mut out), 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_run_matches_pop_sequence() {
+        // Two identically-seeded queues: draining via pop_run yields
+        // the exact (at, seq) sequence of one-at-a-time pops.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut rnd = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for seq in 0..5_000u64 {
+            // Coarse timestamps force heavy same-instant runs.
+            let at = SimTime((rnd() % 64) * 1_000);
+            a.push(at, seq, seq);
+            b.push(at, seq, seq);
+        }
+        let mut from_pop = Vec::new();
+        while let Some((at, seq, _)) = a.pop() {
+            from_pop.push((at, seq));
+        }
+        let mut from_runs = Vec::new();
+        let mut buf = Vec::new();
+        while b.pop_run(SimTime(u64::MAX), &mut buf) > 0 {
+            from_runs.extend(buf.drain(..).map(|(at, seq, _)| (at, seq)));
+        }
+        assert_eq!(from_pop, from_runs);
+        assert!(b.is_empty());
     }
 
     #[test]

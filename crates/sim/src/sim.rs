@@ -18,14 +18,18 @@ use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
+/// One queued event. `Deliver` is the hot variant and bounds the slot
+/// size of every calendar-queue entry; `Fault` boxes its action (which
+/// embeds a full `LinkConfig`) so the rare chaos events don't inflate
+/// the per-slot footprint of the millions of packet events around them.
 enum EventKind<M> {
     Deliver(Packet<M>),
     Timer { node: NodeId, token: u64 },
-    Fault(FaultAction),
+    Fault(Box<FaultAction>),
 }
 
 /// Run statistics maintained by the simulator itself.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Packets delivered to a node.
     pub packets_delivered: u64,
@@ -76,6 +80,47 @@ struct LinkState {
 /// Installed with [`Simulator::set_tap`]; used by safety oracles and
 /// chaos harnesses to audit the run without perturbing it.
 pub type Tap<M> = Box<dyn FnMut(TapEvent<'_, M>)>;
+
+/// Compile-time tap strategy for the dispatch loop.
+///
+/// The run loops are generic over this trait so the untapped
+/// configuration (every figure bench) monomorphizes to code with *zero*
+/// tap branches or `Option` dances, while tapped runs (chaos/oracle)
+/// route through the installed boxed closure with identical `TapEvent`
+/// semantics. Emission sites guard with `if T::ENABLED`, which the
+/// compiler folds away for [`NoTap`].
+trait TapHook<M> {
+    /// Whether this strategy observes events at all.
+    const ENABLED: bool;
+    /// Deliver one observation.
+    fn emit(&mut self, ev: TapEvent<'_, M>);
+}
+
+/// The no-observer strategy: everything folds to nothing.
+struct NoTap;
+
+impl<M> TapHook<M> for NoTap {
+    const ENABLED: bool = false;
+    #[inline(always)]
+    fn emit(&mut self, _ev: TapEvent<'_, M>) {}
+}
+
+/// The installed-observer strategy: forwards to the boxed tap closure.
+struct DynTap<'a, M>(&'a mut dyn FnMut(TapEvent<'_, M>));
+
+impl<M> TapHook<M> for DynTap<'_, M> {
+    const ENABLED: bool = true;
+    #[inline]
+    fn emit(&mut self, ev: TapEvent<'_, M>) {
+        (self.0)(ev)
+    }
+}
+
+/// Node count beyond which the dense resolved link table is not worth
+/// its `n * n * sizeof(LinkConfig)` memory; larger topologies fall back
+/// to the hash fallback chain per transmit. Rack simulations here are
+/// tens of nodes.
+const DENSE_MAX_NODES: usize = 512;
 
 /// One packet-level observation delivered to the tap.
 #[derive(Debug)]
@@ -150,6 +195,18 @@ pub struct Simulator<M> {
     link_states: HashMap<(NodeId, NodeId), LinkState>,
     tap: Option<Tap<M>>,
     pending_custom: Option<(SimTime, u64)>,
+    /// Dense resolved `(src, dst)` link table (row-major, `links_n`
+    /// wide), rebuilt lazily when `topology.version()` or the node
+    /// count diverges from the values it was built at.
+    links: Vec<LinkConfig>,
+    links_version: u64,
+    links_n: usize,
+    /// Reusable buffer for same-timestamp runs drained by `run_until`.
+    burst: Vec<(SimTime, u64, EventKind<M>)>,
+    /// Events popped into the current burst but not yet dispatched;
+    /// added to `queue.len()` so `max_queue_depth` accounting matches
+    /// the one-pop-per-step reference exactly.
+    burst_pending: u64,
 }
 
 impl<M: Clone + 'static> Simulator<M> {
@@ -168,6 +225,11 @@ impl<M: Clone + 'static> Simulator<M> {
             link_states: HashMap::new(),
             tap: None,
             pending_custom: None,
+            links: Vec::new(),
+            links_version: u64::MAX,
+            links_n: usize::MAX,
+            burst: Vec::new(),
+            burst_pending: 0,
         }
     }
 
@@ -210,9 +272,11 @@ impl<M: Clone + 'static> Simulator<M> {
     }
 
     /// Schedule one fault action as a first-class simulator event.
+    /// (The one allocation per fault event keeps the boxed action out
+    /// of the hot packet slots; fault events are rare by construction.)
     pub fn schedule_fault(&mut self, at: SimTime, action: FaultAction) {
         assert!(at >= self.now, "fault scheduled in the past");
-        self.push(at, EventKind::Fault(action));
+        self.push(at, EventKind::Fault(Box::new(action)));
     }
 
     /// Install every event of a [`FaultPlan`]. Events are sorted by
@@ -252,7 +316,12 @@ impl<M: Clone + 'static> Simulator<M> {
             node.on_start(&mut ctx);
         }
         self.nodes[id.index()] = Some(node);
-        self.apply_effects(id, &mut effects);
+        if let Some(mut t) = self.tap.take() {
+            self.apply_effects(id, &mut effects, &mut DynTap(&mut *t));
+            self.tap = Some(t);
+        } else {
+            self.apply_effects(id, &mut effects, &mut NoTap);
+        }
         self.effects = effects;
         id
     }
@@ -302,17 +371,9 @@ impl<M: Clone + 'static> Simulator<M> {
     /// Inject a packet from outside the simulation (e.g. a harness kicking
     /// off a run). Delivered after the link delay from `src` to `dst`.
     pub fn inject(&mut self, src: NodeId, dst: NodeId, payload: M) {
-        let link = self.topology.link(src, dst);
+        let link = self.link_for(src, dst);
         let at = self.now + link.delay;
-        self.push(
-            at,
-            EventKind::Deliver(Packet {
-                src,
-                dst,
-                sent_at: self.now,
-                payload,
-            }),
-        );
+        self.push(at, EventKind::Deliver(Packet { src, dst, payload }));
     }
 
     /// Schedule a timer on a node from outside the simulation.
@@ -321,19 +382,46 @@ impl<M: Clone + 'static> Simulator<M> {
         self.push(at, EventKind::Timer { node, token });
     }
 
+    /// Resolve the link config for one directed hop via the dense
+    /// table, rebuilding it if the topology or node count changed.
+    #[inline]
+    fn link_for(&mut self, src: NodeId, dst: NodeId) -> LinkConfig {
+        let n = self.nodes.len();
+        if n > DENSE_MAX_NODES {
+            return self.topology.link(src, dst);
+        }
+        if self.links_version != self.topology.version() || self.links_n != n {
+            self.topology.resolve_dense(n, &mut self.links);
+            self.links_version = self.topology.version();
+            self.links_n = n;
+        }
+        let (s, d) = (src.index(), dst.index());
+        if s < n && d < n {
+            self.links[s * n + d]
+        } else {
+            // Traffic to ids outside the node table (it drops at
+            // delivery as dead-node) still resolves consistently.
+            self.topology.link(src, dst)
+        }
+    }
+
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(at, seq, kind);
         self.stats.events_scheduled += 1;
-        let depth = self.queue.len() as u64;
+        let depth = self.queue.len() as u64 + self.burst_pending;
         if depth > self.stats.max_queue_depth {
             self.stats.max_queue_depth = depth;
         }
     }
 
-    fn apply_effects(&mut self, from: NodeId, effects: &mut Vec<Effect<M>>) {
-        let mut tap = self.tap.take();
+    fn apply_effects<T: TapHook<M>>(
+        &mut self,
+        from: NodeId,
+        effects: &mut Vec<Effect<M>>,
+        tap: &mut T,
+    ) {
         for eff in effects.drain(..) {
             match eff {
                 Effect::Send {
@@ -341,7 +429,7 @@ impl<M: Clone + 'static> Simulator<M> {
                     payload,
                     extra_delay,
                 } => {
-                    self.transmit(&mut tap, from, dst, payload, extra_delay);
+                    self.transmit(tap, from, dst, payload, extra_delay);
                 }
                 Effect::Timer { delay, token } => {
                     let at = self.now + delay;
@@ -349,7 +437,6 @@ impl<M: Clone + 'static> Simulator<M> {
                 }
             }
         }
-        self.tap = tap;
     }
 
     /// Send one packet over the `(src, dst)` link, applying the link's
@@ -360,34 +447,50 @@ impl<M: Clone + 'static> Simulator<M> {
     /// transition + state loss (iff `ge` set), else Bernoulli loss (iff
     /// `loss > 0`), then jitter (iff `jitter > 0`), then duplication
     /// (iff `duplicate > 0`), then the duplicate's jitter.
-    fn transmit(
+    fn transmit<T: TapHook<M>>(
         &mut self,
-        tap: &mut Option<Tap<M>>,
+        tap: &mut T,
         src: NodeId,
         dst: NodeId,
         payload: M,
         extra_delay: SimDuration,
     ) {
-        let link = self.topology.link(src, dst);
-        let faulty = link.faults.any();
-        if let Some(t) = tap.as_mut() {
-            t(TapEvent::Sent {
+        let link = self.link_for(src, dst);
+        if T::ENABLED {
+            tap.emit(TapEvent::Sent {
                 at: self.now,
                 src,
                 dst,
                 payload: &payload,
             });
         }
+        let faulty = link.faults.any();
+        if !faulty && link.loss == 0.0 {
+            // Healthy link (the overwhelmingly common case): no RNG
+            // draws, no per-link state, one queue push.
+            let at = self.now + link.delay + extra_delay;
+            self.push(at, EventKind::Deliver(Packet { src, dst, payload }));
+            return;
+        }
         // Loss: Gilbert–Elliott channel if configured, else Bernoulli.
+        // RNG draw order stays fixed and conditional, so fault-free
+        // links draw exactly as before faults existed: GE transition +
+        // state loss (iff `ge` set), else Bernoulli loss (iff
+        // `loss > 0`), then jitter (iff `jitter > 0`), then duplication
+        // (iff `duplicate > 0`), then the duplicate's jitter.
         let lost = if let Some(ge) = link.faults.ge {
-            let bad = self.link_states.entry((src, dst)).or_default().ge_bad;
+            let state = self.link_states.entry((src, dst)).or_default();
+            let bad = state.ge_bad;
             let p_flip = if bad { ge.to_good } else { ge.to_bad };
             let flipped = self.rng.chance(p_flip);
-            let now_bad = bad ^ flipped;
             if flipped {
-                self.link_states.entry((src, dst)).or_default().ge_bad = now_bad;
+                state.ge_bad = !bad;
             }
-            let p_loss = if now_bad { ge.loss_bad } else { ge.loss_good };
+            let p_loss = if bad ^ flipped {
+                ge.loss_bad
+            } else {
+                ge.loss_good
+            };
             self.rng.chance(p_loss)
         } else {
             link.loss > 0.0 && self.rng.chance(link.loss)
@@ -399,8 +502,8 @@ impl<M: Clone + 'static> Simulator<M> {
                 .or_default()
                 .counters
                 .lost += 1;
-            if let Some(t) = tap.as_mut() {
-                t(TapEvent::Lost {
+            if T::ENABLED {
+                tap.emit(TapEvent::Lost {
                     at: self.now,
                     src,
                     dst,
@@ -427,10 +530,14 @@ impl<M: Clone + 'static> Simulator<M> {
             None
         };
         if faulty {
+            // One resolved entry per send covers both the reorder
+            // accounting and the duplication counter. A plain-lossy
+            // (non-faulty) link never reaches this block, so it still
+            // only materializes link state on an actual loss.
+            let state = self.link_states.entry((src, dst)).or_default();
             // Reorder accounting: a packet overtakes when it is scheduled
             // to arrive before the latest already-scheduled arrival on
             // this directed link.
-            let state = self.link_states.entry((src, dst)).or_default();
             for &t_arr in [Some(at), dup_at].iter().flatten() {
                 if t_arr < state.last_arrival {
                     state.counters.reordered += 1;
@@ -439,16 +546,14 @@ impl<M: Clone + 'static> Simulator<M> {
                     state.last_arrival = t_arr;
                 }
             }
+            if dup_at.is_some() {
+                state.counters.duplicated += 1;
+            }
         }
         if let Some(dup_at) = dup_at {
             self.stats.packets_duplicated += 1;
-            self.link_states
-                .entry((src, dst))
-                .or_default()
-                .counters
-                .duplicated += 1;
-            if let Some(t) = tap.as_mut() {
-                t(TapEvent::Duplicated {
+            if T::ENABLED {
+                tap.emit(TapEvent::Duplicated {
                     at: self.now,
                     src,
                     dst,
@@ -460,32 +565,21 @@ impl<M: Clone + 'static> Simulator<M> {
                 EventKind::Deliver(Packet {
                     src,
                     dst,
-                    sent_at: self.now,
                     payload: payload.clone(),
                 }),
             );
         }
-        self.push(
-            at,
-            EventKind::Deliver(Packet {
-                src,
-                dst,
-                sent_at: self.now,
-                payload,
-            }),
-        );
+        self.push(at, EventKind::Deliver(Packet { src, dst, payload }));
     }
 
-    fn apply_fault(&mut self, action: FaultAction) {
+    fn apply_fault<T: TapHook<M>>(&mut self, action: FaultAction, tap: &mut T) {
         self.stats.faults_applied += 1;
-        let mut tap = self.tap.take();
-        if let Some(t) = tap.as_mut() {
-            t(TapEvent::Fault {
+        if T::ENABLED {
+            tap.emit(TapEvent::Fault {
                 at: self.now,
                 action,
             });
         }
-        self.tap = tap;
         match action {
             FaultAction::SetDefaultLink(cfg) => self.topology.set_default(cfg),
             FaultAction::SetLink { src, dst, cfg } => self.topology.set_link(src, dst, cfg),
@@ -496,11 +590,8 @@ impl<M: Clone + 'static> Simulator<M> {
         }
     }
 
-    /// Process the next event. Returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some((at, _seq, kind)) = self.queue.pop() else {
-            return false;
-        };
+    /// Advance the clock to `at` and dispatch one already-popped event.
+    fn dispatch<T: TapHook<M>>(&mut self, at: SimTime, kind: EventKind<M>, tap: &mut T) {
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.stats.events_fired += 1;
@@ -508,28 +599,24 @@ impl<M: Clone + 'static> Simulator<M> {
             EventKind::Deliver(pkt) => pkt.dst,
             EventKind::Timer { node, .. } => *node,
             EventKind::Fault(action) => {
-                let action = *action;
-                self.apply_fault(action);
-                return true;
+                let action = **action;
+                self.apply_fault(action, tap);
+                return;
             }
         };
         if node_id.index() >= self.nodes.len() || !self.alive[node_id.index()] {
             self.stats.packets_to_dead_node += 1;
-            if let EventKind::Deliver(pkt) = &kind {
-                let mut tap = self.tap.take();
-                if let Some(t) = tap.as_mut() {
-                    t(TapEvent::DeliveredToDead { at: self.now, pkt });
+            if T::ENABLED {
+                if let EventKind::Deliver(pkt) = &kind {
+                    tap.emit(TapEvent::DeliveredToDead { at: self.now, pkt });
                 }
-                self.tap = tap;
             }
-            return true;
+            return;
         }
-        if let EventKind::Deliver(pkt) = &kind {
-            let mut tap = self.tap.take();
-            if let Some(t) = tap.as_mut() {
-                t(TapEvent::Delivered { at: self.now, pkt });
+        if T::ENABLED {
+            if let EventKind::Deliver(pkt) = &kind {
+                tap.emit(TapEvent::Delivered { at: self.now, pkt });
             }
-            self.tap = tap;
         }
         let mut node = self.nodes[node_id.index()]
             .take()
@@ -543,7 +630,10 @@ impl<M: Clone + 'static> Simulator<M> {
                 rng: &mut self.rng,
             };
             match kind {
-                EventKind::Deliver(pkt) => node.on_packet(pkt, &mut ctx),
+                EventKind::Deliver(pkt) => {
+                    self.stats.packets_delivered += 1;
+                    node.on_packet(pkt, &mut ctx)
+                }
                 EventKind::Timer { token, .. } => {
                     self.stats.timers_fired += 1;
                     node.on_timer(token, &mut ctx)
@@ -552,9 +642,21 @@ impl<M: Clone + 'static> Simulator<M> {
             }
         }
         self.nodes[node_id.index()] = Some(node);
-        self.stats.packets_delivered += 1;
-        self.apply_effects(node_id, &mut effects);
+        self.apply_effects(node_id, &mut effects, tap);
         self.effects = effects;
+    }
+
+    /// Process the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, _seq, kind)) = self.queue.pop() else {
+            return false;
+        };
+        if let Some(mut t) = self.tap.take() {
+            self.dispatch(at, kind, &mut DynTap(&mut *t));
+            self.tap = Some(t);
+        } else {
+            self.dispatch(at, kind, &mut NoTap);
+        }
         true
     }
 
@@ -563,40 +665,83 @@ impl<M: Clone + 'static> Simulator<M> {
     /// `deadline` on return so subsequent scheduling is relative to it.
     /// [`FaultAction::Custom`] events encountered here are dropped —
     /// chaos harnesses use [`Simulator::run_until_fault`] instead.
+    ///
+    /// Internally this drains the queue in same-timestamp bursts via
+    /// [`EventQueue::pop_run`]: one fused cursor scan yields the whole
+    /// run, which is then dispatched in the identical `(at, seq)` FIFO
+    /// order the one-pop-per-step loop would produce (events a dispatch
+    /// schedules at the *same* instant carry higher `seq` than the rest
+    /// of the burst, so picking them up in the next `pop_run` round
+    /// preserves the order; see `tests/prop_spine.rs`).
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(head_at) = self.queue.peek_at() {
-            if head_at > deadline {
-                break;
-            }
-            self.step();
-            self.pending_custom = None;
+        if let Some(mut t) = self.tap.take() {
+            self.drain_until(deadline, &mut DynTap(&mut *t));
+            self.tap = Some(t);
+        } else {
+            self.drain_until(deadline, &mut NoTap);
         }
         if self.now < deadline {
             self.now = deadline;
         }
     }
 
+    fn drain_until<T: TapHook<M>>(&mut self, deadline: SimTime, tap: &mut T) {
+        let mut burst = std::mem::take(&mut self.burst);
+        debug_assert!(burst.is_empty());
+        loop {
+            if self.queue.pop_run(deadline, &mut burst) == 0 {
+                break;
+            }
+            self.burst_pending = burst.len() as u64;
+            for (at, _seq, kind) in burst.drain(..) {
+                self.burst_pending -= 1;
+                self.dispatch(at, kind, tap);
+            }
+            self.pending_custom = None;
+        }
+        self.burst = burst;
+    }
+
     /// Like [`Simulator::run_until`], but pauses when a
     /// [`FaultAction::Custom`] fires, returning
     /// [`RunOutcome::CustomFault`] so the caller can apply the
     /// domain-specific fault and resume with another call.
+    ///
+    /// This path dispatches strictly one event at a time (fused
+    /// pop-if-due, no burst batching) so a `Custom` fault pauses with
+    /// every later same-instant event still queued, exactly as before.
     pub fn run_until_fault(&mut self, deadline: SimTime) -> RunOutcome {
-        loop {
-            if let Some((at, token)) = self.pending_custom.take() {
-                return RunOutcome::CustomFault { at, token };
-            }
-            let Some(head_at) = self.queue.peek_at() else {
-                break;
-            };
-            if head_at > deadline {
-                break;
-            }
-            self.step();
+        if let Some((at, token)) = self.pending_custom.take() {
+            return RunOutcome::CustomFault { at, token };
+        }
+        let paused = if let Some(mut t) = self.tap.take() {
+            let p = self.drain_until_fault(deadline, &mut DynTap(&mut *t));
+            self.tap = Some(t);
+            p
+        } else {
+            self.drain_until_fault(deadline, &mut NoTap)
+        };
+        if let Some(outcome) = paused {
+            return outcome;
         }
         if self.now < deadline {
             self.now = deadline;
         }
         RunOutcome::ReachedDeadline
+    }
+
+    fn drain_until_fault<T: TapHook<M>>(
+        &mut self,
+        deadline: SimTime,
+        tap: &mut T,
+    ) -> Option<RunOutcome> {
+        loop {
+            let (at, _seq, kind) = self.queue.pop_due(deadline)?;
+            self.dispatch(at, kind, tap);
+            if let Some((at, token)) = self.pending_custom.take() {
+                return Some(RunOutcome::CustomFault { at, token });
+            }
+        }
     }
 
     /// Run for `d` more simulated time.
@@ -828,9 +973,50 @@ mod more_tests {
         let n = s.add_node(Box::new(Counter(0)));
         s.inject_timer(n, SimDuration(1), 0);
         s.run_until(SimTime(450));
-        // Timer events are dispatched through the same counter.
-        assert!(s.stats().packets_delivered >= 4);
+        // A timer-only run delivers no packets: `packets_delivered`
+        // counts Deliver events only, not everything dispatched.
+        assert_eq!(s.stats().packets_delivered, 0);
+        assert!(s.stats().timers_fired >= 4);
         assert_eq!(s.stats().packets_lost, 0);
+    }
+
+    #[test]
+    fn every_fired_event_is_counted_once() {
+        // Mixed packets + timers + a dead-node drop: every popped event
+        // lands in exactly one bucket, so the buckets sum to
+        // events_fired.
+        struct PingTimer {
+            peer: NodeId,
+            left: u32,
+        }
+        impl Node<u32> for PingTimer {
+            fn on_packet(&mut self, _p: Packet<u32>, ctx: &mut Context<'_, u32>) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    ctx.send(self.peer, self.left);
+                    ctx.set_timer(SimDuration(7), 1);
+                }
+            }
+            fn on_timer(&mut self, _t: u64, _c: &mut Context<'_, u32>) {}
+        }
+        let mut s: Simulator<u32> = Simulator::with_seed(5);
+        let a = s.add_node(Box::new(PingTimer {
+            peer: NodeId(1),
+            left: 20,
+        }));
+        let b = s.add_node(Box::new(PingTimer { peer: a, left: 20 }));
+        s.inject(b, a, 0);
+        // One packet into the void: dispatched, counted as dead-node.
+        s.inject(a, NodeId(99), 7);
+        s.run_until(SimTime(1_000_000));
+        let st = s.stats();
+        assert!(st.packets_delivered > 0 && st.timers_fired > 0);
+        assert_eq!(st.packets_to_dead_node, 1);
+        assert_eq!(
+            st.packets_delivered + st.timers_fired + st.faults_applied + st.packets_to_dead_node,
+            st.events_fired,
+            "stats buckets must partition events_fired: {st:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Property tests for the simulator spine overhaul: the fused
+//! `pop_due`/`pop_run` queue primitives and the burst-draining
+//! `run_until` loop must reproduce the one-pop-per-step reference
+//! behavior exactly — same `(at, seq)` pop sequence, same node
+//! observations, same final `SimStats` — on random schedules with
+//! heavy same-timestamp bursts.
+
+use proptest::prelude::*;
+
+use netlock_sim::{
+    Context, EventQueue, LinkConfig, Node, NodeId, Packet, SimDuration, SimTime, Simulator,
+    Topology,
+};
+
+/// Push scripts with coarse timestamps so many events collide on the
+/// same instant (the case the burst drain exists for).
+fn bursty_script() -> impl Strategy<Value = Vec<(bool, u64)>> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            prop_oneof![
+                // Heavy collisions: a handful of distinct instants.
+                (0u64..8).prop_map(|k| k * 1_000),
+                // Mixed spread, still collision-prone after rounding.
+                (0u64..2_000).prop_map(|k| k * 512),
+                // Far future (overflow tier).
+                (0u64..40).prop_map(|k| k * 50_000_000),
+            ],
+        ),
+        1..400,
+    )
+}
+
+proptest! {
+    /// Draining through `pop_run` yields the exact `(at, seq)` sequence
+    /// of one-at-a-time `pop` calls, under interleaved monotone pushes.
+    #[test]
+    fn pop_run_equals_pop_sequence(script in bursty_script()) {
+        let mut a: EventQueue<u64> = EventQueue::new();
+        let mut b: EventQueue<u64> = EventQueue::new();
+        // Burst buffer for queue B, refilled one same-instant run at a
+        // time — the shape of the simulator's run loop.
+        let mut buf: Vec<(SimTime, u64, u64)> = Vec::new();
+        let mut next = 0usize;
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (push, delay) in script {
+            if push {
+                let at = SimTime(now + delay);
+                a.push(at, seq, seq);
+                b.push(at, seq, seq);
+                seq += 1;
+            } else {
+                let want = a.pop().map(|(at, s, _)| (at, s));
+                if next == buf.len() {
+                    buf.clear();
+                    next = 0;
+                    b.pop_run(SimTime(u64::MAX), &mut buf);
+                }
+                let got = if next < buf.len() {
+                    let (at, s, _) = buf[next];
+                    next += 1;
+                    Some((at, s))
+                } else {
+                    None
+                };
+                prop_assert_eq!(got, want);
+                if let Some((at, _)) = want {
+                    now = at.0;
+                }
+            }
+        }
+        // Drain the rest of both queues the same two ways.
+        loop {
+            let want = a.pop().map(|(at, s, _)| (at, s));
+            if next == buf.len() {
+                buf.clear();
+                next = 0;
+                b.pop_run(SimTime(u64::MAX), &mut buf);
+            }
+            let got = if next < buf.len() {
+                let (at, s, _) = buf[next];
+                next += 1;
+                Some((at, s))
+            } else {
+                None
+            };
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+        prop_assert!(b.is_empty());
+    }
+
+    /// `pop_due(deadline)` pops exactly when the reference
+    /// `peek_at() <= deadline` allows, and never loses an event.
+    #[test]
+    fn pop_due_equals_peek_then_pop(script in bursty_script()) {
+        let mut a: EventQueue<u64> = EventQueue::new();
+        let mut b: EventQueue<u64> = EventQueue::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (push, delay) in script {
+            if push {
+                let at = SimTime(now + delay);
+                a.push(at, seq, seq);
+                b.push(at, seq, seq);
+                seq += 1;
+            } else {
+                // A random-ish deadline derived from the script value.
+                let deadline = SimTime(now + (delay / 2));
+                let want = match a.peek_at() {
+                    Some(at) if at <= deadline => a.pop(),
+                    _ => None,
+                };
+                let got = b.pop_due(deadline);
+                prop_assert_eq!(got, want);
+                if let Some((at, _, _)) = want {
+                    now = at.0;
+                }
+            }
+        }
+        prop_assert_eq!(a.len(), b.len());
+    }
+}
+
+/// Fans out bursts: every receipt at payload `p > 0` sends `p % 3 + 1`
+/// copies of `p - 1` to the peer over equal-delay links, so whole
+/// generations land on the same instant; occasional zero-delay timers
+/// schedule more work *at the instant being drained*.
+struct BurstNode {
+    peer: NodeId,
+    log: Vec<(u64, u32)>,
+}
+
+impl Node<u32> for BurstNode {
+    fn on_packet(&mut self, pkt: Packet<u32>, ctx: &mut Context<'_, u32>) {
+        self.log.push((ctx.now().0, pkt.payload));
+        if pkt.payload > 0 {
+            for _ in 0..(pkt.payload % 3 + 1) {
+                ctx.send(self.peer, pkt.payload - 1);
+            }
+            if pkt.payload.is_multiple_of(4) {
+                ctx.set_timer(SimDuration(0), u64::from(pkt.payload));
+            }
+        }
+    }
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, u32>) {
+        self.log.push((ctx.now().0, 1_000_000 + token as u32));
+        if token > 2 {
+            ctx.set_timer(SimDuration(5), token / 2);
+        }
+    }
+}
+
+fn burst_sim(seed: u64, loss: f64, payloads: &[u32]) -> Simulator<u32> {
+    let mut topo = Topology::new(LinkConfig::with_delay(SimDuration(1_000)).with_loss(loss));
+    topo.set_default(LinkConfig::with_delay(SimDuration(1_000)).with_loss(loss));
+    let mut s: Simulator<u32> = Simulator::new(topo, seed);
+    let a = s.add_node(Box::new(BurstNode {
+        peer: NodeId(1),
+        log: vec![],
+    }));
+    let b = s.add_node(Box::new(BurstNode {
+        peer: a,
+        log: vec![],
+    }));
+    for &p in payloads {
+        // Same-instant injections to both nodes: the run starts on a
+        // multi-event burst.
+        s.inject(a, b, p);
+        s.inject(b, a, p);
+    }
+    s
+}
+
+fn logs(s: &mut Simulator<u32>) -> Vec<Vec<(u64, u32)>> {
+    (0..2u32)
+        .map(|i| s.read_node::<BurstNode, _>(NodeId(i), |n| n.log.clone()))
+        .collect()
+}
+
+proptest! {
+    /// The burst-draining `run_until` produces node observation logs
+    /// and final `SimStats` identical to the one-pop-per-step `step()`
+    /// reference loop on the same seeded workload.
+    #[test]
+    fn run_until_equals_step_loop(
+        seed in any::<u64>(),
+        loss_pct in 0u32..40,
+        payloads in prop::collection::vec(0u32..6, 1..6),
+    ) {
+        let loss = f64::from(loss_pct) / 100.0;
+        let mut fused = burst_sim(seed, loss, &payloads);
+        fused.run_until(SimTime(100_000_000));
+
+        let mut reference = burst_sim(seed, loss, &payloads);
+        while reference.step() {}
+
+        prop_assert_eq!(logs(&mut fused), logs(&mut reference));
+        prop_assert_eq!(fused.stats(), reference.stats());
+    }
+}

@@ -276,7 +276,7 @@ fn probes_for(state: ResidenceKind) -> Vec<(&'static str, NetLockMsg)> {
             "Push",
             NetLockMsg::Push {
                 lock,
-                reqs: Vec::new(),
+                reqs: Box::new([]),
             },
         ),
         (
@@ -297,14 +297,14 @@ fn probes_for(state: ResidenceKind) -> Vec<(&'static str, NetLockMsg)> {
             "CtrlPromoteReady",
             NetLockMsg::CtrlPromoteReady {
                 lock,
-                reqs: Vec::new(),
+                reqs: Box::new([]),
             },
         ),
         (
             "CtrlPromoteReady",
             NetLockMsg::CtrlPromoteReady {
                 lock,
-                reqs: vec![lock_req(lock, LockMode::Exclusive, 1, 504)],
+                reqs: Box::new([lock_req(lock, LockMode::Exclusive, 1, 504)]),
             },
         ),
         ("CtrlHandback", NetLockMsg::CtrlHandback { lock }),
@@ -314,7 +314,7 @@ fn probes_for(state: ResidenceKind) -> Vec<(&'static str, NetLockMsg)> {
             "Push",
             NetLockMsg::Push {
                 lock,
-                reqs: vec![lock_req(lock, LockMode::Shared, 0, 503)],
+                reqs: Box::new([lock_req(lock, LockMode::Shared, 0, 503)]),
             },
         ));
     }

@@ -567,7 +567,7 @@ impl DataPlane {
     /// Server pushes `reqs` from q2 into q1. A push with `reqs.len() <
     /// space` means q2 is (momentarily) empty; overflow mode ends when
     /// the forwarded/pushed counters agree, i.e. nothing is in flight.
-    fn on_push(&mut self, lock: LockId, reqs: Vec<LockRequest>, out: &mut ActionBuf) {
+    fn on_push(&mut self, lock: LockId, reqs: Box<[LockRequest]>, out: &mut ActionBuf) {
         self.stats.passes += 1;
         self.stats.pushes += 1;
         let Some(entry) = self.directory.get(lock) else {
@@ -637,7 +637,7 @@ impl DataPlane {
 
     /// The requests a promoted lock accumulated at its server arrive via
     /// CtrlPromoteReady and enter the fresh queue region in order.
-    fn on_promote_ready(&mut self, lock: LockId, reqs: Vec<LockRequest>, out: &mut ActionBuf) {
+    fn on_promote_ready(&mut self, lock: LockId, reqs: Box<[LockRequest]>, out: &mut ActionBuf) {
         self.stats.passes += 1;
         let Some(entry) = self.directory.get(lock) else {
             out.push(DpAction::Drop {
@@ -934,10 +934,10 @@ mod tests {
         let acts = dp.process_collect(
             NetLockMsg::Push {
                 lock: LockId(1),
-                reqs: vec![
+                reqs: Box::new([
                     req(1, LockMode::Exclusive, 3),
                     req(1, LockMode::Exclusive, 4),
-                ],
+                ]),
             },
             0,
         );
@@ -960,7 +960,7 @@ mod tests {
         let acts = dp.process_collect(
             NetLockMsg::Push {
                 lock: LockId(1),
-                reqs: vec![req(1, LockMode::Exclusive, 2)],
+                reqs: vec![req(1, LockMode::Exclusive, 2)].into(),
             },
             0,
         );
@@ -972,7 +972,7 @@ mod tests {
         let acts = dp.process_collect(
             NetLockMsg::Push {
                 lock: LockId(1),
-                reqs: vec![req(1, LockMode::Exclusive, 3)],
+                reqs: vec![req(1, LockMode::Exclusive, 3)].into(),
             },
             0,
         );
@@ -990,7 +990,7 @@ mod tests {
         let acts = dp.process_collect(
             NetLockMsg::Push {
                 lock: LockId(1),
-                reqs: vec![],
+                reqs: Box::new([]),
             },
             0,
         );

@@ -11,6 +11,13 @@
 #   - the fresh quick run's old_over_new < 0.9 at those depths (the
 #     quick run is short and shallow depths are noisy, so it gets a
 #     10% noise margin; a genuine regression lands far below it)
+#   - packet_bytes > 48            (the event slot grew — every queue
+#     move now copies more; mirrors the const assertion in
+#     crates/core/tests/packet_size.rs)
+#   - sim_events_per_sec < 0.6 × the committed baseline (whole-spine
+#     rate through the public Simulator API; generous margin because
+#     the quick run is short and machines differ — a real spine
+#     regression like a lost fast path lands well below 0.6)
 #
 # Absolute nanosecond numbers vary across machines; the 25% bound is a
 # smoke threshold to catch order-of-magnitude mistakes (an accidental
@@ -38,6 +45,18 @@ allocs = new["allocs_per_packet"]
 if allocs > 0:
     fail.append(f"allocs_per_packet = {allocs} (must be 0)")
 
+pkt = new.get("packet_bytes", 0)
+if pkt > 48:
+    fail.append(f"packet_bytes = {pkt} (event slot must stay <= 48)")
+
+eps_new = new.get("sim_events_per_sec", 0.0)
+eps_base = base.get("sim_events_per_sec", 0.0)
+if eps_base > 0 and eps_new < eps_base * 0.6:
+    fail.append(
+        f"sim_events_per_sec regressed: {eps_new/1e6:.1f}M vs baseline "
+        f"{eps_base/1e6:.1f}M (< 0.6x)"
+    )
+
 dp_new, dp_base = new["dataplane_ns_per_op"], base["dataplane_ns_per_op"]
 if dp_new > dp_base * 1.25:
     fail.append(
@@ -64,7 +83,9 @@ if fail:
         print(f"FAIL  {f}")
     sys.exit(1)
 print(
-    f"ok    allocs_per_packet=0  dataplane {dp_new:.1f}ns/op "
+    f"ok    allocs_per_packet=0  packet_bytes={pkt}  "
+    f"spine {eps_new/1e6:.1f}M ev/s (baseline {eps_base/1e6:.1f}M)  "
+    f"dataplane {dp_new:.1f}ns/op "
     f"(baseline {dp_base:.1f})  queue ratios "
     + " ".join(f"{p['old_over_new']:.2f}" for p in new["queue_churn"])
 )

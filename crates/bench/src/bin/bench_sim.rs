@@ -34,8 +34,11 @@ use netlock_sim::{
     Context, EventQueue, LinkConfig, Node, NodeId, Packet, SimDuration, SimTime, Simulator,
     Topology,
 };
+use netlock_switch::analysis::layout::TofinoBudget;
 use netlock_switch::control::{apply_allocation, knapsack_allocate, LockStats};
 use netlock_switch::shared_queue::SharedQueueLayout;
+use netlock_switch::txn::netlock::fcfs_enqueue_program;
+use netlock_switch::txn::LoweredTxn;
 use netlock_switch::{ActionBuf, DataPlane};
 
 #[global_allocator]
@@ -374,6 +377,43 @@ fn lock_table_point(rounds: usize) -> f64 {
     elapsed / rounds as f64
 }
 
+/// Steady-state churn through the lowered grant-path transaction
+/// (`switch::txn`): the declarative FCFS admission program, statically
+/// verified and compiled onto pipeline stages, replacing the
+/// hand-written enqueue. Returns `(ns_per_packet, allocs_per_packet)`;
+/// the latter must be exactly 0 — the lowered IR path is held to the
+/// same zero-allocation bar as `dataplane_point`.
+fn txn_point(rounds: usize) -> (f64, f64) {
+    let cap = 8u32;
+    let budget = TofinoBudget::tofino_single_direction();
+    let mut lowered =
+        LoweredTxn::compile(fcfs_enqueue_program(cap), &budget).expect("grant path verifies");
+    let mut actions = Vec::new();
+    let cycle = u64::from(cap) * 2; // fill, overflow, reset — all three verdicts
+    for i in 0..cycle * 2 {
+        actions.clear();
+        lowered.run(&[i % 2], &mut actions);
+        if (i + 1) % cycle == 0 {
+            lowered.cp_reset();
+        }
+    }
+    let allocs_before = allocation_count();
+    let t = Instant::now();
+    let mut acc = 0usize;
+    for i in 0..rounds as u64 {
+        actions.clear();
+        lowered.run(&[i % 2], &mut actions);
+        acc += actions.len();
+        if (i + 1) % cycle == 0 {
+            lowered.cp_reset();
+        }
+    }
+    let elapsed = t.elapsed().as_nanos() as f64;
+    let allocs = allocation_count() - allocs_before;
+    std::hint::black_box(acc);
+    (elapsed / rounds as f64, allocs as f64 / rounds as f64)
+}
+
 /// Times one end-to-end figure point and returns (label, millis).
 fn timed_ms(f: impl FnOnce()) -> f64 {
     let t = Instant::now();
@@ -419,8 +459,14 @@ fn main() {
     let allocs_per_packet = allocs_a.max(allocs_b);
     let lock_table_ns = lock_table_point(hot_rounds).min(lock_table_point(hot_rounds));
 
+    eprintln!("# lowered transaction hot path ...");
+    let (txn_a, txn_allocs_a) = txn_point(hot_rounds);
+    let (txn_b, txn_allocs_b) = txn_point(hot_rounds);
+    let txn_lowered_ns = txn_a.min(txn_b);
+    let txn_allocs_per_packet = txn_allocs_a.max(txn_allocs_b);
+
     let mut fields = vec![
-        ("schema", Json::str("netlock-bench-sim/3")),
+        ("schema", Json::str("netlock-bench-sim/4")),
         ("quick", Json::Bool(quick)),
         ("queue_churn", queue),
         ("sim_events_per_sec", Json::Num(sim_events_per_sec)),
@@ -431,6 +477,8 @@ fn main() {
         ("dataplane_ns_per_op", Json::Num(dataplane_ns)),
         ("lock_table_ns_per_op", Json::Num(lock_table_ns)),
         ("allocs_per_packet", Json::Num(allocs_per_packet)),
+        ("txn_lowered_ns_per_op", Json::Num(txn_lowered_ns)),
+        ("txn_allocs_per_packet", Json::Num(txn_allocs_per_packet)),
     ];
 
     if !quick {

@@ -101,6 +101,10 @@ pub struct ExplorationSummary {
     pub probes: usize,
     /// `message kind -> probes of that kind`.
     pub probes_by_kind: BTreeMap<&'static str, u64>,
+    /// `message kind -> deepest resubmit depth any probe of that kind
+    /// reached` (setup traffic excluded). This is what a feasibility
+    /// failure prints so the offender is named, not just detected.
+    pub max_resubmit_by_kind: BTreeMap<&'static str, u32>,
     /// Aggregate pass statistics over every checked trace.
     pub stats: TraceStats,
 }
@@ -359,6 +363,7 @@ pub fn explore(kind: EngineKind) -> Result<ExplorationSummary, ExplorationError>
         states: 0,
         probes: 0,
         probes_by_kind: BTreeMap::new(),
+        max_resubmit_by_kind: BTreeMap::new(),
         stats: TraceStats::default(),
     };
     let bound = fresh_dp(kind).layout().resubmit_bound();
@@ -385,6 +390,8 @@ pub fn explore(kind: EngineKind) -> Result<ExplorationSummary, ExplorationError>
             summary.stats.merge(&probe_stats);
             summary.probes += 1;
             *summary.probes_by_kind.entry(name).or_insert(0) += 1;
+            let deepest = summary.max_resubmit_by_kind.entry(name).or_insert(0);
+            *deepest = (*deepest).max(probe_stats.max_resubmit_depth);
         }
     }
     Ok(summary)

@@ -22,6 +22,14 @@
 //!   runs the real [`crate::dataplane::DataPlane::process`], and
 //!   asserts every resulting trace satisfies the discipline.
 
+//!
+//! The packet-transaction verifier ([`crate::txn::verify`]) reuses
+//! [`layout`] and [`trace::check_discipline`] as its ground truth, so
+//! the declarative IR and the hand-written engines are held to the same
+//! hardware model.
+
+#![deny(missing_docs)]
+
 pub mod explorer;
 pub mod layout;
 pub mod trace;

@@ -86,6 +86,8 @@ pub enum DisciplineViolation {
     DoubleAccess {
         /// Name of the offending array.
         name: &'static str,
+        /// Stage of the offending array.
+        stage: usize,
         /// The pass that accessed it twice.
         pass: PassId,
     },
@@ -102,6 +104,10 @@ pub enum DisciplineViolation {
     },
     /// A pass ran at a resubmit depth beyond the declared bound.
     ResubmitTooDeep {
+        /// Name of the array whose access revealed the over-deep pass.
+        name: &'static str,
+        /// Stage of that array.
+        stage: usize,
         /// The over-deep pass.
         pass: PassId,
         /// Its resubmit depth.
@@ -114,9 +120,10 @@ pub enum DisciplineViolation {
 impl fmt::Display for DisciplineViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DisciplineViolation::DoubleAccess { name, pass } => write!(
+            DisciplineViolation::DoubleAccess { name, stage, pass } => write!(
                 f,
-                "DoubleAccess: array '{name}' accessed twice in pass {pass:?}"
+                "DoubleAccess: array '{name}' (stage {stage}) accessed twice in \
+                 pass {pass:?}"
             ),
             DisciplineViolation::StageRegression {
                 name,
@@ -128,10 +135,16 @@ impl fmt::Display for DisciplineViolation {
                 "StageRegression: array '{name}' (stage {to_stage}) accessed after \
                  stage {from_stage} in pass {pass:?}"
             ),
-            DisciplineViolation::ResubmitTooDeep { pass, depth, bound } => write!(
+            DisciplineViolation::ResubmitTooDeep {
+                name,
+                stage,
+                pass,
+                depth,
+                bound,
+            } => write!(
                 f,
-                "ResubmitTooDeep: pass {pass:?} at resubmit depth {depth} exceeds \
-                 the declared bound {bound}"
+                "ResubmitTooDeep: array '{name}' (stage {stage}) accessed by pass \
+                 {pass:?} at resubmit depth {depth}, exceeding the declared bound {bound}"
             ),
         }
     }
@@ -187,6 +200,7 @@ pub fn check_discipline(
         if st.seen.contains(&r.array) {
             return Err(DisciplineViolation::DoubleAccess {
                 name: r.name,
+                stage: r.stage,
                 pass: r.pass,
             });
         }
@@ -200,6 +214,8 @@ pub fn check_discipline(
         }
         if r.resubmit_depth > resubmit_bound {
             return Err(DisciplineViolation::ResubmitTooDeep {
+                name: r.name,
+                stage: r.stage,
                 pass: r.pass,
                 depth: r.resubmit_depth,
                 bound: resubmit_bound,
@@ -294,6 +310,38 @@ mod tests {
         // is per-instance.
         let t = vec![rec(1, 2, 1, 0), rec(2, 2, 1, 0)];
         assert!(check_discipline(&t, 0).is_ok());
+    }
+
+    #[test]
+    fn violation_messages_name_array_and_stage() {
+        // Pinned format: every violation message must identify the
+        // offending array by name AND its stage index, so a failing
+        // feasibility test is diagnosable without a debugger.
+        let mut r = rec(1, 3, 7, 0);
+        r.name = "tail";
+        let double = check_discipline(&[r, r], 4).unwrap_err();
+        assert_eq!(
+            double.to_string(),
+            "DoubleAccess: array 'tail' (stage 3) accessed twice in pass PassId(7)"
+        );
+
+        let mut early = rec(2, 1, 7, 0);
+        early.name = "count";
+        let regress = check_discipline(&[r, early], 4).unwrap_err();
+        assert_eq!(
+            regress.to_string(),
+            "StageRegression: array 'count' (stage 1) accessed after stage 3 in \
+             pass PassId(7)"
+        );
+
+        let mut deep = rec(3, 2, 9, 6);
+        deep.name = "slots";
+        let too_deep = check_discipline(&[deep], 4).unwrap_err();
+        assert_eq!(
+            too_deep.to_string(),
+            "ResubmitTooDeep: array 'slots' (stage 2) accessed by pass PassId(9) \
+             at resubmit depth 6, exceeding the declared bound 4"
+        );
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //! - [`node`] — the simulation node gluing it to `netlock-sim`
 //! - [`analysis`] — static feasibility checking: access-trace recording,
 //!   the Tofino resource model, and the exhaustive path explorer
+//! - [`txn`] — the packet-transaction IR: declarative per-packet
+//!   programs, statically verified and lowered onto pipeline stages,
+//!   differential-tested against a reference interpreter
 
 #![warn(missing_docs)]
 
@@ -46,6 +49,7 @@ pub mod priority;
 pub mod register;
 pub mod shared_queue;
 pub mod slot;
+pub mod txn;
 
 pub use action_buf::{ActionBuf, ACTION_BUF_CAP};
 pub use dataplane::{DataPlane, DpAction, DpStats, DropReason, Engine};

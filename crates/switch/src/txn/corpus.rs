@@ -1,0 +1,487 @@
+//! Plain-text serialization of fuzzer findings for the regression
+//! corpus under `crates/switch/tests/corpus/`.
+//!
+//! The format is a line-per-item token stream, chosen so a finding can
+//! be pasted into a bug report and read without tooling:
+//!
+//! ```text
+//! # free-form comments
+//! txn recirc 1 fields 2 metas 4
+//! array cells 4 width 8 init 0
+//! step rmw 0 f0 add c1 export 0 old
+//! step guard ne m0 c0 compute 1 add m0 f1
+//! step emit 2 m1 f0
+//! step recirc
+//! packet 0 1
+//! expect ok
+//! ```
+//!
+//! Operands are `c<lit>` / `f<field>` / `m<meta>`; mnemonics are the
+//! same ones [`super::ir`] types print. `expect` records what the
+//! verifier must do: `ok`, or `reject <kind>` naming the rejection
+//! class. Array names are reconstituted from the fixed
+//! [`super::gen::array_name`] table, so serialize→parse round-trips
+//! generated programs exactly.
+
+use super::gen::{array_name, MAX_ARRAYS};
+use super::ir::{AluOp, ArrayDecl, BinOp, CmpOp, Export, Operand, Pred, Step, StepOp, TxnProgram};
+use super::verify::{TxnError, VerifyError};
+
+/// What the verifier is expected to do with a corpus program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CorpusExpect {
+    /// Verification succeeds; the differential check must hold on the
+    /// recorded packets.
+    Ok,
+    /// Verification fails with the given rejection class.
+    Reject(RejectKind),
+}
+
+/// The rejection classes a corpus entry can pin.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectKind {
+    /// [`VerifyError::ReadAfterWrite`]
+    ReadAfterWrite,
+    /// [`VerifyError::StageConflict`]
+    StageConflict,
+    /// [`VerifyError::RecirculationBound`]
+    RecirculationBound,
+    /// [`TxnError::Feasibility`]
+    Feasibility,
+    /// [`TxnError::Ir`]
+    Ir,
+}
+
+impl RejectKind {
+    /// The corpus-format token.
+    pub fn token(self) -> &'static str {
+        match self {
+            RejectKind::ReadAfterWrite => "read-after-write",
+            RejectKind::StageConflict => "stage-conflict",
+            RejectKind::RecirculationBound => "recirculation-bound",
+            RejectKind::Feasibility => "feasibility",
+            RejectKind::Ir => "ir",
+        }
+    }
+
+    /// Classify a verifier error.
+    pub fn of(err: &TxnError) -> RejectKind {
+        match err {
+            TxnError::Verify(VerifyError::ReadAfterWrite { .. }) => RejectKind::ReadAfterWrite,
+            TxnError::Verify(VerifyError::StageConflict { .. }) => RejectKind::StageConflict,
+            TxnError::Verify(VerifyError::RecirculationBound { .. }) => {
+                RejectKind::RecirculationBound
+            }
+            TxnError::Feasibility(_) => RejectKind::Feasibility,
+            TxnError::Ir(_) => RejectKind::Ir,
+            // The internal self-check never classifies; fold it into
+            // feasibility so a corpus entry could still pin it.
+            TxnError::Discipline(_) => RejectKind::Feasibility,
+        }
+    }
+
+    fn parse(tok: &str) -> Result<RejectKind, String> {
+        Ok(match tok {
+            "read-after-write" => RejectKind::ReadAfterWrite,
+            "stage-conflict" => RejectKind::StageConflict,
+            "recirculation-bound" => RejectKind::RecirculationBound,
+            "feasibility" => RejectKind::Feasibility,
+            "ir" => RejectKind::Ir,
+            other => return Err(format!("unknown reject kind '{other}'")),
+        })
+    }
+}
+
+/// One parsed corpus file: a program, its packets, and the expectation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CorpusEntry {
+    /// The program under test.
+    pub program: TxnProgram,
+    /// Packet field vectors to replay (may be empty for reject cases).
+    pub packets: Vec<Vec<u64>>,
+    /// The pinned verifier behavior.
+    pub expect: CorpusExpect,
+}
+
+/// Serialize a program + packets + expectation to corpus text.
+pub fn to_text(program: &TxnProgram, packets: &[Vec<u64>], expect: CorpusExpect) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "txn recirc {} fields {} metas {}",
+        program.max_recirculations, program.num_fields, program.num_metas
+    )
+    .unwrap();
+    for a in &program.arrays {
+        writeln!(
+            out,
+            "array cells {} width {} init {}",
+            a.cells, a.bytes_per_cell, a.init
+        )
+        .unwrap();
+    }
+    for step in &program.steps {
+        out.push_str("step ");
+        if let Some(g) = &step.guard {
+            write!(out, "guard {} {} {} ", g.op.mnemonic(), g.a, g.b).unwrap();
+        }
+        match &step.op {
+            StepOp::Rmw {
+                array,
+                index,
+                cond,
+                alu,
+                value,
+                export,
+            } => {
+                write!(out, "rmw {array} {index} {} {value}", alu.mnemonic()).unwrap();
+                if let Some((cmp, v)) = cond {
+                    write!(out, " cond {} {v}", cmp.mnemonic()).unwrap();
+                }
+                if let Some((m, e)) = export {
+                    let which = match e {
+                        Export::Old => "old",
+                        Export::New => "new",
+                    };
+                    write!(out, " export {m} {which}").unwrap();
+                }
+            }
+            StepOp::Compute { dst, op, a, b } => {
+                write!(out, "compute {dst} {} {a} {b}", op.mnemonic()).unwrap();
+            }
+            StepOp::Emit { kind, a, b } => {
+                write!(out, "emit {kind} {a} {b}").unwrap();
+            }
+            StepOp::Recirculate => out.push_str("recirc"),
+        }
+        out.push('\n');
+    }
+    for pkt in packets {
+        out.push_str("packet");
+        for v in pkt {
+            write!(out, " {v}").unwrap();
+        }
+        out.push('\n');
+    }
+    match expect {
+        CorpusExpect::Ok => out.push_str("expect ok\n"),
+        CorpusExpect::Reject(kind) => {
+            writeln!(out, "expect reject {}", kind.token()).unwrap();
+        }
+    }
+    out
+}
+
+struct Tokens<'a> {
+    toks: std::str::SplitWhitespace<'a>,
+    line: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn next(&mut self) -> Result<&'a str, String> {
+        self.toks
+            .next()
+            .ok_or_else(|| format!("line {}: unexpected end of line", self.line))
+    }
+
+    fn usize(&mut self) -> Result<usize, String> {
+        let t = self.next()?;
+        t.parse()
+            .map_err(|_| format!("line {}: expected integer, got '{t}'", self.line))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let t = self.next()?;
+        t.parse()
+            .map_err(|_| format!("line {}: expected integer, got '{t}'", self.line))
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), String> {
+        let t = self.next()?;
+        if t == kw {
+            Ok(())
+        } else {
+            Err(format!("line {}: expected '{kw}', got '{t}'", self.line))
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, String> {
+        let t = self.next()?;
+        let (tag, rest) = t.split_at(1);
+        let n: u64 = rest
+            .parse()
+            .map_err(|_| format!("line {}: bad operand '{t}'", self.line))?;
+        Ok(match tag {
+            "c" => Operand::Const(n),
+            "f" => Operand::Field(n as usize),
+            "m" => Operand::Meta(n as usize),
+            _ => return Err(format!("line {}: bad operand '{t}'", self.line)),
+        })
+    }
+
+    fn cmp(&mut self) -> Result<CmpOp, String> {
+        let t = self.next()?;
+        Ok(match t {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            _ => return Err(format!("line {}: unknown comparison '{t}'", self.line)),
+        })
+    }
+
+    fn alu(&mut self) -> Result<AluOp, String> {
+        let t = self.next()?;
+        Ok(match t {
+            "write" => AluOp::Write,
+            "add" => AluOp::Add,
+            "sub" => AluOp::Sub,
+            "max" => AluOp::Max,
+            "min" => AluOp::Min,
+            _ => return Err(format!("line {}: unknown ALU op '{t}'", self.line)),
+        })
+    }
+
+    fn binop(&mut self) -> Result<BinOp, String> {
+        let t = self.next()?;
+        Ok(match t {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "min" => BinOp::Min,
+            "max" => BinOp::Max,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            "xor" => BinOp::Xor,
+            "eq" => BinOp::Eq,
+            "ne" => BinOp::Ne,
+            "lt" => BinOp::Lt,
+            "mod" => BinOp::Mod,
+            _ => return Err(format!("line {}: unknown binop '{t}'", self.line)),
+        })
+    }
+}
+
+/// Parse corpus text into a [`CorpusEntry`].
+pub fn parse(text: &str) -> Result<CorpusEntry, String> {
+    let mut header: Option<(u32, usize, usize)> = None;
+    let mut arrays: Vec<ArrayDecl> = Vec::new();
+    let mut steps: Vec<Step> = Vec::new();
+    let mut packets: Vec<Vec<u64>> = Vec::new();
+    let mut expect: Option<CorpusExpect> = None;
+
+    for (li, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut t = Tokens {
+            toks: line.split_whitespace(),
+            line: li + 1,
+        };
+        match t.next()? {
+            "txn" => {
+                t.keyword("recirc")?;
+                let recirc = t.u64()? as u32;
+                t.keyword("fields")?;
+                let fields = t.usize()?;
+                t.keyword("metas")?;
+                let metas = t.usize()?;
+                header = Some((recirc, fields, metas));
+            }
+            "array" => {
+                if arrays.len() >= MAX_ARRAYS {
+                    return Err(format!(
+                        "line {}: too many arrays (max {MAX_ARRAYS})",
+                        li + 1
+                    ));
+                }
+                t.keyword("cells")?;
+                let cells = t.usize()?;
+                t.keyword("width")?;
+                let width = t.usize()?;
+                t.keyword("init")?;
+                let init = t.u64()?;
+                arrays.push(ArrayDecl {
+                    name: array_name(arrays.len()),
+                    cells,
+                    bytes_per_cell: width,
+                    init,
+                });
+            }
+            "step" => {
+                let mut kw = t.next()?;
+                let guard = if kw == "guard" {
+                    let g = Pred {
+                        op: t.cmp()?,
+                        a: t.operand()?,
+                        b: t.operand()?,
+                    };
+                    kw = t.next()?;
+                    Some(g)
+                } else {
+                    None
+                };
+                let op = match kw {
+                    "rmw" => {
+                        let array = t.usize()?;
+                        let index = t.operand()?;
+                        let alu = t.alu()?;
+                        let value = t.operand()?;
+                        let mut cond = None;
+                        let mut export = None;
+                        while let Ok(extra) = t.next() {
+                            match extra {
+                                "cond" => cond = Some((t.cmp()?, t.operand()?)),
+                                "export" => {
+                                    let m = t.usize()?;
+                                    let which = match t.next()? {
+                                        "old" => Export::Old,
+                                        "new" => Export::New,
+                                        o => {
+                                            return Err(format!(
+                                                "line {}: expected old|new, got '{o}'",
+                                                li + 1
+                                            ))
+                                        }
+                                    };
+                                    export = Some((m, which));
+                                }
+                                o => {
+                                    return Err(format!(
+                                        "line {}: unexpected token '{o}' in rmw",
+                                        li + 1
+                                    ))
+                                }
+                            }
+                        }
+                        StepOp::Rmw {
+                            array,
+                            index,
+                            cond,
+                            alu,
+                            value,
+                            export,
+                        }
+                    }
+                    "compute" => StepOp::Compute {
+                        dst: t.usize()?,
+                        op: t.binop()?,
+                        a: t.operand()?,
+                        b: t.operand()?,
+                    },
+                    "emit" => StepOp::Emit {
+                        kind: t.u64()?,
+                        a: t.operand()?,
+                        b: t.operand()?,
+                    },
+                    "recirc" => StepOp::Recirculate,
+                    o => return Err(format!("line {}: unknown step kind '{o}'", li + 1)),
+                };
+                steps.push(Step { guard, op });
+            }
+            "packet" => {
+                let mut pkt = Vec::new();
+                while let Ok(tok) = t.next() {
+                    pkt.push(
+                        tok.parse()
+                            .map_err(|_| format!("line {}: bad packet value '{tok}'", li + 1))?,
+                    );
+                }
+                packets.push(pkt);
+            }
+            "expect" => {
+                expect = Some(match t.next()? {
+                    "ok" => CorpusExpect::Ok,
+                    "reject" => CorpusExpect::Reject(RejectKind::parse(t.next()?)?),
+                    o => return Err(format!("line {}: expected ok|reject, got '{o}'", li + 1)),
+                });
+            }
+            o => return Err(format!("line {}: unknown directive '{o}'", li + 1)),
+        }
+    }
+
+    let (max_recirculations, num_fields, num_metas) = header.ok_or("missing 'txn' header line")?;
+    let expect = expect.ok_or("missing 'expect' line")?;
+    for (i, pkt) in packets.iter().enumerate() {
+        if pkt.len() != num_fields {
+            return Err(format!(
+                "packet {i} has {} fields, program declares {num_fields}",
+                pkt.len()
+            ));
+        }
+    }
+    Ok(CorpusEntry {
+        program: TxnProgram {
+            name: "corpus",
+            max_recirculations,
+            arrays,
+            num_fields,
+            num_metas,
+            steps,
+        },
+        packets,
+        expect,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gen;
+    use super::*;
+
+    #[test]
+    fn round_trips_generated_programs() {
+        for seed in 0..64u64 {
+            let mut p = gen::program(seed);
+            p.name = "corpus"; // parse() always names programs "corpus"
+            let pkts = gen::packets(seed, p.num_fields, 4);
+            let text = to_text(&p, &pkts, CorpusExpect::Ok);
+            let entry = parse(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(entry.program, p, "seed {seed}");
+            assert_eq!(entry.packets, pkts, "seed {seed}");
+            assert_eq!(entry.expect, CorpusExpect::Ok);
+        }
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_reject_expectations() {
+        let text = "\
+# a seeded-bad program
+txn recirc 0 fields 1 metas 2
+
+step rmw 0 c0 add c1
+expect reject ir
+";
+        let entry = parse(text).unwrap();
+        assert_eq!(entry.expect, CorpusExpect::Reject(RejectKind::Ir));
+        assert_eq!(entry.program.steps.len(), 1);
+        assert!(entry.program.arrays.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_line_numbers() {
+        assert!(parse("bogus\n").unwrap_err().contains("line 1"));
+        assert!(parse("txn recirc 0 fields 1 metas 1\nexpect maybe\n")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(parse("").unwrap_err().contains("txn"));
+        let arity = "txn recirc 0 fields 2 metas 1\npacket 1\nexpect ok\n";
+        assert!(parse(arity).unwrap_err().contains("fields"));
+    }
+
+    #[test]
+    fn reject_kind_classification_matches_tokens() {
+        for kind in [
+            RejectKind::ReadAfterWrite,
+            RejectKind::StageConflict,
+            RejectKind::RecirculationBound,
+            RejectKind::Feasibility,
+            RejectKind::Ir,
+        ] {
+            assert_eq!(RejectKind::parse(kind.token()), Ok(kind));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The one-shot reference interpreter.
+//!
+//! Executes a [`TxnProgram`] in plain program order over `Vec<u64>`
+//! register state, with no notion of pipeline stages, passes or the
+//! access discipline — [`StepOp::Recirculate`] is a no-op here. This is
+//! the *specification* semantics: what the transaction means. The
+//! lowered executor in [`super::exec`] must produce identical register
+//! state and identical emitted actions for every packet, which is
+//! exactly what the differential fuzzer asserts.
+
+use super::ir::{rmw_apply, StepOp, TxnAction, TxnProgram};
+
+/// Interpreter state: the register arrays plus a reusable metadata
+/// scratchpad.
+#[derive(Clone, Debug)]
+pub struct TxnInterpreter {
+    arrays: Vec<Vec<u64>>,
+    metas: Vec<u64>,
+}
+
+impl TxnInterpreter {
+    /// Fresh state for a program: every array at its declared init.
+    pub fn new(program: &TxnProgram) -> TxnInterpreter {
+        TxnInterpreter {
+            arrays: program
+                .arrays
+                .iter()
+                .map(|a| vec![a.init; a.cells])
+                .collect(),
+            metas: vec![0; program.num_metas],
+        }
+    }
+
+    /// Run one packet through the program, appending emitted actions to
+    /// `out`. `fields` must have length `program.num_fields`.
+    pub fn run(&mut self, program: &TxnProgram, fields: &[u64], out: &mut Vec<TxnAction>) {
+        debug_assert_eq!(fields.len(), program.num_fields);
+        self.metas.iter_mut().for_each(|m| *m = 0);
+        for step in &program.steps {
+            if let Some(g) = &step.guard {
+                if !g.holds(fields, &self.metas) {
+                    continue;
+                }
+            }
+            match step.op {
+                StepOp::Rmw {
+                    array,
+                    index,
+                    cond,
+                    alu,
+                    value,
+                    export,
+                } => {
+                    let arr = &mut self.arrays[array];
+                    let idx = index.eval(fields, &self.metas) as usize % arr.len();
+                    let cond = cond.map(|(c, v)| (c, v.eval(fields, &self.metas)));
+                    let v = value.eval(fields, &self.metas);
+                    let (old, new) = rmw_apply(arr[idx], cond, alu, v);
+                    arr[idx] = new;
+                    if let Some((m, which)) = export {
+                        self.metas[m] = match which {
+                            super::ir::Export::Old => old,
+                            super::ir::Export::New => new,
+                        };
+                    }
+                }
+                StepOp::Compute { dst, op, a, b } => {
+                    let r = op.apply(a.eval(fields, &self.metas), b.eval(fields, &self.metas));
+                    self.metas[dst] = r;
+                }
+                StepOp::Emit { kind, a, b } => out.push(TxnAction {
+                    kind,
+                    a: a.eval(fields, &self.metas),
+                    b: b.eval(fields, &self.metas),
+                }),
+                StepOp::Recirculate => {}
+            }
+        }
+    }
+
+    /// Snapshot every register array (for differential comparison).
+    pub fn dump(&self) -> Vec<Vec<u64>> {
+        self.arrays.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ir::{
+        AluOp, ArrayDecl, BinOp, CmpOp, Export, Operand, Pred, Step, StepOp, TxnProgram,
+    };
+    use super::*;
+
+    fn counter_program() -> TxnProgram {
+        // m0 = old counter; emit(1, m0, f0) when m0 < 2.
+        TxnProgram {
+            name: "counter",
+            max_recirculations: 0,
+            arrays: vec![ArrayDecl {
+                name: "r0",
+                cells: 2,
+                bytes_per_cell: 8,
+                init: 0,
+            }],
+            num_fields: 1,
+            num_metas: 2,
+            steps: vec![
+                Step::new(StepOp::Rmw {
+                    array: 0,
+                    index: Operand::Field(0),
+                    cond: None,
+                    alu: AluOp::Add,
+                    value: Operand::Const(1),
+                    export: Some((0, Export::Old)),
+                }),
+                Step::new(StepOp::Compute {
+                    dst: 1,
+                    op: BinOp::Lt,
+                    a: Operand::Meta(0),
+                    b: Operand::Const(2),
+                }),
+                Step::guarded(
+                    Pred {
+                        op: CmpOp::Ne,
+                        a: Operand::Meta(1),
+                        b: Operand::Const(0),
+                    },
+                    StepOp::Emit {
+                        kind: 1,
+                        a: Operand::Meta(0),
+                        b: Operand::Field(0),
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn interprets_counters_guards_and_emits() {
+        let p = counter_program();
+        let mut it = TxnInterpreter::new(&p);
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            it.run(&p, &[0], &mut out);
+        }
+        // Emits fire for old values 0 and 1, not 2.
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].kind, out[0].a), (1, 0));
+        assert_eq!((out[1].kind, out[1].a), (1, 1));
+        assert_eq!(it.dump(), vec![vec![3, 0]]);
+    }
+
+    #[test]
+    fn index_wraps_modulo_cells() {
+        let p = counter_program();
+        let mut it = TxnInterpreter::new(&p);
+        let mut out = Vec::new();
+        it.run(&p, &[5], &mut out); // 5 % 2 == 1
+        assert_eq!(it.dump(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn metas_reset_per_packet() {
+        let p = counter_program();
+        let mut it = TxnInterpreter::new(&p);
+        let mut out = Vec::new();
+        it.run(&p, &[0], &mut out);
+        it.run(&p, &[1], &mut out);
+        // Second packet's export (old=0 at cell 1) must not see the
+        // first packet's m0.
+        assert_eq!(out[1].a, 0);
+    }
+}

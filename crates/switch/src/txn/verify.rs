@@ -1,0 +1,735 @@
+//! Static lowering verifier: def-use analysis, stage assignment, and
+//! Tofino feasibility for [`TxnProgram`]s.
+//!
+//! [`verify`] walks the program in order, building the def-use graph
+//! implicitly as *readiness stages*: a packet field is ready at stage 0,
+//! a metadata slot becomes ready at the stage where it is defined (one
+//! stage after a stateful export — Tofino's stateful ALU result reaches
+//! the PHV in the next stage; same-stage for stateless computes, which
+//! the compiler replicates freely). Each stateful step is assigned the
+//! earliest stage satisfying:
+//!
+//! 1. **Single access per array per pass** — a second RMW of an array
+//!    within one pass is rejected ([`VerifyError::ReadAfterWrite`]): the
+//!    hardware would need a recirculation the program did not declare.
+//! 2. **Ascending stage order** — an array's stage is fixed at its
+//!    first access; a later access whose operands are not ready by that
+//!    stage is rejected ([`VerifyError::StageConflict`]), because the
+//!    pipeline cannot revisit an earlier stage.
+//! 3. **Bounded recirculation** — the static
+//!    [`super::ir::StepOp::Recirculate`] count must not exceed the
+//!    program's declared `max_recirculations`
+//!    ([`VerifyError::RecirculationBound`]).
+//!
+//! The accepted assignment is then validated twice against the existing
+//! analysis machinery as ground truth: a synthetic access trace through
+//! [`check_discipline`] (the same checker the exhaustive explorer
+//! uses), and a lowered [`ProgramLayout`] checked against a
+//! [`TofinoBudget`] (stage count, per-stage SRAM, resubmit bound). The
+//! result is a [`VerifiedTxn`], which the stage-by-stage executor in
+//! [`super::exec`] runs and whose [`VerifiedTxn::stage_map`] renders
+//! the human-readable stage-map report.
+
+use std::fmt;
+
+use crate::analysis::layout::{ArrayDescriptor, FeasibilityError, ProgramLayout, TofinoBudget};
+use crate::analysis::trace::{check_discipline, AccessRecord, DisciplineViolation};
+use crate::register::{ArrayId, PassId};
+
+use super::ir::{IrError, Operand, StepOp, TxnProgram};
+
+/// A stage-assignment rejection from the verifier proper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// An array is accessed twice within one pass: the read of the
+    /// second access would observe the write of the first inside a
+    /// single stage, which the hardware cannot do — it needs a
+    /// recirculation.
+    ReadAfterWrite {
+        /// Name of the twice-accessed array.
+        array: &'static str,
+        /// The pass (0-based; pass `n` runs at resubmit depth `n`).
+        pass: u32,
+        /// The offending step index.
+        step: usize,
+    },
+    /// An array whose stage was fixed by an earlier access is accessed
+    /// again with operands that only become ready at a later stage; the
+    /// pipeline cannot go backwards to reach it.
+    StageConflict {
+        /// Name of the conflicted array.
+        array: &'static str,
+        /// The offending step index.
+        step: usize,
+        /// The array's fixed stage.
+        fixed_stage: usize,
+        /// The earliest stage the access's operands allow.
+        required_stage: usize,
+    },
+    /// The program performs more recirculations than it declares.
+    RecirculationBound {
+        /// Static recirculate-step count.
+        used: u32,
+        /// The program's declared `max_recirculations`.
+        declared: u32,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::ReadAfterWrite { array, pass, step } => write!(
+                f,
+                "ReadAfterWrite: array '{array}' accessed twice in pass {pass} \
+                 (step {step}); a second stateful access needs a recirculation"
+            ),
+            VerifyError::StageConflict {
+                array,
+                step,
+                fixed_stage,
+                required_stage,
+            } => write!(
+                f,
+                "StageConflict: array '{array}' is fixed at stage {fixed_stage} but \
+                 step {step} needs it at stage {required_stage} or later"
+            ),
+            VerifyError::RecirculationBound { used, declared } => write!(
+                f,
+                "RecirculationBound: program recirculates {used} times but declares \
+                 at most {declared}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Any way a program can fail verification or lowering.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TxnError {
+    /// Structurally ill-formed IR.
+    Ir(IrError),
+    /// Stage assignment rejected the program.
+    Verify(VerifyError),
+    /// The accepted assignment failed the ground-truth trace check —
+    /// an internal inconsistency between the verifier and
+    /// [`check_discipline`]; never expected to surface.
+    Discipline(DisciplineViolation),
+    /// The lowered layout does not fit the Tofino budget.
+    Feasibility(FeasibilityError),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Ir(e) => write!(f, "ir: {e}"),
+            TxnError::Verify(e) => write!(f, "verify: {e}"),
+            TxnError::Discipline(e) => write!(f, "discipline (internal): {e}"),
+            TxnError::Feasibility(e) => write!(f, "feasibility: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<IrError> for TxnError {
+    fn from(e: IrError) -> TxnError {
+        TxnError::Ir(e)
+    }
+}
+
+impl From<VerifyError> for TxnError {
+    fn from(e: VerifyError) -> TxnError {
+        TxnError::Verify(e)
+    }
+}
+
+/// Where one step landed: which pass, and which stage within it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StepPlace {
+    /// Pass index (0 = original traversal; `n` = resubmit depth `n`).
+    pub pass: u32,
+    /// Assigned pipeline stage within the pass.
+    pub stage: usize,
+}
+
+/// A verified, stage-assigned, budget-checked transaction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifiedTxn {
+    program: TxnProgram,
+    /// Stage per program array; `None` if the program never accesses it.
+    array_stages: Vec<Option<usize>>,
+    step_places: Vec<StepPlace>,
+    layout: ProgramLayout,
+}
+
+impl VerifiedTxn {
+    /// The verified program.
+    pub fn program(&self) -> &TxnProgram {
+        &self.program
+    }
+
+    /// The stage assigned to array `i` (`None` = never accessed).
+    pub fn array_stage(&self, i: usize) -> Option<usize> {
+        self.array_stages[i]
+    }
+
+    /// Pass/stage placement of every step, in program order.
+    pub fn step_places(&self) -> &[StepPlace] {
+        &self.step_places
+    }
+
+    /// Pipeline passes per packet (1 + recirculations).
+    pub fn passes(&self) -> u32 {
+        self.program.recirculations() + 1
+    }
+
+    /// The lowered resource layout (feeds the existing
+    /// [`crate::analysis::layout::ResourceReport`] machinery).
+    pub fn layout(&self) -> &ProgramLayout {
+        &self.layout
+    }
+
+    /// The human-readable stage-map report.
+    pub fn stage_map(&self) -> StageMap<'_> {
+        StageMap { txn: self }
+    }
+}
+
+/// Renderable stage map: every step at its assigned pass and stage,
+/// with array placements. Rendered via `Display`.
+#[derive(Clone, Copy, Debug)]
+pub struct StageMap<'a> {
+    txn: &'a VerifiedTxn,
+}
+
+impl fmt::Display for StageMap<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.txn;
+        let p = &t.program;
+        writeln!(
+            f,
+            "stage map: txn '{}', {} arrays over {} stages, {} pass(es), {} B SRAM",
+            p.name,
+            p.arrays.len(),
+            t.layout.occupied_stages(),
+            t.passes(),
+            t.layout.total_bytes(),
+        )?;
+        for (i, a) in p.arrays.iter().enumerate() {
+            match t.array_stages[i] {
+                Some(s) => writeln!(
+                    f,
+                    "  array a{i} '{}': stage {s}, {} x {} B",
+                    a.name, a.cells, a.bytes_per_cell
+                )?,
+                None => writeln!(f, "  array a{i} '{}': never accessed", a.name)?,
+            }
+        }
+        let mut pass = u32::MAX;
+        for (si, step) in p.steps.iter().enumerate() {
+            let place = t.step_places[si];
+            if place.pass != pass {
+                pass = place.pass;
+                writeln!(f, "pass {pass} (resubmit depth {pass}):")?;
+            }
+            writeln!(f, "  stage {:>2}  {}", place.stage, step)?;
+        }
+        Ok(())
+    }
+}
+
+/// Verify a program and lower it against a budget.
+///
+/// Runs, in order: IR validation, recirculation-bound check, def-use
+/// stage assignment (rejecting [`VerifyError::ReadAfterWrite`] and
+/// [`VerifyError::StageConflict`]), the synthetic-trace ground-truth
+/// check through [`check_discipline`], and the [`ProgramLayout`] budget
+/// check. Returns the full assignment on success.
+pub fn verify(program: TxnProgram, budget: &TofinoBudget) -> Result<VerifiedTxn, TxnError> {
+    program.validate()?;
+    let used = program.recirculations();
+    if used > program.max_recirculations {
+        return Err(VerifyError::RecirculationBound {
+            used,
+            declared: program.max_recirculations,
+        }
+        .into());
+    }
+
+    let mut array_stages: Vec<Option<usize>> = vec![None; program.arrays.len()];
+    let mut meta_ready: Vec<usize> = vec![0; program.num_metas];
+    let mut accessed: Vec<bool> = vec![false; program.arrays.len()];
+    let mut step_places: Vec<StepPlace> = Vec::with_capacity(program.steps.len());
+    let mut pass: u32 = 0;
+    let mut cursor: usize = 0;
+
+    let ready = |op: Operand, meta_ready: &[usize]| -> usize {
+        match op {
+            Operand::Const(_) | Operand::Field(_) => 0,
+            Operand::Meta(m) => meta_ready[m],
+        }
+    };
+
+    for (si, step) in program.steps.iter().enumerate() {
+        let guard_ready = step
+            .guard
+            .map_or(0, |g| ready(g.a, &meta_ready).max(ready(g.b, &meta_ready)));
+        match step.op {
+            StepOp::Rmw {
+                array,
+                index,
+                cond,
+                value,
+                export,
+                ..
+            } => {
+                if accessed[array] {
+                    return Err(VerifyError::ReadAfterWrite {
+                        array: program.arrays[array].name,
+                        pass,
+                        step: si,
+                    }
+                    .into());
+                }
+                let mut required = cursor
+                    .max(guard_ready)
+                    .max(ready(index, &meta_ready))
+                    .max(ready(value, &meta_ready));
+                if let Some((_, v)) = cond {
+                    required = required.max(ready(v, &meta_ready));
+                }
+                let stage = match array_stages[array] {
+                    None => {
+                        array_stages[array] = Some(required);
+                        required
+                    }
+                    Some(fixed) => {
+                        if fixed < required {
+                            return Err(VerifyError::StageConflict {
+                                array: program.arrays[array].name,
+                                step: si,
+                                fixed_stage: fixed,
+                                required_stage: required,
+                            }
+                            .into());
+                        }
+                        fixed
+                    }
+                };
+                accessed[array] = true;
+                cursor = stage;
+                if let Some((m, _)) = export {
+                    // Stateful-ALU exports land in the PHV for the
+                    // *next* stage.
+                    meta_ready[m] = stage + 1;
+                }
+                step_places.push(StepPlace { pass, stage });
+            }
+            StepOp::Compute { dst, a, b, .. } => {
+                let cs = guard_ready
+                    .max(ready(a, &meta_ready))
+                    .max(ready(b, &meta_ready));
+                meta_ready[dst] = cs;
+                step_places.push(StepPlace { pass, stage: cs });
+            }
+            StepOp::Emit { a, b, .. } => {
+                let es = guard_ready
+                    .max(ready(a, &meta_ready))
+                    .max(ready(b, &meta_ready));
+                step_places.push(StepPlace { pass, stage: es });
+            }
+            StepOp::Recirculate => {
+                step_places.push(StepPlace {
+                    pass,
+                    stage: cursor,
+                });
+                pass += 1;
+                cursor = 0;
+                accessed.iter_mut().for_each(|a| *a = false);
+                meta_ready.iter_mut().for_each(|m| *m = 0);
+            }
+        }
+    }
+
+    // Ground truth 1: replay the assignment as a synthetic access trace
+    // through the same checker the exhaustive explorer trusts. Every
+    // guard is assumed true (the worst case: a skipped access can only
+    // relax the discipline, never tighten it).
+    let mut records: Vec<AccessRecord> = Vec::new();
+    for (si, step) in program.steps.iter().enumerate() {
+        if let StepOp::Rmw { array, .. } = step.op {
+            let place = step_places[si];
+            records.push(AccessRecord {
+                array: ArrayId(array as u32),
+                name: program.arrays[array].name,
+                stage: place.stage,
+                index: 0,
+                pass: PassId(u64::from(place.pass) + 1),
+                resubmit_depth: place.pass,
+            });
+        }
+    }
+    check_discipline(&records, program.max_recirculations).map_err(TxnError::Discipline)?;
+
+    // Ground truth 2: lower into the existing resource model and check
+    // the Tofino budget.
+    let mut layout = ProgramLayout::new();
+    for (i, a) in program.arrays.iter().enumerate() {
+        if let Some(stage) = array_stages[i] {
+            layout.register(ArrayDescriptor {
+                name: a.name,
+                stage,
+                cells: a.cells,
+                bytes_per_cell: a.bytes_per_cell,
+            });
+        }
+    }
+    layout.declare_resubmit_bound(program.max_recirculations);
+    layout.check(budget).map_err(TxnError::Feasibility)?;
+
+    Ok(VerifiedTxn {
+        program,
+        array_stages,
+        step_places,
+        layout,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ir::{AluOp, ArrayDecl, BinOp, CmpOp, Export, Operand, Pred, Step, StepOp};
+    use super::*;
+
+    fn arr(name: &'static str, cells: usize) -> ArrayDecl {
+        ArrayDecl {
+            name,
+            cells,
+            bytes_per_cell: 4,
+            init: 0,
+        }
+    }
+
+    fn rmw(array: usize) -> Step {
+        Step::new(StepOp::Rmw {
+            array,
+            index: Operand::Const(0),
+            cond: None,
+            alu: AluOp::Add,
+            value: Operand::Const(1),
+            export: None,
+        })
+    }
+
+    fn budget() -> TofinoBudget {
+        TofinoBudget::tofino_single_direction()
+    }
+
+    /// Seeded-bad program 1: read-after-write of one array in one pass.
+    #[test]
+    fn raw_in_stage_is_rejected() {
+        let p = TxnProgram {
+            name: "raw",
+            max_recirculations: 0,
+            arrays: vec![arr("dup", 2)],
+            num_fields: 1,
+            num_metas: 1,
+            steps: vec![rmw(0), rmw(0)],
+        };
+        let err = verify(p, &budget()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TxnError::Verify(VerifyError::ReadAfterWrite {
+                    array: "dup",
+                    pass: 0,
+                    step: 1
+                })
+            ),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("ReadAfterWrite"), "{err}");
+    }
+
+    /// Seeded-bad program 2: per-stage SRAM budget overflow.
+    #[test]
+    fn sram_budget_overflow_is_rejected() {
+        let b = budget();
+        let p = TxnProgram {
+            name: "hog",
+            max_recirculations: 0,
+            arrays: vec![ArrayDecl {
+                name: "hog",
+                cells: b.sram_per_stage_bytes + 1,
+                bytes_per_cell: 1,
+                init: 0,
+            }],
+            num_fields: 1,
+            num_metas: 1,
+            steps: vec![rmw(0)],
+        };
+        let err = verify(p, &b).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TxnError::Feasibility(FeasibilityError::SramBudgetExceeded { stage: 0, .. })
+            ),
+            "got {err}"
+        );
+    }
+
+    /// Seeded-bad program 3: more recirculations than declared.
+    #[test]
+    fn recirculation_bound_violation_is_rejected() {
+        let p = TxnProgram {
+            name: "spin",
+            max_recirculations: 1,
+            arrays: vec![arr("a", 1), arr("b", 1)],
+            num_fields: 1,
+            num_metas: 1,
+            steps: vec![
+                rmw(0),
+                Step::new(StepOp::Recirculate),
+                rmw(1),
+                Step::new(StepOp::Recirculate),
+                rmw(0),
+            ],
+        };
+        let err = verify(p, &budget()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TxnError::Verify(VerifyError::RecirculationBound {
+                    used: 2,
+                    declared: 1
+                })
+            ),
+            "got {err}"
+        );
+    }
+
+    /// Seeded-bad program 4: a fixed-stage array needed later than its
+    /// stage allows in a second pass.
+    #[test]
+    fn cross_pass_stage_conflict_is_rejected() {
+        let p = TxnProgram {
+            name: "conflict",
+            max_recirculations: 1,
+            arrays: vec![arr("early", 1), arr("feed", 1)],
+            num_fields: 1,
+            num_metas: 1,
+            steps: vec![
+                // Pass 0: 'early' fixed at stage 0.
+                rmw(0),
+                Step::new(StepOp::Recirculate),
+                // Pass 1: 'feed' at stage 0 exports m0 (ready stage 1);
+                // then 'early' needs m0 => required stage 1 > fixed 0.
+                Step::new(StepOp::Rmw {
+                    array: 1,
+                    index: Operand::Const(0),
+                    cond: None,
+                    alu: AluOp::Add,
+                    value: Operand::Const(1),
+                    export: Some((0, Export::Old)),
+                }),
+                Step::new(StepOp::Rmw {
+                    array: 0,
+                    index: Operand::Const(0),
+                    cond: None,
+                    alu: AluOp::Add,
+                    value: Operand::Meta(0),
+                    export: None,
+                }),
+            ],
+        };
+        let err = verify(p, &budget()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TxnError::Verify(VerifyError::StageConflict {
+                    array: "early",
+                    fixed_stage: 0,
+                    required_stage: 1,
+                    ..
+                })
+            ),
+            "got {err}"
+        );
+    }
+
+    /// Stage-count overflow: a dependency chain longer than the budget's
+    /// stages, each link forced one stage later by a stateful export.
+    #[test]
+    fn stage_budget_overflow_is_rejected() {
+        let b = budget();
+        let n = b.stages + 1;
+        let names: &[&'static str] = &[
+            "c00", "c01", "c02", "c03", "c04", "c05", "c06", "c07", "c08", "c09", "c10", "c11",
+            "c12", "c13", "c14", "c15",
+        ];
+        assert!(n <= names.len(), "test assumes a small budget");
+        let arrays: Vec<ArrayDecl> = (0..n).map(|i| arr(names[i], 1)).collect();
+        let steps: Vec<Step> = (0..n)
+            .map(|i| {
+                Step::new(StepOp::Rmw {
+                    array: i,
+                    index: Operand::Const(0),
+                    cond: None,
+                    alu: AluOp::Add,
+                    value: if i == 0 {
+                        Operand::Const(1)
+                    } else {
+                        Operand::Meta(0)
+                    },
+                    export: Some((0, Export::Old)),
+                })
+            })
+            .collect();
+        let p = TxnProgram {
+            name: "chain",
+            max_recirculations: 0,
+            arrays,
+            num_fields: 1,
+            num_metas: 1,
+            steps,
+        };
+        let err = verify(p, &b).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TxnError::Feasibility(FeasibilityError::StageBudgetExceeded { .. })
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn recirculation_resets_access_and_readiness() {
+        let p = TxnProgram {
+            name: "two-pass",
+            max_recirculations: 1,
+            arrays: vec![arr("a", 1)],
+            num_fields: 1,
+            num_metas: 1,
+            steps: vec![rmw(0), Step::new(StepOp::Recirculate), rmw(0)],
+        };
+        let v = verify(p, &budget()).expect("re-access after recirc is legal");
+        assert_eq!(v.passes(), 2);
+        assert_eq!(v.step_places()[0], StepPlace { pass: 0, stage: 0 });
+        assert_eq!(v.step_places()[2], StepPlace { pass: 1, stage: 0 });
+    }
+
+    #[test]
+    fn export_pushes_consumers_one_stage_later() {
+        let p = TxnProgram {
+            name: "dep",
+            max_recirculations: 0,
+            arrays: vec![arr("src", 1), arr("dst", 1)],
+            num_fields: 1,
+            num_metas: 2,
+            steps: vec![
+                Step::new(StepOp::Rmw {
+                    array: 0,
+                    index: Operand::Const(0),
+                    cond: None,
+                    alu: AluOp::Add,
+                    value: Operand::Const(1),
+                    export: Some((0, Export::Old)),
+                }),
+                // Stateless combine at the export's ready stage.
+                Step::new(StepOp::Compute {
+                    dst: 1,
+                    op: BinOp::Add,
+                    a: Operand::Meta(0),
+                    b: Operand::Const(1),
+                }),
+                Step::new(StepOp::Rmw {
+                    array: 1,
+                    index: Operand::Const(0),
+                    cond: None,
+                    alu: AluOp::Write,
+                    value: Operand::Meta(1),
+                    export: None,
+                }),
+            ],
+        };
+        let v = verify(p, &budget()).unwrap();
+        assert_eq!(v.array_stage(0), Some(0));
+        assert_eq!(v.array_stage(1), Some(1), "consumer lands one stage later");
+        assert_eq!(v.layout().occupied_stages(), 2);
+    }
+
+    #[test]
+    fn guard_operands_constrain_stage() {
+        let p = TxnProgram {
+            name: "guarded",
+            max_recirculations: 0,
+            arrays: vec![arr("src", 1), arr("dst", 1)],
+            num_fields: 1,
+            num_metas: 1,
+            steps: vec![
+                Step::new(StepOp::Rmw {
+                    array: 0,
+                    index: Operand::Const(0),
+                    cond: None,
+                    alu: AluOp::Add,
+                    value: Operand::Const(1),
+                    export: Some((0, Export::New)),
+                }),
+                Step::guarded(
+                    Pred {
+                        op: CmpOp::Ne,
+                        a: Operand::Meta(0),
+                        b: Operand::Const(0),
+                    },
+                    StepOp::Rmw {
+                        array: 1,
+                        index: Operand::Const(0),
+                        cond: None,
+                        alu: AluOp::Add,
+                        value: Operand::Const(1),
+                        export: None,
+                    },
+                ),
+            ],
+        };
+        let v = verify(p, &budget()).unwrap();
+        assert_eq!(v.array_stage(1), Some(1), "guard forces the later stage");
+    }
+
+    #[test]
+    fn stage_map_report_names_passes_stages_and_arrays() {
+        let p = TxnProgram {
+            name: "mapped",
+            max_recirculations: 1,
+            arrays: vec![arr("alpha", 2), arr("beta", 2), arr("unused", 2)],
+            num_fields: 1,
+            num_metas: 1,
+            steps: vec![rmw(0), Step::new(StepOp::Recirculate), rmw(1)],
+        };
+        let v = verify(p, &budget()).unwrap();
+        let map = v.stage_map().to_string();
+        assert!(map.contains("txn 'mapped'"), "{map}");
+        assert!(map.contains("array a0 'alpha': stage 0"), "{map}");
+        assert!(map.contains("array a2 'unused': never accessed"), "{map}");
+        assert!(map.contains("pass 0 (resubmit depth 0):"), "{map}");
+        assert!(map.contains("pass 1 (resubmit depth 1):"), "{map}");
+        assert!(map.contains("recirculate"), "{map}");
+    }
+
+    #[test]
+    fn ir_errors_surface_as_txn_errors() {
+        let p = TxnProgram {
+            name: "bad-ir",
+            max_recirculations: 0,
+            arrays: vec![],
+            num_fields: 0,
+            num_metas: 0,
+            steps: vec![rmw(0)],
+        };
+        assert!(matches!(
+            verify(p, &budget()),
+            Err(TxnError::Ir(IrError::ArrayOutOfRange { .. }))
+        ));
+    }
+}

@@ -70,11 +70,32 @@ fn observed_resubmit_depth_stays_under_declared_bound() {
         }
         .layout()
         .resubmit_bound();
+        // Per-message-kind check: when this fails, the diagnostic names
+        // *which* NetLockMsg kind blew the budget, not just that one did.
+        for (msg_kind, &depth) in &summary.max_resubmit_by_kind {
+            assert!(
+                depth <= declared,
+                "{kind:?}: {msg_kind} probe reached resubmit depth {depth}, \
+                 exceeding declared bound {declared}",
+            );
+        }
         assert!(
             summary.stats.max_resubmit_depth <= declared,
             "{kind:?}: observed resubmit depth {} exceeds declared bound {declared}",
             summary.stats.max_resubmit_depth,
         );
+        // The per-kind map must cover every probed kind, and no probe can
+        // exceed the aggregate (which also folds in setup traffic).
+        for kind_name in summary.probes_by_kind.keys() {
+            assert!(summary.max_resubmit_by_kind.contains_key(kind_name));
+        }
+        let per_kind_max = summary
+            .max_resubmit_by_kind
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        assert!(per_kind_max <= summary.stats.max_resubmit_depth);
     }
 }
 

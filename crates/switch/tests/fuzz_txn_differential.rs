@@ -1,0 +1,140 @@
+//! Differential fuzzing of the transaction lowering ("Testing
+//! Compilers for Programmable Switches", PAPERS.md).
+//!
+//! Each case draws a seeded random `TxnProgram` plus a packet sequence,
+//! compiles the program through the static verifier, and — when the
+//! verifier accepts — runs every packet through both the lowered
+//! stage-by-stage executor and the one-shot reference interpreter,
+//! asserting identical emitted actions and identical final register
+//! state. The lowered run also records its real access trace and
+//! replays it through `check_discipline`, so the verifier's *static*
+//! stage assignment is checked against the *runtime* ground truth on
+//! every accepted program. Rejected programs must be rejected
+//! deterministically with a stable classification.
+//!
+//! Case count defaults to 256 (CI's fuzz-smoke budget); set
+//! `TXN_FUZZ_CASES` to run more (the acceptance sweep uses 10000).
+
+use netlock_switch::analysis::layout::TofinoBudget;
+use netlock_switch::analysis::trace::{check_discipline, new_sink};
+use netlock_switch::txn::corpus::RejectKind;
+use netlock_switch::txn::{gen, verify, LoweredTxn, TxnError, TxnInterpreter};
+use proptest::prelude::*;
+
+fn cases() -> u32 {
+    std::env::var("TXN_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Run one differential case. Returns whether the program verified.
+fn differential(seed: u64) -> bool {
+    let program = gen::program(seed);
+    let budget = TofinoBudget::tofino_single_direction();
+    let mut lowered = match LoweredTxn::compile(program.clone(), &budget) {
+        Err(err) => {
+            assert!(
+                !matches!(err, TxnError::Discipline(_)),
+                "seed {seed}: verifier accepted a stage assignment its own \
+                 ground-truth check rejects: {err}"
+            );
+            // Rejection must be deterministic and stably classified.
+            let again = verify(program, &budget).expect_err("rejection must be deterministic");
+            assert_eq!(
+                RejectKind::of(&err),
+                RejectKind::of(&again),
+                "seed {seed}: unstable rejection class"
+            );
+            return false;
+        }
+        Ok(lowered) => lowered,
+    };
+
+    let sink = new_sink();
+    lowered.set_trace_sink(Some(sink.clone()));
+    let mut interp = TxnInterpreter::new(&program);
+    let packets = gen::packets(seed, program.num_fields, 16);
+    let (mut got, mut want) = (Vec::new(), Vec::new());
+    for packet in &packets {
+        got.clear();
+        want.clear();
+        lowered.run(packet, &mut got);
+        interp.run(&program, packet, &mut want);
+        assert_eq!(
+            got, want,
+            "seed {seed}: action divergence on packet {packet:?}\nprogram: {program:?}"
+        );
+    }
+    assert_eq!(
+        lowered.dump(),
+        interp.dump(),
+        "seed {seed}: register-state divergence\nprogram: {program:?}"
+    );
+
+    // Runtime ground truth: the trace the lowered execution actually
+    // produced satisfies the hardware discipline the verifier promised.
+    let records = sink.borrow_mut().take();
+    check_discipline(&records, program.max_recirculations)
+        .unwrap_or_else(|v| panic!("seed {seed}: runtime trace violates discipline: {v}"));
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// The lowered executor and the reference interpreter agree on
+    /// every accepted random program.
+    #[test]
+    fn lowered_executor_matches_interpreter(seed in any::<u64>()) {
+        differential(seed);
+    }
+}
+
+/// A fixed-seed sweep pinning the generator's accept/reject mix: most
+/// programs must verify (the differential check actually exercises the
+/// executor) while rejection paths stay represented.
+#[test]
+fn fixed_seed_sweep_covers_accept_and_reject() {
+    let mut verified = 0u32;
+    let mut rejected = 0u32;
+    for seed in 0..512 {
+        if differential(seed) {
+            verified += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    assert!(
+        verified >= 300,
+        "only {verified}/512 generated programs verified; the differential \
+         check is starving"
+    );
+    assert!(
+        rejected >= 20,
+        "only {rejected}/512 generated programs rejected; the verifier's \
+         error paths are not being fuzzed"
+    );
+}
+
+/// The NetLock grant-path program itself is differential-clean under
+/// adversarial packet values (field 0 is only meaningfully 0/1, but the
+/// transaction must not diverge even on garbage).
+#[test]
+fn netlock_grant_program_is_differential_clean() {
+    for cap in [1u32, 2, 3, 7] {
+        let program = netlock_switch::txn::netlock::fcfs_enqueue_program(cap);
+        let budget = TofinoBudget::tofino_single_direction();
+        let mut lowered = LoweredTxn::compile(program.clone(), &budget).unwrap();
+        let mut interp = TxnInterpreter::new(&program);
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        for packet in gen::packets(u64::from(cap), program.num_fields, 64) {
+            got.clear();
+            want.clear();
+            lowered.run(&packet, &mut got);
+            interp.run(&program, &packet, &mut want);
+            assert_eq!(got, want, "cap {cap}: divergence on packet {packet:?}");
+        }
+        assert_eq!(lowered.dump(), interp.dump(), "cap {cap}: state divergence");
+    }
+}

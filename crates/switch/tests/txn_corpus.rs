@@ -1,0 +1,79 @@
+//! Regression-corpus replay: every fuzzer-found (or handcrafted)
+//! transaction under `tests/corpus/` is re-verified against the
+//! single-direction budget and, when accepted, differential-executed,
+//! so a once-found divergence or misclassification can never silently
+//! return. The corpus format round-trips through the serializer, which
+//! keeps the files mechanically regenerable from the generator seeds
+//! named in their comments.
+
+use netlock_switch::analysis::layout::TofinoBudget;
+use netlock_switch::txn::corpus::{parse, to_text, CorpusExpect, RejectKind};
+use netlock_switch::txn::{verify, LoweredTxn, TxnInterpreter};
+use std::path::PathBuf;
+
+fn corpus_paths() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn corpus_entries_replay_deterministically() {
+    let paths = corpus_paths();
+    assert!(paths.len() >= 6, "corpus shrank to {} entries", paths.len());
+    let budget = TofinoBudget::tofino_single_direction();
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy();
+        let text = std::fs::read_to_string(path).unwrap();
+        let entry = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        match entry.expect {
+            CorpusExpect::Ok => {
+                accepted += 1;
+                let mut lowered = LoweredTxn::compile(entry.program.clone(), &budget)
+                    .unwrap_or_else(|e| panic!("{name}: expected to verify, got: {e}"));
+                let mut interp = TxnInterpreter::new(&entry.program);
+                let (mut got, mut want) = (Vec::new(), Vec::new());
+                for packet in &entry.packets {
+                    got.clear();
+                    want.clear();
+                    lowered.run(packet, &mut got);
+                    interp.run(&entry.program, packet, &mut want);
+                    assert_eq!(got, want, "{name}: action divergence on {packet:?}");
+                }
+                assert_eq!(
+                    lowered.dump(),
+                    interp.dump(),
+                    "{name}: register-state divergence"
+                );
+            }
+            CorpusExpect::Reject(kind) => {
+                rejected += 1;
+                let err = verify(entry.program.clone(), &budget)
+                    .expect_err("expected the verifier to reject");
+                assert_eq!(
+                    RejectKind::of(&err),
+                    kind,
+                    "{name}: rejection reclassified (was '{}', now: {err})",
+                    kind.token()
+                );
+            }
+        }
+        // The serializer must reproduce a parse-identical entry, so
+        // corpus files stay regenerable and diffs stay meaningful.
+        let reserialized = to_text(&entry.program, &entry.packets, entry.expect);
+        let reparsed = parse(&reserialized).unwrap_or_else(|e| panic!("{name} round-trip: {e}"));
+        assert_eq!(reparsed, entry, "{name}: serializer round-trip drift");
+    }
+    assert!(accepted >= 3, "corpus needs accepted programs to execute");
+    assert!(
+        rejected >= 3,
+        "corpus needs rejected programs to pin classes"
+    );
+}

@@ -4,6 +4,9 @@
 # Runs `bench_sim --quick` to a temp file and compares it against the
 # committed BENCH_sim.json baseline. Fails if:
 #   - allocs_per_packet > 0      (the packet path started allocating)
+#   - txn_allocs_per_packet > 0  (the lowered transaction-IR grant path
+#     started allocating; fresh run only, so older baselines without
+#     the field stay valid)
 #   - dataplane_ns_per_op        regressed > 25% vs the baseline
 #   - the committed baseline's old_over_new < 1.0 at depths
 #     64/1024/8192 (the calendar queue fell behind the inline heap —
@@ -45,6 +48,10 @@ allocs = new["allocs_per_packet"]
 if allocs > 0:
     fail.append(f"allocs_per_packet = {allocs} (must be 0)")
 
+txn_allocs = new.get("txn_allocs_per_packet", 0)
+if txn_allocs > 0:
+    fail.append(f"txn_allocs_per_packet = {txn_allocs} (must be 0)")
+
 pkt = new.get("packet_bytes", 0)
 if pkt > 48:
     fail.append(f"packet_bytes = {pkt} (event slot must stay <= 48)")
@@ -83,7 +90,7 @@ if fail:
         print(f"FAIL  {f}")
     sys.exit(1)
 print(
-    f"ok    allocs_per_packet=0  packet_bytes={pkt}  "
+    f"ok    allocs_per_packet=0  txn_allocs_per_packet=0  packet_bytes={pkt}  "
     f"spine {eps_new/1e6:.1f}M ev/s (baseline {eps_base/1e6:.1f}M)  "
     f"dataplane {dp_new:.1f}ns/op "
     f"(baseline {dp_base:.1f})  queue ratios "

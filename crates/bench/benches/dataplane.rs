@@ -211,7 +211,7 @@ fn bench_trace_guard(c: &mut Criterion) {
             dp.process(release(0, i, LockMode::Exclusive), 0, &mut out);
             i += 1;
             // Drain the buffer so it doesn't grow across iterations.
-            black_box(sink.borrow_mut().take().len())
+            black_box(sink.lock().unwrap().take().len())
         });
     });
     g.finish();

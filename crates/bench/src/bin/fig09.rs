@@ -1,4 +1,9 @@
 //! Regenerates Figure 9 (lock switch vs lock server, 1-8 cores).
+//!
+//! With `--sim-workers N` it instead emits the cluster variant: two
+//! fig09 lock-switch racks in one partitioned simulator, advanced by
+//! `N` worker threads under conservative lookahead windows. The cluster
+//! TSV is byte-identical for any `N`.
 use netlock_bench::{BinArgs, Fig};
 
 fn main() {
@@ -8,5 +13,8 @@ fn main() {
         "# scaling: {} warmup, {} measure per point (simulated time)",
         scale.warmup, scale.measure
     );
-    netlock_bench::fig09::run_and_print(&args.runner(), scale);
+    match args.sim_workers {
+        Some(workers) => netlock_bench::fig09::run_and_print_cluster(scale, 2, workers),
+        None => netlock_bench::fig09::run_and_print(&args.runner(), scale),
+    }
 }

@@ -272,7 +272,7 @@ pub fn run_chaos_seed_with(workload: ChaosWorkload, seed: u64, sabotage: Sabotag
         .sim
         .read_node::<SwitchNode, _>(rack.switch, |s| s.stats().stale_releases_filtered);
     let micro_grants = stats.issued.min(stats.grants);
-    let oracle = oracle.borrow();
+    let oracle = oracle.lock().unwrap();
     ChaosRun {
         workload,
         seed,

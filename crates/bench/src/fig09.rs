@@ -124,6 +124,97 @@ pub fn run_server(workload: Workload, cores: usize, scale: TimeScale) -> f64 {
     mrps(stats.lock_rps())
 }
 
+/// Per-rack cluster stats for the parallel variant of the figure:
+/// `racks` copies of the fig09 lock-switch rack inside one simulator,
+/// partitioned one logical process per rack and advanced by `workers`
+/// threads under conservative lookahead windows. The returned per-rack
+/// stats — and therefore [`render_cluster`]'s TSV — are byte-identical
+/// for any `workers`; only the wall-clock changes.
+pub fn run_cluster_stats(
+    workload: Workload,
+    scale: TimeScale,
+    racks: usize,
+    workers: usize,
+) -> Vec<RunStats> {
+    let total_locks = 6_000u32;
+    let cfg = RackConfig {
+        seed: 9,
+        lock_servers: 1,
+        ..Default::default()
+    };
+    // Inter-rack RTTs dwarf in-rack ones; 10 µs one-way is the
+    // lookahead the partition synchronizes on.
+    let cross = netlock_sim::LinkConfig::with_delay(SimDuration::from_micros(10));
+    let mut cluster = RackCluster::build(&cfg, racks, cross);
+    let lock_count = match workload {
+        Workload::ExclusiveContention => CONTENDED_LOCKS,
+        _ => total_locks,
+    };
+    let stats: Vec<LockStats> = (0..lock_count)
+        .map(|l| LockStats {
+            lock: LockId(l),
+            rate: 1.0,
+            contention: (100_000 / lock_count).min(4_096),
+            home_server: 0,
+        })
+        .collect();
+    let alloc = knapsack_allocate(&stats, 100_000);
+    let per_client = total_locks / CLIENTS as u32;
+    for r in 0..racks {
+        cluster.program(r, &alloc);
+        for c in 0..CLIENTS {
+            let (locks, mode): (Vec<LockId>, LockMode) = match workload {
+                Workload::Shared => ((0..total_locks).map(LockId).collect(), LockMode::Shared),
+                Workload::ExclusiveNoContention => (
+                    (c as u32 * per_client..(c as u32 + 1) * per_client)
+                        .map(LockId)
+                        .collect(),
+                    LockMode::Exclusive,
+                ),
+                Workload::ExclusiveContention => (
+                    (0..CONTENDED_LOCKS).map(LockId).collect(),
+                    LockMode::Exclusive,
+                ),
+            };
+            cluster.add_micro_client(
+                r,
+                MicroClientConfig {
+                    rate_rps: 18e6,
+                    locks,
+                    mode,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+    cluster.partition(workers);
+    cluster.warmup_and_measure(scale.warmup, scale.measure)
+}
+
+/// The cluster variant as TSV: one row per (workload, rack). The rows
+/// do not mention the worker count on purpose — the output is the same
+/// file for any `workers`.
+pub fn render_cluster(scale: TimeScale, racks: usize, workers: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Figure 9 cluster variant: {racks} lock-switch racks, one LP each, 10 clients/rack"
+    );
+    let _ = writeln!(out, "rack\tworkload\tthroughput_mrps");
+    for wl in Workload::all() {
+        let per_rack = run_cluster_stats(wl, scale, racks, workers);
+        for (r, stats) in per_rack.iter().enumerate() {
+            let _ = writeln!(out, "{}\t{}\t{:.2}", r, wl.label(), mrps(stats.lock_rps()));
+        }
+    }
+    out
+}
+
+/// Print the cluster variant as TSV.
+pub fn run_and_print_cluster(scale: TimeScale, racks: usize, workers: usize) {
+    print!("{}", render_cluster(scale, racks, workers));
+}
+
 /// The figure as TSV: 3 switch rows then 24 server rows, computed as
 /// one batch of 27 independent jobs.
 pub fn render(runner: &Runner, scale: TimeScale) -> String {
@@ -181,6 +272,22 @@ mod tests {
             sw > 5.0 * srv,
             "paper reports ~7×: switch {sw} MRPS vs server {srv} MRPS"
         );
+    }
+
+    #[test]
+    fn cluster_stats_match_across_sim_worker_counts() {
+        let one = run_cluster_stats(Workload::Shared, tiny(), 2, 1);
+        let two = run_cluster_stats(Workload::Shared, tiny(), 2, 2);
+        assert_eq!(one.len(), 2);
+        for (a, b) in one.iter().zip(&two) {
+            assert!(a.grants > 0);
+            assert_eq!(a.grants, b.grants);
+            assert_eq!(a.issued, b.issued);
+            assert_eq!(
+                a.lock_latency_summary().p99_ns,
+                b.lock_latency_summary().p99_ns
+            );
+        }
     }
 
     #[test]

@@ -22,8 +22,7 @@
 //! recovery via rack-level code, declares an amnesia point to the
 //! oracle, and resumes.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use netlock_server::ServerNode;
 use netlock_sim::{
@@ -290,15 +289,15 @@ pub fn generate_plan(seed: u64, roles: &RackRoles, cfg: &ChaosPlanConfig) -> Fau
 
 /// Attach a fresh oracle to the rack's packet tap. Every client already
 /// added to the rack is registered; add clients *before* calling this.
-pub fn attach_oracle(rack: &mut Rack, cfg: OracleConfig) -> Rc<RefCell<Oracle>> {
+pub fn attach_oracle(rack: &mut Rack, cfg: OracleConfig) -> Arc<Mutex<Oracle>> {
     let mut oracle = Oracle::new(cfg);
     for &(id, _) in &rack.clients {
         oracle.register_client(id);
     }
-    let oracle = Rc::new(RefCell::new(oracle));
-    let tap = Rc::clone(&oracle);
+    let oracle = Arc::new(Mutex::new(oracle));
+    let tap = Arc::clone(&oracle);
     rack.sim
-        .set_tap(Box::new(move |ev| tap.borrow_mut().observe(&ev)));
+        .set_tap(Box::new(move |ev| tap.lock().unwrap().observe(&ev)));
     oracle
 }
 
@@ -366,7 +365,7 @@ pub fn standard_recovery(rack: &mut Rack, at: SimTime, token: u64, alloc: &Alloc
 pub fn run_chaos(
     rack: &mut Rack,
     until: SimTime,
-    oracle: &Rc<RefCell<Oracle>>,
+    oracle: &Arc<Mutex<Oracle>>,
     recover: &mut CustomFaultHandler<'_>,
 ) -> usize {
     let mut handled = 0;
@@ -375,12 +374,12 @@ pub fn run_chaos(
             RunOutcome::ReachedDeadline => break,
             RunOutcome::CustomFault { at, token } => {
                 recover(rack, at, token);
-                oracle.borrow_mut().note_amnesia(at.as_nanos());
+                oracle.lock().unwrap().note_amnesia(at.as_nanos());
                 handled += 1;
             }
         }
     }
-    oracle.borrow_mut().finish(until.as_nanos());
+    oracle.lock().unwrap().finish(until.as_nanos());
     handled
 }
 

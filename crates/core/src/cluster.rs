@@ -1,0 +1,551 @@
+//! Multi-rack cluster assembly for parallel simulation.
+//!
+//! A [`RackCluster`] places `N` complete NetLock racks — each with its
+//! own lock switch, lock servers, database servers and clients — inside
+//! one [`Simulator`], recording which rack every node belongs to. That
+//! rack assignment becomes the logical-process map handed to
+//! [`Simulator::partition`], so the cluster can be advanced by parallel
+//! worker threads under the conservative-window protocol while staying
+//! byte-identical to the serial run (see `netlock-sim`'s `par` module
+//! and DESIGN.md §15).
+//!
+//! Each rack replicates [`crate::rack::Rack::build`]'s node layout at an
+//! id offset: lock servers first, then the switch, then database
+//! servers; clients are appended later (possibly interleaved across
+//! racks — the per-node rack map keeps track). Racks are self-contained
+//! — the paper's workloads never send lock traffic across ToR switches,
+//! so cross-rack links exist only as the topology entries that define
+//! the partition lookahead (their delay bounds how far apart two racks'
+//! clocks may drift inside one window).
+//!
+//! Per-rack invariant-checking works under any worker count: a
+//! partitioned simulator refuses a global tap but accepts one tap per
+//! logical process, and each LP tap observes exactly its rack's
+//! deliveries and timers in deterministic order. [`attach_rack_oracles`]
+//! uses that to give every rack its own [`Oracle`].
+
+use std::sync::{Arc, Mutex};
+
+use netlock_proto::LockId;
+use netlock_server::ServerNode;
+use netlock_sim::{
+    FaultPlan, LinkConfig, NodeId, SimDuration, SimRng, SimTime, Simulator, Topology,
+};
+use netlock_switch::control::{apply_allocation, Allocation};
+use netlock_switch::{DataPlane, SwitchNode};
+
+use crate::chaos::{ChaosPlanConfig, RackRoles};
+use crate::client_micro::{MicroClient, MicroClientConfig};
+use crate::client_txn::{TxnClient, TxnClientConfig};
+use crate::db_server::{DbServer, DbServerConfig};
+use crate::harness::RunStats;
+use crate::oracle::{Oracle, OracleConfig};
+use crate::rack::{ClientKind, EngineSpec, RackConfig};
+use crate::txn::TxnSource;
+use netlock_proto::NetLockMsg;
+
+/// One rack's node ids inside a [`RackCluster`].
+pub struct ClusterRack {
+    /// The rack's ToR lock switch.
+    pub switch: NodeId,
+    /// Lock servers, by directory server index.
+    pub lock_servers: Vec<NodeId>,
+    /// Database servers (one-RTT mode).
+    pub db_servers: Vec<NodeId>,
+    /// Clients with their kinds, in creation order.
+    pub clients: Vec<(NodeId, ClientKind)>,
+    /// Per-rack client-seed stream (mirrors `Rack`'s).
+    rng: SimRng,
+}
+
+/// `N` NetLock racks in one simulator, partitionable one rack per
+/// logical process.
+pub struct RackCluster {
+    /// The shared simulator; all racks' nodes live here.
+    pub sim: Simulator<NetLockMsg>,
+    /// Per-rack node handles, by rack index.
+    pub racks: Vec<ClusterRack>,
+    /// `node id -> rack index`, maintained on every node add.
+    rack_of: Vec<u32>,
+    /// Link installed between every cross-rack node pair at partition
+    /// time; its delay is the partition lookahead.
+    cross_link: LinkConfig,
+    partitioned: bool,
+}
+
+impl RackCluster {
+    /// Build `n_racks` identical racks (no clients yet). Every rack uses
+    /// `cfg` with a rack-index-mixed seed so racks behave independently
+    /// but the whole cluster stays a pure function of `(cfg, n_racks)`.
+    ///
+    /// `cross_link` must have a positive delay: it becomes the
+    /// conservative lookahead when the cluster is partitioned. Pick
+    /// something like 10 µs — inter-rack RTTs dwarf in-rack ones, and a
+    /// larger delay means wider (cheaper) synchronization windows.
+    pub fn build(cfg: &RackConfig, n_racks: usize, cross_link: LinkConfig) -> RackCluster {
+        assert!(n_racks >= 1, "cluster needs at least one rack");
+        assert!(
+            !cross_link.delay.is_zero(),
+            "cross-rack link delay must be positive: it is the partition lookahead"
+        );
+        let mut sim: Simulator<NetLockMsg> = Simulator::new(Topology::new(cfg.link), cfg.seed);
+        let mut rack_of = Vec::new();
+        let mut racks = Vec::with_capacity(n_racks);
+        for r in 0..n_racks {
+            let base = rack_of.len() as u32;
+            let predicted_switch = NodeId(base + cfg.lock_servers as u32);
+            let mut lock_servers = Vec::with_capacity(cfg.lock_servers);
+            for _ in 0..cfg.lock_servers {
+                let id = sim.add_node(Box::new(ServerNode::new(
+                    cfg.server.clone(),
+                    predicted_switch,
+                )));
+                rack_of.push(r as u32);
+                lock_servers.push(id);
+            }
+            let dp = match &cfg.engine {
+                EngineSpec::Fcfs(layout) => DataPlane::new_fcfs(layout),
+                EngineSpec::Priority(layout) => DataPlane::new_priority(layout),
+            };
+            let mut db_ids = Vec::with_capacity(cfg.db_servers);
+            for i in 0..cfg.db_servers {
+                db_ids.push(NodeId(predicted_switch.0 + 1 + i as u32));
+            }
+            let switch_node = SwitchNode::new(dp, cfg.switch.clone(), lock_servers.clone())
+                .with_db_servers(db_ids);
+            let switch = sim.add_node(Box::new(switch_node));
+            rack_of.push(r as u32);
+            assert_eq!(switch, predicted_switch, "node ordering invariant broken");
+            let mut db_servers = Vec::with_capacity(cfg.db_servers);
+            for _ in 0..cfg.db_servers {
+                let id = sim.add_node(Box::new(DbServer::new(DbServerConfig::default())));
+                rack_of.push(r as u32);
+                db_servers.push(id);
+            }
+            // Rack 0 reproduces `Rack::build`'s client-seed stream
+            // exactly; later racks mix in the rack index.
+            let rack_seed = cfg.seed ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = SimRng::new(rack_seed ^ 0xC11E_57A7);
+            let _ = rng.next_u64();
+            racks.push(ClusterRack {
+                switch,
+                lock_servers,
+                db_servers,
+                clients: Vec::new(),
+                rng,
+            });
+        }
+        RackCluster {
+            sim,
+            racks,
+            rack_of,
+            cross_link,
+            partitioned: false,
+        }
+    }
+
+    /// Number of racks.
+    pub fn rack_count(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// `node id -> rack index` map (the logical-process assignment).
+    pub fn rack_assignment(&self) -> &[u32] {
+        &self.rack_of
+    }
+
+    /// True once [`Self::partition`] ran with more than one rack.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Add an open-loop microbenchmark client to `rack`.
+    pub fn add_micro_client(&mut self, rack: usize, cfg: MicroClientConfig) -> NodeId {
+        assert!(!self.partitioned, "add clients before partition()");
+        let switch = self.racks[rack].switch;
+        let id = self.sim.add_node(Box::new(MicroClient::new(cfg, switch)));
+        self.rack_of.push(rack as u32);
+        self.racks[rack].clients.push((id, ClientKind::Micro));
+        id
+    }
+
+    /// Add a closed-loop transaction client to `rack`.
+    pub fn add_txn_client(
+        &mut self,
+        rack: usize,
+        cfg: TxnClientConfig,
+        source: Box<dyn TxnSource>,
+    ) -> NodeId {
+        assert!(!self.partitioned, "add clients before partition()");
+        let switch = self.racks[rack].switch;
+        let seed = self.racks[rack].rng.next_u64();
+        let id = self
+            .sim
+            .add_node(Box::new(TxnClient::new(cfg, switch, source, seed)));
+        self.rack_of.push(rack as u32);
+        self.racks[rack].clients.push((id, ClientKind::Txn));
+        id
+    }
+
+    /// Program `rack`'s FCFS allocation (see [`crate::rack::Rack::program`]).
+    pub fn program(&mut self, rack: usize, alloc: &Allocation) {
+        let switch = self.racks[rack].switch;
+        let n_servers = self.racks[rack].lock_servers.len();
+        self.sim.with_node::<SwitchNode, _>(switch, |s| {
+            s.dataplane_mut().set_default_servers(n_servers);
+            apply_allocation(s.dataplane_mut(), alloc);
+        });
+        for &(lock, home) in &alloc.in_server {
+            let server = self.racks[rack].lock_servers[home];
+            self.sim
+                .with_node::<ServerNode, _>(server, |s| s.own_lock(lock));
+        }
+    }
+
+    /// Program `rack`'s priority directory: lock → sequential qid.
+    pub fn program_priority(&mut self, rack: usize, locks: &[LockId]) {
+        let switch = self.racks[rack].switch;
+        self.sim.with_node::<SwitchNode, _>(switch, |s| {
+            for (qid, &lock) in locks.iter().enumerate() {
+                s.dataplane_mut()
+                    .directory_mut()
+                    .set_switch_resident(lock, qid, 0);
+            }
+        });
+    }
+
+    /// Fault-targeting roles of one rack.
+    pub fn roles(&self, rack: usize) -> RackRoles {
+        let r = &self.racks[rack];
+        RackRoles {
+            switch: r.switch,
+            servers: r.lock_servers.clone(),
+            clients: r.clients.iter().map(|&(id, _)| id).collect(),
+        }
+    }
+
+    /// Partition the cluster one rack per logical process and allow up
+    /// to `workers` threads to advance it. Installs the cross-rack
+    /// topology links (whose delay defines the lookahead) for every
+    /// cross-rack node pair first, then hands the rack map to
+    /// [`Simulator::partition`]. Call after all nodes are added and all
+    /// racks are programmed; a single-rack cluster stays unpartitioned
+    /// (the fused serial spine is faster than a one-LP window loop).
+    pub fn partition(&mut self, workers: usize) {
+        assert!(!self.partitioned, "partition called twice");
+        let n = self.rack_of.len();
+        for a in 0..n {
+            for b in 0..n {
+                if self.rack_of[a] != self.rack_of[b] {
+                    self.sim.topology_mut().set_link(
+                        NodeId(a as u32),
+                        NodeId(b as u32),
+                        self.cross_link,
+                    );
+                }
+            }
+        }
+        self.sim.partition(self.rack_of.clone(), workers);
+        self.partitioned = self.racks.len() > 1;
+    }
+
+    /// Install one fault plan per rack (index-aligned with `racks`).
+    /// Plans for a partitioned cluster must not contain
+    /// [`netlock_sim::FaultAction::Custom`] actions — use
+    /// [`cluster_plan_config`] when generating them.
+    pub fn install_plans(&mut self, plans: &[FaultPlan]) {
+        assert_eq!(plans.len(), self.racks.len(), "one plan per rack");
+        for plan in plans {
+            self.sim.install_plan(plan);
+        }
+    }
+
+    /// Zero every client's counters across all racks.
+    pub fn reset_clients(&mut self) {
+        for r in 0..self.racks.len() {
+            for &(id, kind) in &self.racks[r].clients.clone() {
+                match kind {
+                    ClientKind::Micro => self
+                        .sim
+                        .with_node::<MicroClient, _>(id, |c| c.reset_stats()),
+                    ClientKind::Txn => self.sim.with_node::<TxnClient, _>(id, |c| c.reset_stats()),
+                }
+            }
+        }
+    }
+
+    /// Aggregate one rack's client counters since the last reset.
+    ///
+    /// Client-side counters (grants, txns, latencies) are strictly
+    /// per-rack. The `net_*` and `events_fired` fields come from the
+    /// shared simulator and therefore cover the whole cluster — they are
+    /// repeated identically in every rack's stats.
+    pub fn collect_rack(&self, rack: usize, measured: SimDuration) -> RunStats {
+        let mut out = RunStats {
+            measured,
+            ..Default::default()
+        };
+        for &(id, kind) in &self.racks[rack].clients {
+            match kind {
+                ClientKind::Micro => self.sim.read_node::<MicroClient, _>(id, |c| {
+                    let s = c.stats();
+                    out.issued += s.issued;
+                    out.grants += s.grants;
+                    out.grants_switch += s.grants; // switch-only path
+                    out.lock_latency.merge(&s.latency);
+                }),
+                ClientKind::Txn => self.sim.read_node::<TxnClient, _>(id, |c| {
+                    let s = c.stats();
+                    out.grants += s.grants;
+                    out.grants_switch += s.grants_switch;
+                    out.grants_server += s.grants_server;
+                    out.txns += s.txns;
+                    out.retries += s.retries;
+                    out.surplus_released += s.stale_grants;
+                    out.dup_grants_ignored += s.dup_grants_ignored;
+                    out.lock_latency.merge(&s.wait_latency);
+                    out.txn_latency.merge(&s.txn_latency);
+                }),
+            }
+        }
+        let net = self.sim.stats();
+        out.net_lost = net.packets_lost;
+        out.net_duplicated = net.packets_duplicated;
+        out.net_reordered = net.packets_reordered;
+        out.events_fired = net.events_fired;
+        out
+    }
+
+    /// Run `warmup`, zero all counters, run `measure`, and collect one
+    /// [`RunStats`] per rack.
+    pub fn warmup_and_measure(
+        &mut self,
+        warmup: SimDuration,
+        measure: SimDuration,
+    ) -> Vec<RunStats> {
+        self.sim.run_for(warmup);
+        self.reset_clients();
+        self.sim.run_for(measure);
+        (0..self.racks.len())
+            .map(|r| self.collect_rack(r, measure))
+            .collect()
+    }
+}
+
+/// Chaos-plan tuning for partitioned clusters: switch reboot and server
+/// restart are disabled because their recovery rides on
+/// `FaultAction::Custom` markers, which pause the whole simulator for
+/// rack-level control-plane surgery — a partitioned run rejects them
+/// (see `netlock-sim`'s fault validation). Link faults and permanent
+/// client crashes target intra-rack pairs only, which the lookahead
+/// check exempts.
+pub fn cluster_plan_config() -> ChaosPlanConfig {
+    ChaosPlanConfig {
+        switch_reboot: false,
+        server_restart: false,
+        ..Default::default()
+    }
+}
+
+/// Attach one fresh [`Oracle`] per rack via per-LP taps. Call after
+/// [`RackCluster::partition`] (LP taps need the logical processes to
+/// exist; an unpartitioned single-rack cluster falls back to the global
+/// tap). Each oracle observes exactly its rack's packet deliveries and
+/// timers, in an order independent of the worker count, so audit
+/// digests are reproducible under any parallelism.
+pub fn attach_rack_oracles(
+    cluster: &mut RackCluster,
+    cfg: &OracleConfig,
+) -> Vec<Arc<Mutex<Oracle>>> {
+    assert!(
+        cluster.partitioned || cluster.racks.len() == 1,
+        "attach oracles after partition(): LP taps need the partitions to exist"
+    );
+    let mut handles = Vec::with_capacity(cluster.racks.len());
+    for r in 0..cluster.racks.len() {
+        let mut oracle = Oracle::new(*cfg);
+        for &(id, _) in &cluster.racks[r].clients {
+            oracle.register_client(id);
+        }
+        let oracle = Arc::new(Mutex::new(oracle));
+        let tap = Arc::clone(&oracle);
+        cluster
+            .sim
+            .set_lp_tap(r, Box::new(move |ev| tap.lock().unwrap().observe(&ev)));
+        handles.push(oracle);
+    }
+    handles
+}
+
+/// Drive a cluster with installed fault plans to `until` and finish
+/// every rack oracle there. Unlike [`crate::chaos::run_chaos`] there is
+/// no `Custom`-fault pause loop: cluster plans must come from
+/// [`cluster_plan_config`], which emits none.
+pub fn run_cluster_chaos(
+    cluster: &mut RackCluster,
+    until: SimTime,
+    oracles: &[Arc<Mutex<Oracle>>],
+) {
+    cluster.sim.run_until(until);
+    for oracle in oracles {
+        oracle.lock().unwrap().finish(until.as_nanos());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::generate_plan;
+    use netlock_proto::LockMode;
+    use netlock_switch::control::{knapsack_allocate, LockStats};
+    use netlock_switch::shared_queue::SharedQueueLayout;
+
+    fn small_cfg(seed: u64) -> RackConfig {
+        RackConfig {
+            seed,
+            lock_servers: 1,
+            engine: EngineSpec::Fcfs(SharedQueueLayout::small(2, 64, 8)),
+            ..Default::default()
+        }
+    }
+
+    fn cross_link() -> LinkConfig {
+        LinkConfig::with_delay(SimDuration::from_micros(10))
+    }
+
+    fn locks() -> Vec<LockId> {
+        (0..8).map(LockId).collect()
+    }
+
+    fn programmed_cluster(seed: u64, n_racks: usize, clients: usize) -> RackCluster {
+        let mut cluster = RackCluster::build(&small_cfg(seed), n_racks, cross_link());
+        let stats: Vec<LockStats> = locks()
+            .iter()
+            .map(|&lock| LockStats {
+                lock,
+                rate: 1.0,
+                contention: 8,
+                home_server: 0,
+            })
+            .collect();
+        let alloc = knapsack_allocate(&stats, 64);
+        for r in 0..n_racks {
+            cluster.program(r, &alloc);
+            for _ in 0..clients {
+                cluster.add_micro_client(
+                    r,
+                    MicroClientConfig {
+                        rate_rps: 100_000.0,
+                        locks: locks(),
+                        mode: LockMode::Shared,
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+        cluster
+    }
+
+    #[test]
+    fn layout_replicates_rack_at_offsets() {
+        let cluster = RackCluster::build(
+            &RackConfig {
+                lock_servers: 3,
+                db_servers: 2,
+                ..Default::default()
+            },
+            2,
+            cross_link(),
+        );
+        let r0 = &cluster.racks[0];
+        assert_eq!(r0.lock_servers, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(r0.switch, NodeId(3));
+        assert_eq!(r0.db_servers, vec![NodeId(4), NodeId(5)]);
+        let r1 = &cluster.racks[1];
+        assert_eq!(r1.lock_servers, vec![NodeId(6), NodeId(7), NodeId(8)]);
+        assert_eq!(r1.switch, NodeId(9));
+        assert_eq!(r1.db_servers, vec![NodeId(10), NodeId(11)]);
+        assert_eq!(
+            cluster.rack_assignment(),
+            &[0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn racks_make_progress_under_partition() {
+        let mut cluster = programmed_cluster(3, 2, 2);
+        cluster.partition(2);
+        assert!(cluster.is_partitioned());
+        assert_eq!(cluster.sim.partitions(), 2);
+        let per_rack =
+            cluster.warmup_and_measure(SimDuration::from_millis(1), SimDuration::from_millis(4));
+        assert_eq!(per_rack.len(), 2);
+        for stats in &per_rack {
+            // 2 clients × 100k rps × 4 ms ≈ 800 grants.
+            assert!(
+                (500..1_200).contains(&stats.grants),
+                "grants = {}",
+                stats.grants
+            );
+            assert_eq!(stats.switch_share(), 1.0);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_rack_stats() {
+        let mut digests = Vec::new();
+        for workers in [1, 2, 8] {
+            let mut cluster = programmed_cluster(5, 3, 2);
+            cluster.partition(workers);
+            let per_rack = cluster
+                .warmup_and_measure(SimDuration::from_millis(1), SimDuration::from_millis(3));
+            let digest: Vec<(u64, u64, u64)> = per_rack
+                .iter()
+                .map(|s| (s.issued, s.grants, s.lock_latency_summary().p99_ns))
+                .collect();
+            digests.push((workers, digest));
+        }
+        assert_eq!(digests[0].1, digests[1].1, "1 vs 2 workers");
+        assert_eq!(digests[0].1, digests[2].1, "1 vs 8 workers");
+    }
+
+    #[test]
+    fn single_rack_cluster_stays_serial_and_supports_oracles() {
+        let mut cluster = programmed_cluster(7, 1, 2);
+        cluster.partition(4);
+        assert!(!cluster.is_partitioned());
+        assert_eq!(cluster.sim.partitions(), 1);
+        let oracles = attach_rack_oracles(&mut cluster, &OracleConfig::default());
+        assert_eq!(oracles.len(), 1);
+        run_cluster_chaos(&mut cluster, SimTime(5_000_000), &oracles);
+        let o = oracles[0].lock().unwrap();
+        assert!(o.counts().delivered > 0, "oracle tap saw no traffic");
+    }
+
+    #[test]
+    fn chaos_digests_identical_across_worker_counts() {
+        let mut digests = Vec::new();
+        for workers in [1, 2, 8] {
+            let mut cluster = programmed_cluster(11, 2, 3);
+            let plans: Vec<FaultPlan> = (0..2)
+                .map(|r| generate_plan(40 + r as u64, &cluster.roles(r), &cluster_plan_config()))
+                .collect();
+            cluster.partition(workers);
+            cluster.install_plans(&plans);
+            let oracles = attach_rack_oracles(&mut cluster, &OracleConfig::default());
+            run_cluster_chaos(&mut cluster, SimTime(50_000_000), &oracles);
+            let d: Vec<(u64, u64)> = oracles
+                .iter()
+                .map(|o| {
+                    let o = o.lock().unwrap();
+                    (o.digest(), o.counts().faults)
+                })
+                .collect();
+            digests.push(d);
+        }
+        assert_eq!(digests[0], digests[1], "1 vs 2 workers");
+        assert_eq!(digests[0], digests[2], "1 vs 8 workers");
+        // Faults actually happened and the taps observed them.
+        assert!(digests[0].iter().any(|&(_, faults)| faults > 0));
+    }
+}

@@ -52,6 +52,7 @@
 pub mod chaos;
 pub mod client_micro;
 pub mod client_txn;
+pub mod cluster;
 pub mod db_server;
 pub mod harness;
 pub mod oracle;
@@ -66,6 +67,9 @@ pub mod prelude {
     };
     pub use crate::client_micro::{MicroClient, MicroClientConfig, MicroClientStats};
     pub use crate::client_txn::{TxnClient, TxnClientConfig, TxnClientStats};
+    pub use crate::cluster::{
+        attach_rack_oracles, cluster_plan_config, run_cluster_chaos, ClusterRack, RackCluster,
+    };
     pub use crate::db_server::{DbServer, DbServerConfig};
     pub use crate::harness::{
         collect, reset_clients, switch_breakdown, tps_series, txns_by_client, warmup_and_measure,

@@ -45,6 +45,7 @@ pub mod fault;
 mod link;
 pub mod metrics;
 mod node;
+mod par;
 pub mod queue;
 mod rng;
 mod sim;

@@ -66,7 +66,11 @@ impl<T: Any> AsAny for T {
 ///
 /// Implementations must be deterministic: all randomness comes from the
 /// [`Context`]'s RNG, all time from [`Context::now`].
-pub trait Node<M>: AsAny {
+///
+/// `Send` is a supertrait so a partitioned simulator can advance its
+/// logical processes on worker threads (see `Simulator::partition`);
+/// nodes still only ever run on one thread at a time.
+pub trait Node<M>: AsAny + Send {
     /// A packet addressed to this node has arrived.
     fn on_packet(&mut self, pkt: Packet<M>, ctx: &mut Context<'_, M>);
 

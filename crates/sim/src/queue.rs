@@ -594,6 +594,50 @@ mod tests {
     }
 
     #[test]
+    fn peek_at_matches_reference_heap() {
+        // peek_at must always agree with the reference heap's minimum,
+        // never change the logical contents, and be stable across
+        // repeated calls — under the same monotone randomized schedule
+        // as the pop equivalence test (cursor hops, late pushes,
+        // overflow admissions and mid-stream retunes included).
+        let mut q = EventQueue::new();
+        let mut r = RefQueue::new();
+        let mut x = 0xA076_1D64_78BD_642Fu64;
+        let mut rnd = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut now = 0u64;
+        for (seq, round) in (0u64..).zip(0..10_000) {
+            let delay = match rnd() % 10 {
+                0..=5 => rnd() % 4_096,
+                6..=7 => rnd() % (64 << INITIAL_SHIFT),
+                8 => rnd() % ((2 * N_BUCKETS as u64) << INITIAL_SHIFT),
+                _ => 0,
+            };
+            q.push(SimTime(now + delay), seq, seq);
+            r.push(SimTime(now + delay), seq);
+            let want = r.heap.peek().map(|Reverse(e)| e.at);
+            let len_before = q.len();
+            assert_eq!(q.peek_at(), want);
+            assert_eq!(q.peek_at(), want, "peek is idempotent");
+            assert_eq!(q.len(), len_before, "peek removes nothing");
+            if round % 3 != 0 {
+                let got = q.pop();
+                let want = r.pop().map(|(at, s)| (at, s, s));
+                assert_eq!(got, want, "pop after peek is unperturbed");
+                if let Some((at, _, _)) = got {
+                    now = at.0;
+                }
+                assert_eq!(q.peek_at(), r.heap.peek().map(|Reverse(e)| e.at));
+            }
+        }
+        drain_equal(q, r);
+    }
+
+    #[test]
     fn push_behind_cursor_after_peek() {
         // peek_at advances the cursor across empty buckets; a
         // subsequent same-instant push must still pop first.

@@ -22,7 +22,7 @@ use crate::time::{SimDuration, SimTime};
 /// size of every calendar-queue entry; `Fault` boxes its action (which
 /// embeds a full `LinkConfig`) so the rare chaos events don't inflate
 /// the per-slot footprint of the millions of packet events around them.
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Deliver(Packet<M>),
     Timer { node: NodeId, token: u64 },
     Fault(Box<FaultAction>),
@@ -55,6 +55,27 @@ pub struct SimStats {
     pub max_queue_depth: u64,
 }
 
+impl SimStats {
+    /// Fold another stats block into this one. Counters add; the queue
+    /// high-water mark takes the max (each logical process of a
+    /// partitioned run has its own queue, so depths don't add). The
+    /// `delivered + timers + faults + to_dead == events_fired` partition
+    /// of fired events is preserved: it holds per block, and every term
+    /// is summed.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.packets_delivered += other.packets_delivered;
+        self.packets_lost += other.packets_lost;
+        self.packets_duplicated += other.packets_duplicated;
+        self.packets_reordered += other.packets_reordered;
+        self.packets_to_dead_node += other.packets_to_dead_node;
+        self.timers_fired += other.timers_fired;
+        self.faults_applied += other.faults_applied;
+        self.events_scheduled += other.events_scheduled;
+        self.events_fired += other.events_fired;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+    }
+}
+
 /// Per-directed-link fault counters, exposed via
 /// [`Simulator::link_counters`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -70,7 +91,7 @@ pub struct LinkCounters {
 /// Mutable per-directed-link channel state (Gilbert–Elliott state plus
 /// reorder tracking). Only allocated for links that see faults.
 #[derive(Clone, Copy, Debug, Default)]
-struct LinkState {
+pub(crate) struct LinkState {
     ge_bad: bool,
     last_arrival: SimTime,
     counters: LinkCounters,
@@ -78,8 +99,11 @@ struct LinkState {
 
 /// Observer hook: receives a [`TapEvent`] for every packet-level event.
 /// Installed with [`Simulator::set_tap`]; used by safety oracles and
-/// chaos harnesses to audit the run without perturbing it.
-pub type Tap<M> = Box<dyn FnMut(TapEvent<'_, M>)>;
+/// chaos harnesses to audit the run without perturbing it. `Send` so a
+/// tap installed on a logical process of a partitioned simulator can run
+/// on a worker thread (each LP's tap sees only that LP's events, in that
+/// LP's deterministic order).
+pub type Tap<M> = Box<dyn FnMut(TapEvent<'_, M>) + Send>;
 
 /// Compile-time tap strategy for the dispatch loop.
 ///
@@ -183,18 +207,18 @@ pub enum TapEvent<'a, M> {
 
 /// A deterministic discrete-event simulator over message type `M`.
 pub struct Simulator<M> {
-    now: SimTime,
-    seq: u64,
-    queue: EventQueue<EventKind<M>>,
-    nodes: Vec<Option<Box<dyn Node<M>>>>,
-    alive: Vec<bool>,
-    topology: Topology,
-    rng: SimRng,
+    pub(crate) now: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) queue: EventQueue<EventKind<M>>,
+    pub(crate) nodes: Vec<Option<Box<dyn Node<M>>>>,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) topology: Topology,
+    pub(crate) rng: SimRng,
     effects: Vec<Effect<M>>,
-    stats: SimStats,
-    link_states: HashMap<(NodeId, NodeId), LinkState>,
-    tap: Option<Tap<M>>,
-    pending_custom: Option<(SimTime, u64)>,
+    pub(crate) stats: SimStats,
+    pub(crate) link_states: HashMap<(NodeId, NodeId), LinkState>,
+    pub(crate) tap: Option<Tap<M>>,
+    pub(crate) pending_custom: Option<(SimTime, u64)>,
     /// Dense resolved `(src, dst)` link table (row-major, `links_n`
     /// wide), rebuilt lazily when `topology.version()` or the node
     /// count diverges from the values it was built at.
@@ -207,9 +231,24 @@ pub struct Simulator<M> {
     /// added to `queue.len()` so `max_queue_depth` accounting matches
     /// the one-pop-per-step reference exactly.
     burst_pending: u64,
+    /// Which logical process this simulator is, when it acts as one
+    /// partition of a larger simulation (0 for a standalone simulator).
+    pub(crate) lp: u32,
+    /// `node index -> owning LP`, shared by every LP of one partitioned
+    /// simulation. `None` for a standalone (unpartitioned) simulator,
+    /// which is the only per-send cost the serial fast path pays.
+    pub(crate) lp_of: Option<std::sync::Arc<[u32]>>,
+    /// Per-destination-LP mailboxes: packets bound for a remote LP are
+    /// diverted here (tagged with this LP's send `seq`) instead of the
+    /// local queue, and exchanged at conservative window boundaries.
+    pub(crate) outboxes: Vec<Vec<(SimTime, u64, Packet<M>)>>,
+    /// Present when this simulator has been split into logical
+    /// processes via [`Simulator::partition`]; the public API then
+    /// delegates to the LPs it owns.
+    pub(crate) par: Option<Box<crate::par::ParState<M>>>,
 }
 
-impl<M: Clone + 'static> Simulator<M> {
+impl<M: Clone + Send + 'static> Simulator<M> {
     /// A simulator with the given topology and RNG seed.
     pub fn new(topology: Topology, seed: u64) -> Simulator<M> {
         Simulator {
@@ -230,6 +269,10 @@ impl<M: Clone + 'static> Simulator<M> {
             links_n: usize::MAX,
             burst: Vec::new(),
             burst_pending: 0,
+            lp: 0,
+            lp_of: None,
+            outboxes: Vec::new(),
+            par: None,
         }
     }
 
@@ -243,27 +286,63 @@ impl<M: Clone + 'static> Simulator<M> {
         self.now
     }
 
-    /// Simulator-level statistics.
+    /// Simulator-level statistics. For a partitioned simulator this is
+    /// the pre-partition baseline merged with every LP's stats: counters
+    /// sum, `max_queue_depth` takes the max across LPs.
     pub fn stats(&self) -> SimStats {
-        self.stats
+        let mut out = self.stats;
+        if let Some(par) = &self.par {
+            for lp in &par.lps {
+                out.merge(&lp.stats);
+            }
+        }
+        out
     }
 
     /// Per-directed-link fault counters, sorted by `(src, dst)` so the
     /// output is deterministic. Only links that saw at least one loss,
-    /// duplication or reorder (or carry fault state) appear.
+    /// duplication or reorder (or carry fault state) appear. Partitioned:
+    /// each directed link's state lives in the sender's LP, so merging
+    /// the LPs never double-counts a link.
     pub fn link_counters(&self) -> Vec<((NodeId, NodeId), LinkCounters)> {
         let mut out: Vec<_> = self
             .link_states
             .iter()
             .map(|(k, v)| (*k, v.counters))
             .collect();
+        if let Some(par) = &self.par {
+            for lp in &par.lps {
+                out.extend(lp.link_states.iter().map(|(k, v)| (*k, v.counters)));
+            }
+        }
         out.sort_by_key(|&((s, d), _)| (s.0, d.0));
         out
     }
 
     /// Install a packet-level observer. Replaces any previous tap.
+    /// Panics on a partitioned simulator — use
+    /// [`Simulator::set_lp_tap`] to observe one logical process.
     pub fn set_tap(&mut self, tap: Tap<M>) {
+        assert!(
+            self.par.is_none(),
+            "set_tap on a partitioned simulator: install per-LP taps via set_lp_tap"
+        );
         self.tap = Some(tap);
+    }
+
+    /// Install a packet-level observer on one logical process of a
+    /// partitioned simulator. The tap sees only that LP's events, in
+    /// that LP's deterministic order, regardless of worker count. On an
+    /// unpartitioned simulator `lp` must be 0 and this is
+    /// [`Simulator::set_tap`] (the whole simulation is one LP).
+    pub fn set_lp_tap(&mut self, lp: usize, tap: Tap<M>) {
+        match &mut self.par {
+            Some(par) => par.lps[lp].tap = Some(tap),
+            None => {
+                assert_eq!(lp, 0, "unpartitioned simulator has only LP 0");
+                self.tap = Some(tap);
+            }
+        }
     }
 
     /// Remove the packet-level observer.
@@ -274,8 +353,18 @@ impl<M: Clone + 'static> Simulator<M> {
     /// Schedule one fault action as a first-class simulator event.
     /// (The one allocation per fault event keeps the boxed action out
     /// of the hot packet slots; fault events are rare by construction.)
+    ///
+    /// Partitioned routing: link-config actions replicate to every LP
+    /// (each applies the change to its own topology clone at the same
+    /// instant, keeping all sender-side link views identical), node
+    /// actions go to the node's owner LP, and `Custom` panics — chaos
+    /// recovery drives a single-LP simulation.
     pub fn schedule_fault(&mut self, at: SimTime, action: FaultAction) {
         assert!(at >= self.now, "fault scheduled in the past");
+        if self.par.is_some() {
+            crate::par::schedule_fault_partitioned(self, at, action);
+            return;
+        }
         self.push(at, EventKind::Fault(Box::new(action)));
     }
 
@@ -288,7 +377,14 @@ impl<M: Clone + 'static> Simulator<M> {
     }
 
     /// Mutable access to the topology (reconfigurable mid-run).
+    /// Panics once partitioned: the LPs hold topology clones, so direct
+    /// mutation would desynchronize them — reconfigure before
+    /// [`Simulator::partition`] or via a fault plan.
     pub fn topology_mut(&mut self) -> &mut Topology {
+        assert!(
+            self.par.is_none(),
+            "topology_mut on a partitioned simulator: mutate before partition() or via fault plan"
+        );
         &mut self.topology
     }
 
@@ -300,6 +396,10 @@ impl<M: Clone + 'static> Simulator<M> {
     /// Install a node; returns its id. The node's
     /// [`Node::on_start`] runs immediately at the current time.
     pub fn add_node(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        assert!(
+            self.par.is_none(),
+            "add_node on a partitioned simulator: add every node before partition()"
+        );
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(node));
         self.alive.push(true);
@@ -329,6 +429,11 @@ impl<M: Clone + 'static> Simulator<M> {
     /// Mark a node as failed: pending and future packets/timers for it are
     /// silently dropped. The node object is retained for inspection.
     pub fn fail_node(&mut self, id: NodeId) {
+        if let Some(par) = &mut self.par {
+            let lp = par.owner_of(id);
+            par.lps[lp].alive[id.index()] = false;
+            return;
+        }
         self.alive[id.index()] = false;
     }
 
@@ -336,16 +441,29 @@ impl<M: Clone + 'static> Simulator<M> {
     /// new traffic flows again. (The node keeps whatever state it had —
     /// callers that model state loss must reset the node themselves.)
     pub fn revive_node(&mut self, id: NodeId) {
+        if let Some(par) = &mut self.par {
+            let lp = par.owner_of(id);
+            par.lps[lp].alive[id.index()] = true;
+            return;
+        }
         self.alive[id.index()] = true;
     }
 
     /// Whether a node is currently alive.
     pub fn is_alive(&self, id: NodeId) -> bool {
+        if let Some(par) = &self.par {
+            let lp = par.owner_of(id);
+            return par.lps[lp].alive[id.index()];
+        }
         self.alive[id.index()]
     }
 
     /// Inspect or mutate a concrete node (panics if the type is wrong).
     pub fn with_node<T: 'static, R>(&mut self, id: NodeId, f: impl FnOnce(&mut T) -> R) -> R {
+        if let Some(par) = &mut self.par {
+            let lp = par.owner_of(id);
+            return par.lps[lp].with_node(id, f);
+        }
         let node = self.nodes[id.index()]
             .as_mut()
             .expect("node is being dispatched");
@@ -358,6 +476,10 @@ impl<M: Clone + 'static> Simulator<M> {
 
     /// Read-only variant of [`Simulator::with_node`].
     pub fn read_node<T: 'static, R>(&self, id: NodeId, f: impl FnOnce(&T) -> R) -> R {
+        if let Some(par) = &self.par {
+            let lp = par.owner_of(id);
+            return par.lps[lp].read_node(id, f);
+        }
         let node = self.nodes[id.index()]
             .as_ref()
             .expect("node is being dispatched");
@@ -370,16 +492,56 @@ impl<M: Clone + 'static> Simulator<M> {
 
     /// Inject a packet from outside the simulation (e.g. a harness kicking
     /// off a run). Delivered after the link delay from `src` to `dst`.
+    /// Partitioned: scheduled directly in the destination's owner LP
+    /// (all LP clocks agree between runs, and the LP's topology clone
+    /// resolves the same link).
     pub fn inject(&mut self, src: NodeId, dst: NodeId, payload: M) {
+        if let Some(par) = &mut self.par {
+            let lp = par.owner_of(dst);
+            par.lps[lp].inject(src, dst, payload);
+            return;
+        }
         let link = self.link_for(src, dst);
         let at = self.now + link.delay;
-        self.push(at, EventKind::Deliver(Packet { src, dst, payload }));
+        self.push_deliver(at, Packet { src, dst, payload });
     }
 
     /// Schedule a timer on a node from outside the simulation.
     pub fn inject_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        if let Some(par) = &mut self.par {
+            let lp = par.owner_of(node);
+            par.lps[lp].inject_timer(node, delay, token);
+            return;
+        }
         let at = self.now + delay;
         self.push(at, EventKind::Timer { node, token });
+    }
+
+    /// Number of node slots (installed nodes) in this simulator.
+    pub fn node_count(&self) -> usize {
+        if let Some(par) = &self.par {
+            return par.lps[0].nodes.len();
+        }
+        self.nodes.len()
+    }
+
+    /// Timestamp of the earliest pending event without dispatching it,
+    /// via the calendar queue's [`EventQueue::peek_at`]. The conservative
+    /// window loop uses this to compute the global lower bound on
+    /// next-event time.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        if let Some(par) = &mut self.par {
+            let mut min: Option<SimTime> = None;
+            for lp in &mut par.lps {
+                let t = lp.queue.peek_at();
+                min = match (min, t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            return min;
+        }
+        self.queue.peek_at()
     }
 
     /// Resolve the link config for one directed hop via the dense
@@ -405,7 +567,7 @@ impl<M: Clone + 'static> Simulator<M> {
         }
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+    pub(crate) fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(at, seq, kind);
@@ -413,6 +575,40 @@ impl<M: Clone + 'static> Simulator<M> {
         let depth = self.queue.len() as u64 + self.burst_pending;
         if depth > self.stats.max_queue_depth {
             self.stats.max_queue_depth = depth;
+        }
+    }
+
+    /// Queue one delivery, diverting it to the destination LP's mailbox
+    /// when this simulator is a logical process and the destination
+    /// lives elsewhere. The diverted entry consumes a send `seq` (the
+    /// deterministic mailbox merge key); `events_scheduled` is counted
+    /// at the receiver when the mailbox is flushed into its queue. A
+    /// standalone simulator pays one `Option` test here and nothing
+    /// else.
+    #[inline]
+    fn push_deliver(&mut self, at: SimTime, pkt: Packet<M>) {
+        if let Some(map) = &self.lp_of {
+            if let Some(&dst_lp) = map.get(pkt.dst.index()) {
+                if dst_lp != self.lp {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.outboxes[dst_lp as usize].push((at, seq, pkt));
+                    return;
+                }
+            }
+        }
+        self.push(at, EventKind::Deliver(pkt));
+    }
+
+    /// Merge one window's worth of cross-LP arrivals into the local
+    /// queue. Entries are sorted by `(at, seq, src_lp)` — a total order
+    /// (seqs are unique per sender) independent of the order worker
+    /// threads appended them — then pushed, which assigns fresh local
+    /// seqs in merge order and counts them as scheduled here.
+    pub(crate) fn flush_remote(&mut self, inbox: &mut Vec<(SimTime, u64, u32, Packet<M>)>) {
+        inbox.sort_unstable_by_key(|&(at, seq, src_lp, _)| (at, seq, src_lp));
+        for (at, _seq, _src_lp, pkt) in inbox.drain(..) {
+            self.push(at, EventKind::Deliver(pkt));
         }
     }
 
@@ -469,7 +665,7 @@ impl<M: Clone + 'static> Simulator<M> {
             // Healthy link (the overwhelmingly common case): no RNG
             // draws, no per-link state, one queue push.
             let at = self.now + link.delay + extra_delay;
-            self.push(at, EventKind::Deliver(Packet { src, dst, payload }));
+            self.push_deliver(at, Packet { src, dst, payload });
             return;
         }
         // Loss: Gilbert–Elliott channel if configured, else Bernoulli.
@@ -560,16 +756,16 @@ impl<M: Clone + 'static> Simulator<M> {
                     payload: &payload,
                 });
             }
-            self.push(
+            self.push_deliver(
                 dup_at,
-                EventKind::Deliver(Packet {
+                Packet {
                     src,
                     dst,
                     payload: payload.clone(),
-                }),
+                },
             );
         }
-        self.push(at, EventKind::Deliver(Packet { src, dst, payload }));
+        self.push_deliver(at, Packet { src, dst, payload });
     }
 
     fn apply_fault<T: TapHook<M>>(&mut self, action: FaultAction, tap: &mut T) {
@@ -647,7 +843,14 @@ impl<M: Clone + 'static> Simulator<M> {
     }
 
     /// Process the next event. Returns `false` when the queue is empty.
+    /// Panics on a partitioned simulator: single-stepping has no
+    /// well-defined global order across logical processes — use
+    /// [`Simulator::run_until`].
     pub fn step(&mut self) -> bool {
+        assert!(
+            self.par.is_none(),
+            "step on a partitioned simulator: use run_until"
+        );
         let Some((at, _seq, kind)) = self.queue.pop() else {
             return false;
         };
@@ -674,6 +877,15 @@ impl<M: Clone + 'static> Simulator<M> {
     /// of the burst, so picking them up in the next `pop_run` round
     /// preserves the order; see `tests/prop_spine.rs`).
     pub fn run_until(&mut self, deadline: SimTime) {
+        if self.par.is_some() {
+            let mut par = self.par.take().expect("just checked");
+            crate::par::run_windows(&mut par, deadline);
+            self.par = Some(par);
+            if self.now < deadline {
+                self.now = deadline;
+            }
+            return;
+        }
         if let Some(mut t) = self.tap.take() {
             self.drain_until(deadline, &mut DynTap(&mut *t));
             self.tap = Some(t);
@@ -711,6 +923,13 @@ impl<M: Clone + 'static> Simulator<M> {
     /// pop-if-due, no burst batching) so a `Custom` fault pauses with
     /// every later same-instant event still queued, exactly as before.
     pub fn run_until_fault(&mut self, deadline: SimTime) -> RunOutcome {
+        if self.par.is_some() {
+            // Custom faults cannot be scheduled on a partitioned
+            // simulator (schedule_fault panics), so this can only ever
+            // reach the deadline.
+            self.run_until(deadline);
+            return RunOutcome::ReachedDeadline;
+        }
         if let Some((at, token)) = self.pending_custom.take() {
             return RunOutcome::CustomFault { at, token };
         }
@@ -760,8 +979,12 @@ impl<M: Clone + 'static> Simulator<M> {
         false
     }
 
-    /// Number of events waiting in the queue.
+    /// Number of events waiting in the queue. Partitioned: the sum over
+    /// all LP queues plus any cross-LP packets staged in mailboxes.
     pub fn pending_events(&self) -> usize {
+        if let Some(par) = &self.par {
+            return par.pending_events();
+        }
         self.queue.len()
     }
 }
@@ -1222,17 +1445,16 @@ mod fault_tests {
 
     #[test]
     fn tap_observes_sends_losses_and_deliveries() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let counts = Rc::new(RefCell::new((0u64, 0u64, 0u64, 0u64)));
-        let c2 = Rc::clone(&counts);
+        use std::sync::{Arc, Mutex};
+        let counts = Arc::new(Mutex::new((0u64, 0u64, 0u64, 0u64)));
+        let c2 = Arc::clone(&counts);
         let faults = LinkFaults {
             duplicate: 1.0,
             ..LinkFaults::NONE
         };
         let (mut s, _f, _r) = flood_sim(5, 10, faults);
         s.set_tap(Box::new(move |ev| {
-            let mut c = c2.borrow_mut();
+            let mut c = c2.lock().unwrap();
             match ev {
                 TapEvent::Sent { .. } => c.0 += 1,
                 TapEvent::Lost { .. } => c.1 += 1,
@@ -1242,7 +1464,7 @@ mod fault_tests {
             }
         }));
         s.run_until(SimTime(1_000_000));
-        let c = counts.borrow();
+        let c = counts.lock().unwrap();
         assert_eq!(c.0, 10, "one Sent per logical send");
         assert_eq!(c.1, 0);
         assert_eq!(c.2, 10);

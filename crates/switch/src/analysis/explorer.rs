@@ -371,7 +371,7 @@ pub fn explore(kind: EngineKind) -> Result<ExplorationSummary, ExplorationError>
         summary.states += 1;
         for (name, msg) in probes_for(state) {
             let mut dp = build_state(kind, state, &sink);
-            let setup_trace = sink.borrow_mut().take();
+            let setup_trace = sink.lock().unwrap().take();
             let setup_stats =
                 check_discipline(&setup_trace, bound).map_err(|violation| ExplorationError {
                     state: format!("{state:?}"),
@@ -379,7 +379,7 @@ pub fn explore(kind: EngineKind) -> Result<ExplorationSummary, ExplorationError>
                     violation,
                 })?;
             dp.process_collect(msg, 0);
-            let probe_trace = sink.borrow_mut().take();
+            let probe_trace = sink.lock().unwrap().take();
             let probe_stats =
                 check_discipline(&probe_trace, bound).map_err(|violation| ExplorationError {
                     state: format!("{state:?}"),

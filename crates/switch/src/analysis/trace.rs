@@ -16,10 +16,9 @@
 //! Control-plane (`cp_*`) operations are deliberately invisible to the
 //! trace: they travel over PCIe, not through the pipeline.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::register::{ArrayId, PassId};
 
@@ -69,13 +68,18 @@ impl TraceBuffer {
 }
 
 /// Shared handle to a [`TraceBuffer`]; clone it freely — all clones feed
-/// the same buffer. The data plane is single-threaded (as is the switch
-/// pipeline being modeled), so a non-atomic handle suffices.
-pub type TraceSink = Rc<RefCell<TraceBuffer>>;
+/// the same buffer. The data plane itself is single-threaded (as is the
+/// switch pipeline being modeled), but the node that owns it must be
+/// `Send` so a partitioned simulation can advance it on a worker thread
+/// — hence `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>`. The lock is
+/// uncontended in every use (one rack's accesses are serialized by its
+/// simulator), so the cost is one atomic per recorded access, and only
+/// when tracing is enabled at all.
+pub type TraceSink = Arc<Mutex<TraceBuffer>>;
 
 /// A fresh, empty sink.
 pub fn new_sink() -> TraceSink {
-    Rc::new(RefCell::new(TraceBuffer::default()))
+    Arc::new(Mutex::new(TraceBuffer::default()))
 }
 
 /// A violation of the pipeline-pass discipline found in a trace.
@@ -347,11 +351,11 @@ mod tests {
     #[test]
     fn sink_collects_and_drains() {
         let sink = new_sink();
-        sink.borrow_mut().record(rec(1, 0, 1, 0));
-        assert_eq!(sink.borrow().len(), 1);
-        let taken = sink.borrow_mut().take();
+        sink.lock().unwrap().record(rec(1, 0, 1, 0));
+        assert_eq!(sink.lock().unwrap().len(), 1);
+        let taken = sink.lock().unwrap().take();
         assert_eq!(taken.len(), 1);
-        assert!(sink.borrow().is_empty());
+        assert!(sink.lock().unwrap().is_empty());
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl Pass {
     #[inline(never)]
     fn record(&self, array: ArrayId, name: &'static str, stage: usize, index: usize) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().record(AccessRecord {
+            sink.lock().unwrap().record(AccessRecord {
                 array,
                 name,
                 stage,
@@ -312,7 +312,7 @@ mod tests {
         // CP operations are PCIe traffic: never traced.
         arr.cp_write(0, 5);
         arr.cp_fill(0);
-        let records = sink.borrow_mut().take();
+        let records = sink.lock().unwrap().take();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].array, arr.id());
         assert_eq!(records[0].name, "a");

@@ -257,7 +257,7 @@ mod tests {
         for f0 in 0..4u64 {
             lowered.run(&[f0, 1], &mut out);
         }
-        let records = sink.borrow_mut().take();
+        let records = sink.lock().unwrap().take();
         assert!(!records.is_empty());
         let stats = check_discipline(&records, 1).expect("runtime trace is disciplined");
         assert_eq!(stats.max_resubmit_depth, 1);

@@ -74,7 +74,7 @@ fn differential(seed: u64) -> bool {
 
     // Runtime ground truth: the trace the lowered execution actually
     // produced satisfies the hardware discipline the verifier promised.
-    let records = sink.borrow_mut().take();
+    let records = sink.lock().unwrap().take();
     check_discipline(&records, program.max_recirculations)
         .unwrap_or_else(|v| panic!("seed {seed}: runtime trace violates discipline: {v}"));
     true

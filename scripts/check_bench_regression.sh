@@ -21,6 +21,19 @@
 #     rate through the public Simulator API; generous margin because
 #     the quick run is short and machines differ — a real spine
 #     regression like a lost fast path lands well below 0.6)
+#   - sim_parallel_events_per_sec.w1_over_ref < 0.95 (the conservative-
+#     window loop at one worker must stay within 5% of the *same
+#     scenario* on the fused serial loop; the recorded value is the best
+#     paired ratio across interleaved (serial_ref, workers_1) runs, so
+#     machine noise — which hits both halves of a pair equally — cannot
+#     fail the gate, while a real >5% per-event slowdown holds every
+#     pair below 0.95; runs without the field fall back to
+#     workers_1 / serial_ref, then workers_1 / sim_events_per_sec)
+#   - sim_parallel_events_per_sec.workers_1 < 0.6 × the committed
+#     baseline's (same cross-machine margin as the serial spine)
+#   - workers_max < 1.5 × workers_1 when the host has >= 4 cores (the
+#     parallel windows must actually buy wall-clock on multi-rack
+#     scenarios; skipped on small hosts where no speedup is possible)
 #
 # Absolute nanosecond numbers vary across machines; the 25% bound is a
 # smoke threshold to catch order-of-magnitude mistakes (an accidental
@@ -64,6 +77,32 @@ if eps_base > 0 and eps_new < eps_base * 0.6:
         f"{eps_base/1e6:.1f}M (< 0.6x)"
     )
 
+par_new = new.get("sim_parallel_events_per_sec", {})
+par_base = base.get("sim_parallel_events_per_sec", {})
+w1 = par_new.get("workers_1", 0.0)
+wmax = par_new.get("workers_max", 0.0)
+serial_ref = par_new.get("serial_ref", 0.0) or eps_new
+ratio = par_new.get("w1_over_ref", 0.0)
+if not ratio and w1 and serial_ref:
+    ratio = w1 / serial_ref
+if ratio and ratio < 0.95:
+    fail.append(
+        f"1-worker partitioned spine fell behind the fused serial loop on "
+        f"the same scenario: best paired ratio {ratio:.3f} (< 0.95)"
+    )
+w1_base = par_base.get("workers_1", 0.0)
+if w1_base > 0 and w1 < w1_base * 0.6:
+    fail.append(
+        f"sim_parallel_events_per_sec.workers_1 regressed: {w1/1e6:.1f}M vs "
+        f"baseline {w1_base/1e6:.1f}M (< 0.6x)"
+    )
+cores = par_new.get("max_workers", 1)
+if cores >= 4 and w1 and wmax < w1 * 1.5:
+    fail.append(
+        f"parallel windows bought no speedup on a {cores}-core host: "
+        f"{wmax/1e6:.1f}M at {cores} workers vs {w1/1e6:.1f}M at 1 (< 1.5x)"
+    )
+
 dp_new, dp_base = new["dataplane_ns_per_op"], base["dataplane_ns_per_op"]
 if dp_new > dp_base * 1.25:
     fail.append(
@@ -92,6 +131,8 @@ if fail:
 print(
     f"ok    allocs_per_packet=0  txn_allocs_per_packet=0  packet_bytes={pkt}  "
     f"spine {eps_new/1e6:.1f}M ev/s (baseline {eps_base/1e6:.1f}M)  "
+    f"parallel ref {serial_ref/1e6:.1f}M w1 {w1/1e6:.1f}M "
+    f"(paired {ratio:.2f}) wmax {wmax/1e6:.1f}M ({cores} cores)  "
     f"dataplane {dp_new:.1f}ns/op "
     f"(baseline {dp_base:.1f})  queue ratios "
     + " ".join(f"{p['old_over_new']:.2f}" for p in new["queue_churn"])

@@ -167,7 +167,7 @@ fn duplicated_grants_are_released_exactly_once() {
     }
     let oracle = attach_oracle(&mut rack, OracleConfig::default());
     rack.sim.run_for(SimDuration::from_millis(50));
-    oracle.borrow_mut().finish(rack.sim.now().as_nanos());
+    oracle.lock().unwrap().finish(rack.sim.now().as_nanos());
 
     let stats = rack
         .sim
@@ -192,7 +192,7 @@ fn duplicated_grants_are_released_exactly_once() {
         filtered > 0,
         "duplicated releases must be filtered by the release guard"
     );
-    let o = oracle.borrow();
+    let o = oracle.lock().unwrap();
     assert!(
         o.is_clean(),
         "oracle must stay clean under forced duplication:\n{}",

@@ -213,6 +213,10 @@ pub fn build_tpcc_chaos_rack(seed: u64) -> (Rack, Allocation) {
             TxnClientConfig {
                 workers: spec.workers_per_client,
                 retry_timeout: spec.retry_timeout,
+                // Cap backoff at one lease: the oracle's wedge horizon is a
+                // few leases, so retries must keep touching activity faster
+                // than that even after repeated losses.
+                retry_backoff_cap: CHAOS_LEASE,
                 ..Default::default()
             },
             Box::new(netlock_workloads::TpccSource::new(cfg.clone())),

@@ -1,0 +1,211 @@
+//! The multi-switch failover figure: availability and latency under a
+//! crash schedule, swept over chain-replication factor 1 / 2 / 3.
+//!
+//! Every run uses the same partitioned cluster shape and the same
+//! canonical crash plan ([`CrashScenario`]): one chain member per
+//! partition fails mid-traffic and revives after the outage. The only
+//! knob the sweep turns is the replication factor, so the TSV isolates
+//! what replication buys:
+//!
+//! - **factor 1** — the partition is its only replica; every crash
+//!   takes the partition's whole lock range offline until revive plus
+//!   the §4.5 grace, and the grant timeline flatlines for the window;
+//! - **factor ≥ 2** — the controller splices the survivors within a
+//!   few control ticks, the new tail replays the in-flight window, and
+//!   grants keep flowing through the outage.
+//!
+//! The report has two sections: one summary row per factor (progress,
+//! crash-window availability, latency percentiles, oracle verdict,
+//! audit digest) and a `# timeline` block of grants-per-millisecond
+//! columns, one per factor — the data behind the availability plot.
+//! Like every figure in this crate, a run is a pure function of its
+//! config; [`check_workers`] replays the sweep at two worker counts
+//! and byte-compares the audit digests.
+
+use netlock_core::prelude::*;
+use netlock_sim::LatencySummary;
+
+/// Replication factors the failover figure sweeps.
+pub const FACTORS: [usize; 3] = [1, 2, 3];
+
+/// Scale of a sweep: the full figure or the CI smoke variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Full figure: 40 ms runs, 6 ms outage.
+    Full,
+    /// CI smoke: 24 ms runs, 4 ms outage.
+    Quick,
+}
+
+impl Scale {
+    /// Total simulated time per run.
+    pub fn total(self) -> SimDuration {
+        match self {
+            Scale::Full => SimDuration::from_millis(40),
+            Scale::Quick => SimDuration::from_millis(24),
+        }
+    }
+
+    /// The crash schedule at this scale.
+    pub fn scenario(self) -> CrashScenario {
+        match self {
+            Scale::Full => CrashScenario::default(),
+            Scale::Quick => CrashScenario {
+                crash_at: SimDuration::from_millis(6),
+                outage: SimDuration::from_millis(4),
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// The cluster shape every sweep point shares (only `replication`
+/// varies).
+pub fn sweep_config(replication: usize) -> FailoverConfig {
+    FailoverConfig {
+        replication,
+        ..Default::default()
+    }
+}
+
+/// Run the factor sweep at one worker count.
+pub fn run_sweep(scale: Scale, workers: usize) -> Vec<FailoverRun> {
+    FACTORS
+        .iter()
+        .map(|&f| {
+            run_failover(
+                &sweep_config(f),
+                &scale.scenario(),
+                workers,
+                scale.total(),
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Render the two-section TSV report (summary rows + timeline block).
+pub fn render(scale: Scale, runs: &[FailoverRun]) -> String {
+    use std::fmt::Write;
+    let partitions = FailoverConfig::default().partitions;
+    let scenario = scale.scenario();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# NetLock multi-switch failover: {} partitions, crash at {} ms, outage {} ms, total {} ms",
+        partitions,
+        scenario.crash_at.as_nanos() as f64 / 1e6,
+        scenario.outage.as_nanos() as f64 / 1e6,
+        scale.total().as_nanos() as f64 / 1e6,
+    );
+    let _ = writeln!(
+        out,
+        "replication\tworkers\ttxns\tgrants\tcrash_window_grants\tretries\t\
+         txn_p50_us\ttxn_p99_us\tdigest\tverdict"
+    );
+    for r in runs {
+        let lat = LatencySummary::from_histogram(&r.totals.txn_latency);
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:016x}\t{}",
+            r.replication,
+            r.workers,
+            r.totals.txns,
+            r.totals.grants,
+            r.crash_window_grants(partitions),
+            r.totals.retries,
+            lat.p50_us(),
+            lat.p99_us(),
+            r.digest,
+            if r.violations == 0 {
+                "CLEAN"
+            } else {
+                "VIOLATED"
+            },
+        );
+    }
+    // Grants-per-millisecond timeline, one column per factor.
+    let _ = writeln!(out, "# timeline: grants delivered per 1 ms bucket");
+    let mut header = String::from("t_ms");
+    for r in runs {
+        let _ = write!(header, "\tfactor{}", r.replication);
+    }
+    let _ = writeln!(out, "{header}");
+    let buckets = runs
+        .iter()
+        .map(|r| r.timeline.buckets().len())
+        .max()
+        .unwrap_or(0);
+    for b in 0..buckets {
+        let _ = write!(out, "{b}");
+        for r in runs {
+            let n = r.timeline.buckets().get(b).copied().unwrap_or(0);
+            let _ = write!(out, "\t{n}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Replay the sweep at two worker counts and insist the audit digests
+/// match byte for byte and every run is oracle-clean. Returns the
+/// human-readable failure on mismatch — the CI smoke job's teeth.
+pub fn check_workers(scale: Scale, a: usize, b: usize) -> Result<Vec<FailoverRun>, String> {
+    let left = run_sweep(scale, a);
+    let right = run_sweep(scale, b);
+    for (l, r) in left.iter().zip(&right) {
+        if l.digest != r.digest {
+            return Err(format!(
+                "factor {}: digest {:016x} with {a} workers != {:016x} with {b} workers",
+                l.replication, l.digest, r.digest
+            ));
+        }
+        if l.audit != r.audit {
+            return Err(format!(
+                "factor {}: audit logs diverge between {a} and {b} workers",
+                l.replication
+            ));
+        }
+        if l.violations != 0 {
+            return Err(format!(
+                "factor {}: {} oracle violations:\n{}",
+                l.replication, l.violations, l.audit
+            ));
+        }
+    }
+    Ok(left)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_renders_and_replication_pays() {
+        let runs = run_sweep(Scale::Quick, 2);
+        let report = render(Scale::Quick, &runs);
+        for f in FACTORS {
+            assert!(
+                report.contains(&format!("\n{f}\t2\t")),
+                "missing factor {f} row:\n{report}"
+            );
+        }
+        assert!(report.contains("# timeline"), "{report}");
+        for r in &runs {
+            assert_eq!(r.violations, 0, "factor {}: {}", r.replication, r.audit);
+        }
+        let partitions = FailoverConfig::default().partitions;
+        let solo = runs[0].crash_window_grants(partitions);
+        let pair = runs[1].crash_window_grants(partitions);
+        assert!(
+            pair > solo * 4,
+            "replication must sustain the crash window: factor2={pair} factor1={solo}"
+        );
+    }
+
+    #[test]
+    fn quick_check_workers_is_byte_identical() {
+        let runs = check_workers(Scale::Quick, 1, 2).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(runs.len(), FACTORS.len());
+    }
+}

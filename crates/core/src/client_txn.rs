@@ -4,17 +4,27 @@
 //! take a transaction from the workload source, acquire its locks one by
 //! one (sorted order — deadlock-free 2PL), think, release everything,
 //! repeat. Lost grants (packet loss, switch failure, quota drops) are
-//! handled by retransmission after `retry_timeout`; surplus grants from
-//! retries are released immediately so they cannot leak holders.
+//! handled by retransmission with capped exponential backoff and
+//! deterministic per-client jitter (an independently seeded `SimRng`
+//! stream), so the retry waves of many clients blocked by one switch
+//! outage spread out instead of re-synchronizing into storms; surplus
+//! grants from retries are released immediately so they cannot leak
+//! holders.
+//!
+//! In a multi-switch deployment the client routes each acquire/release
+//! by lock through a [`PartitionMap`] (see `netlock_switch::partition`)
+//! and follows `CtrlPartitionMap` re-broadcasts, so a retry after a
+//! chain failover lands on the repaired head.
 //!
 //! Timers are guarded by a per-worker generation counter: every state
 //! transition invalidates outstanding timers, so a stale retry timer can
 //! never fire into a later phase of the transaction.
 
 use netlock_proto::{
-    ClientAddr, GrantMsg, Grantor, LockRequest, NetLockMsg, ReleaseRequest, TxnId,
+    ClientAddr, GrantMsg, Grantor, LockId, LockRequest, NetLockMsg, ReleaseRequest, TxnId,
 };
 use netlock_sim::{Context, Histogram, Node, NodeId, Packet, SimDuration, SimRng, SimTime};
+use netlock_switch::partition::PartitionMap;
 
 use crate::txn::{LockNeed, Transaction, TxnSource};
 
@@ -27,8 +37,12 @@ pub struct TxnClientConfig {
     pub tx_delay: SimDuration,
     /// Client software + NIC delay on receive.
     pub rx_delay: SimDuration,
-    /// Re-send an acquire if no grant arrives within this window.
+    /// Re-send an acquire if no grant arrives within this window (the
+    /// backoff base; attempt `n` waits `min(2^n × retry_timeout,
+    /// retry_backoff_cap)` ± 25% jitter).
     pub retry_timeout: SimDuration,
+    /// Ceiling of the exponential retry backoff.
+    pub retry_backoff_cap: SimDuration,
     /// Delay before the workers start issuing transactions (tenant
     /// arrival time in the policy experiments).
     pub start_delay: SimDuration,
@@ -41,6 +55,7 @@ impl Default for TxnClientConfig {
             tx_delay: SimDuration::from_nanos(2_500),
             rx_delay: SimDuration::from_nanos(2_500),
             retry_timeout: SimDuration::from_millis(20),
+            retry_backoff_cap: SimDuration::from_millis(160),
             start_delay: SimDuration::ZERO,
         }
     }
@@ -92,15 +107,26 @@ struct Worker {
     seq: u64,
     /// Timer-staleness guard; bumped on every state transition.
     timer_gen: u64,
+    /// Consecutive retransmissions of the current acquire (backoff
+    /// exponent); reset whenever the worker advances to a new lock.
+    attempts: u32,
 }
 
 /// The closed-loop transaction client node.
 pub struct TxnClient {
     cfg: TxnClientConfig,
     switch: NodeId,
+    /// Multi-switch routing table; `None` = single-switch deployment
+    /// (everything goes to `switch`).
+    route: Option<PartitionMap>,
     source: Box<dyn TxnSource>,
     workers: Vec<Worker>,
     rng: SimRng,
+    /// Dedicated jitter stream for retry backoff. Seeded independently
+    /// of `rng` so enabling/disabling retries never perturbs the
+    /// workload draws (byte-stable figure output), and independently
+    /// per client so blocked clients desynchronize.
+    retry_rng: SimRng,
     stats: TxnClientStats,
     /// Test hook: when set, surplus grants are counted but not
     /// released (chaos-suite sabotage; leaks queue entries so the
@@ -125,12 +151,55 @@ impl TxnClient {
         TxnClient {
             cfg,
             switch,
+            route: None,
             source,
             workers: Vec::new(),
             rng: SimRng::new(seed),
+            // Domain-separated from the workload stream: retries draw
+            // jitter without shifting any transaction draw.
+            retry_rng: SimRng::new(seed ^ 0x5245_5452_594a_4954),
             stats: TxnClientStats::default(),
             surplus_release_disabled: false,
         }
+    }
+
+    /// Install a lock-space routing table for a multi-switch
+    /// deployment: every acquire/release routes to the chain head of
+    /// the lock's partition, and later `CtrlPartitionMap` broadcasts
+    /// (chain repairs moving a head) update it in place.
+    pub fn set_partition_route(&mut self, map: PartitionMap) {
+        self.route = Some(map);
+    }
+
+    /// The switch currently serving `lock`.
+    fn switch_for(&self, lock: LockId) -> NodeId {
+        match &self.route {
+            Some(map) => map.head_of(lock),
+            None => self.switch,
+        }
+    }
+
+    /// Retry wait for the current attempt: the first wait is exactly
+    /// `retry_timeout` (byte-stable with the pre-backoff behavior);
+    /// attempt `n` waits `min(2^n × retry_timeout, retry_backoff_cap)`
+    /// with ±25% jitter from the dedicated per-client stream, so
+    /// clients blocked by the same outage drift apart instead of
+    /// hammering the reviving switch in lockstep waves.
+    fn retry_delay(&mut self, worker: usize) -> SimDuration {
+        let attempts = self.workers[worker].attempts;
+        if attempts == 0 {
+            return self.cfg.retry_timeout;
+        }
+        let base = self.cfg.retry_timeout.as_nanos();
+        let cap = self.cfg.retry_backoff_cap.as_nanos().max(base);
+        let backoff = base.saturating_mul(1 << attempts.min(20)).min(cap);
+        let span = backoff / 2; // total jitter width: 50% of the wait
+        let jitter = if span == 0 {
+            0
+        } else {
+            self.retry_rng.next_u64() % (span + 1)
+        };
+        SimDuration::from_nanos(backoff - span / 2 + jitter)
     }
 
     /// Disable the surplus-grant release path (chaos-suite sabotage
@@ -184,6 +253,7 @@ impl TxnClient {
             w.seq += 1;
             w.timer_gen += 1;
             w.held.clear();
+            w.attempts = 0;
             w.txn_id = Self::make_txn_id(me, worker, w.seq);
             w.started = ctx.now();
             if txn.locks.is_empty() {
@@ -227,8 +297,10 @@ impl TxnClient {
             priority,
             issued_at_ns: now.as_nanos(),
         };
-        ctx.send_after(self.switch, NetLockMsg::Acquire(req), self.cfg.tx_delay);
-        self.arm_timer(worker, self.cfg.retry_timeout, ctx);
+        let dst = self.switch_for(need.lock);
+        ctx.send_after(dst, NetLockMsg::Acquire(req), self.cfg.tx_delay);
+        let delay = self.retry_delay(worker);
+        self.arm_timer(worker, delay, ctx);
     }
 
     fn release_surplus(&mut self, grant: &GrantMsg, ctx: &mut Context<'_, NetLockMsg>) {
@@ -244,7 +316,8 @@ impl TxnClient {
             // The release must route to the level queue that granted it.
             priority: grant.priority,
         };
-        ctx.send_after(self.switch, NetLockMsg::Release(rel), self.cfg.tx_delay);
+        let dst = self.switch_for(grant.lock);
+        ctx.send_after(dst, NetLockMsg::Release(rel), self.cfg.tx_delay);
     }
 
     fn on_grant(&mut self, grant: GrantMsg, ctx: &mut Context<'_, NetLockMsg>) {
@@ -301,6 +374,7 @@ impl TxnClient {
                 next: next + 1,
                 acquire_sent: ctx.now(),
             };
+            self.workers[worker].attempts = 0;
             self.send_acquire(worker, ctx);
         } else {
             let think = self.workers[worker].txn.think;
@@ -328,7 +402,8 @@ impl TxnClient {
                 client: ClientAddr(me.0),
                 priority,
             };
-            ctx.send_after(self.switch, NetLockMsg::Release(rel), self.cfg.tx_delay);
+            let dst = self.switch_for(need.lock);
+            ctx.send_after(dst, NetLockMsg::Release(rel), self.cfg.tx_delay);
         }
         let started = self.workers[worker].started;
         self.stats.txns += 1;
@@ -355,6 +430,7 @@ impl Node<NetLockMsg> for TxnClient {
                 held: Vec::new(),
                 seq: 0,
                 timer_gen: 0,
+                attempts: 0,
             });
         }
         if self.cfg.start_delay.is_zero() {
@@ -370,6 +446,11 @@ impl Node<NetLockMsg> for TxnClient {
         match pkt.payload {
             NetLockMsg::Grant(g) => self.on_grant(g, ctx),
             NetLockMsg::DbReply { grant } => self.on_grant(grant, ctx),
+            NetLockMsg::CtrlPartitionMap { version, heads } => {
+                if let Some(route) = &mut self.route {
+                    route.apply_update(version, &heads);
+                }
+            }
             _ => {}
         }
     }
@@ -390,8 +471,10 @@ impl Node<NetLockMsg> for TxnClient {
         }
         match self.workers[worker].phase {
             Phase::Acquiring { .. } => {
-                // Grant never arrived: retransmit the acquire.
+                // Grant never arrived: retransmit the acquire with the
+                // next backoff step.
                 self.stats.retries += 1;
+                self.workers[worker].attempts = self.workers[worker].attempts.saturating_add(1);
                 self.send_acquire(worker, ctx);
             }
             Phase::Thinking => self.complete_txn(worker, ctx),
@@ -573,6 +656,107 @@ mod tests {
         });
         assert!(sw > 0);
         assert_eq!(srv, 0, "all locks are switch-resident here");
+    }
+
+    /// Black hole standing in for a dead switch: records when each
+    /// client's acquires arrive, never grants anything.
+    struct AcquireRecorder {
+        arrivals: Vec<(NodeId, u64)>,
+    }
+
+    impl Node<NetLockMsg> for AcquireRecorder {
+        fn on_packet(&mut self, pkt: Packet<NetLockMsg>, ctx: &mut Context<'_, NetLockMsg>) {
+            if matches!(pkt.payload, NetLockMsg::Acquire(_)) {
+                self.arrivals.push((pkt.src, ctx.now().as_nanos()));
+            }
+        }
+
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_, NetLockMsg>) {}
+
+        fn name(&self) -> &str {
+            "acquire-recorder"
+        }
+    }
+
+    /// One outage run: 4 single-worker clients against a switch that
+    /// never answers. Returns each client's acquire arrival times.
+    fn outage_retry_schedules() -> Vec<Vec<u64>> {
+        let mut sim = Simulator::new(
+            Topology::new(LinkConfig::with_delay(SimDuration::from_nanos(1_200))),
+            9,
+        );
+        let rec = sim.add_node(Box::new(AcquireRecorder { arrivals: vec![] }));
+        let clients: Vec<NodeId> = (0..4)
+            .map(|i| {
+                sim.add_node(Box::new(TxnClient::new(
+                    TxnClientConfig {
+                        workers: 1,
+                        retry_timeout: SimDuration::from_millis(1),
+                        retry_backoff_cap: SimDuration::from_millis(8),
+                        ..Default::default()
+                    },
+                    rec,
+                    Box::new(SingleLockSource {
+                        locks: vec![LockId(0)],
+                        mode: LockMode::Exclusive,
+                        think: SimDuration::ZERO,
+                    }),
+                    100 + i,
+                )))
+            })
+            .collect();
+        sim.run_until(SimTime(SimDuration::from_millis(60).as_nanos()));
+        let arrivals = sim.read_node::<AcquireRecorder, _>(rec, |r| r.arrivals.clone());
+        clients
+            .iter()
+            .map(|&c| {
+                arrivals
+                    .iter()
+                    .filter(|(src, _)| *src == c)
+                    .map(|&(_, t)| t)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outage_retries_back_off_and_desynchronize() {
+        let schedules = outage_retry_schedules();
+        // Backoff: every client's retry gaps grow from the base toward
+        // the cap instead of staying a fixed period.
+        for times in &schedules {
+            assert!(times.len() >= 6, "expected a retry train, got {times:?}");
+            let gaps: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+            let (min, max) = (*gaps.iter().min().unwrap(), *gaps.iter().max().unwrap());
+            assert!(
+                max >= 4 * min,
+                "gaps must grow exponentially: min {min} max {max}"
+            );
+            assert!(
+                gaps.windows(2).any(|w| w[0] != w[1]),
+                "jitter must vary the gaps: {gaps:?}"
+            );
+        }
+        // Desynchronization: all clients start in lockstep (same start
+        // time, and the first re-send is the exact base timeout), but
+        // once jitter kicks in no two clients retry at the same
+        // instant again.
+        use std::collections::HashSet;
+        let mut late = HashSet::new();
+        let mut total = 0usize;
+        for times in &schedules {
+            for &t in &times[2..] {
+                late.insert(t);
+                total += 1;
+            }
+        }
+        assert_eq!(
+            late.len(),
+            total,
+            "jittered retries must not collide across clients"
+        );
+        // Deterministic: the jitter stream is seeded, not wall-clock.
+        assert_eq!(schedules, outage_retry_schedules());
     }
 
     #[test]

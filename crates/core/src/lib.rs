@@ -54,6 +54,7 @@ pub mod client_micro;
 pub mod client_txn;
 pub mod cluster;
 pub mod db_server;
+pub mod failover;
 pub mod harness;
 pub mod oracle;
 pub mod rack;
@@ -71,6 +72,10 @@ pub mod prelude {
         attach_rack_oracles, cluster_plan_config, run_cluster_chaos, ClusterRack, RackCluster,
     };
     pub use crate::db_server::{DbServer, DbServerConfig};
+    pub use crate::failover::{
+        attach_failover_probe, crash_plan, run_failover, CrashScenario, FailoverCluster,
+        FailoverConfig, FailoverRun, GrantTimeline, VictimPick,
+    };
     pub use crate::harness::{
         collect, reset_clients, switch_breakdown, tps_series, txns_by_client, warmup_and_measure,
         RunStats,

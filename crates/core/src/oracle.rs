@@ -524,9 +524,20 @@ impl Oracle {
     /// outstanding open requests stop counting toward liveness. Clients
     /// with retry logic will re-open theirs on the next retransmission.
     pub fn note_amnesia(&mut self, now_ns: u64) {
-        let excused = self.open.len() as u64;
+        self.note_amnesia_where(now_ns, |_| true);
+    }
+
+    /// Declare a *scoped* amnesia point: only the lock manager serving
+    /// a subset of the lock space lost its queues (one partition's
+    /// chain crashed in a multi-switch deployment). Open requests for
+    /// locks where `affected` returns true are excused; requests served
+    /// by the surviving partitions still count toward liveness — a
+    /// crash in partition A is no excuse for partition B wedging.
+    pub fn note_amnesia_where(&mut self, now_ns: u64, mut affected: impl FnMut(LockId) -> bool) {
+        let before = self.open.len();
+        self.open.retain(|&(_, lock, _), _| !affected(LockId(lock)));
+        let excused = (before - self.open.len()) as u64;
         self.counts.amnesia_excused += excused;
-        self.open.clear();
         self.fold(b"A");
         self.fold_u64(now_ns);
         self.fold_u64(excused);
@@ -839,6 +850,43 @@ mod tests {
         o.finish(50_000_000);
         assert!(o.is_clean(), "{:?}", o.violations());
         assert_eq!(o.counts().amnesia_excused, 1);
+    }
+
+    #[test]
+    fn scoped_amnesia_excuses_only_the_crashed_partition() {
+        // Two partitions by the modulo map: lock 0 → partition A,
+        // lock 1 → partition B. Partition A's chain crashes; only its
+        // open requests may be forgotten.
+        let mut o = oracle_with_clients(&[5]);
+        for lock in [0u32, 1] {
+            let req = LockRequest {
+                lock: LockId(lock),
+                mode: LockMode::Exclusive,
+                txn: TxnId(100 + lock as u64),
+                client: ClientAddr(5),
+                tenant: TenantId(0),
+                priority: Priority(0),
+                issued_at_ns: 1_000,
+            };
+            let payload = NetLockMsg::Acquire(req);
+            o.observe(&TapEvent::Sent {
+                at: SimTime(1_000),
+                src: NodeId(5),
+                dst: NodeId(0),
+                payload: &payload,
+            });
+        }
+        o.note_amnesia_where(2_000, |lock| lock.0 % 2 == 0);
+        assert_eq!(o.counts().amnesia_excused, 1);
+        o.finish(50_000_000);
+        // Partition B's request must still wedge: its switch never died.
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, ViolationKind::WedgedRequest);
+        assert!(
+            o.violations()[0].detail.contains("lock 1"),
+            "wrong lock excused: {:?}",
+            o.violations()
+        );
     }
 
     #[test]

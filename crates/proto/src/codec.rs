@@ -35,6 +35,12 @@ enum Tag {
     CtrlPromote = 10,
     CtrlPromoteReady = 11,
     CtrlHandback = 12,
+    ChainOp = 13,
+    ChainAck = 14,
+    CtrlChainPing = 15,
+    CtrlChainConfig = 16,
+    CtrlChainReset = 17,
+    CtrlPartitionMap = 18,
 }
 
 impl Tag {
@@ -52,6 +58,12 @@ impl Tag {
             10 => Tag::CtrlPromote,
             11 => Tag::CtrlPromoteReady,
             12 => Tag::CtrlHandback,
+            13 => Tag::ChainOp,
+            14 => Tag::ChainAck,
+            15 => Tag::CtrlChainPing,
+            16 => Tag::CtrlChainConfig,
+            17 => Tag::CtrlChainReset,
+            18 => Tag::CtrlPartitionMap,
             _ => return None,
         })
     }
@@ -133,26 +145,27 @@ fn get_grant(buf: &mut impl Buf) -> Result<GrantMsg, DecodeError> {
 /// Encode any NetLock message to its wire form.
 pub fn encode_msg(msg: &NetLockMsg) -> Bytes {
     let mut buf = BytesMut::with_capacity(4 + HEADER_LEN);
+    encode_into(msg, &mut buf);
+    buf.freeze()
+}
+
+fn encode_into(msg: &NetLockMsg, buf: &mut BytesMut) {
     match msg {
         NetLockMsg::Acquire(req) => {
             buf.put_u8(Tag::Acquire as u8);
-            put_request(&mut buf, req, 0);
+            put_request(buf, req, 0);
         }
         NetLockMsg::Release(rel) => {
             buf.put_u8(Tag::Release as u8);
-            put_release(&mut buf, rel);
+            put_release(buf, rel);
         }
         NetLockMsg::Grant(g) => {
             buf.put_u8(Tag::Grant as u8);
-            put_grant(&mut buf, g);
+            put_grant(buf, g);
         }
         NetLockMsg::Forwarded { req, buffer_only } => {
             buf.put_u8(Tag::Forwarded as u8);
-            put_request(
-                &mut buf,
-                req,
-                if *buffer_only { FLAG_BUFFER_ONLY } else { 0 },
-            );
+            put_request(buf, req, if *buffer_only { FLAG_BUFFER_ONLY } else { 0 });
         }
         NetLockMsg::QueueSpace { lock, space } => {
             buf.put_u8(Tag::QueueSpace as u8);
@@ -164,16 +177,16 @@ pub fn encode_msg(msg: &NetLockMsg) -> Bytes {
             buf.put_u32(lock.0);
             buf.put_u16(reqs.len() as u16);
             for r in reqs {
-                put_request(&mut buf, r, 0);
+                put_request(buf, r, 0);
             }
         }
         NetLockMsg::DbFetch { grant } => {
             buf.put_u8(Tag::DbFetch as u8);
-            put_grant(&mut buf, grant);
+            put_grant(buf, grant);
         }
         NetLockMsg::DbReply { grant } => {
             buf.put_u8(Tag::DbReply as u8);
-            put_grant(&mut buf, grant);
+            put_grant(buf, grant);
         }
         NetLockMsg::CtrlDemote { lock } => {
             buf.put_u8(Tag::CtrlDemote as u8);
@@ -188,15 +201,67 @@ pub fn encode_msg(msg: &NetLockMsg) -> Bytes {
             buf.put_u32(lock.0);
             buf.put_u16(reqs.len() as u16);
             for r in reqs {
-                put_request(&mut buf, r, 0);
+                put_request(buf, r, 0);
             }
         }
         NetLockMsg::CtrlHandback { lock } => {
             buf.put_u8(Tag::CtrlHandback as u8);
             buf.put_u32(lock.0);
         }
+        NetLockMsg::ChainOp {
+            partition,
+            seq,
+            stamp_ns,
+            op,
+        } => {
+            buf.put_u8(Tag::ChainOp as u8);
+            buf.put_u16(*partition);
+            buf.put_u64(*seq);
+            buf.put_u64(*stamp_ns);
+            encode_into(op, buf);
+        }
+        NetLockMsg::ChainAck { partition, seq } => {
+            buf.put_u8(Tag::ChainAck as u8);
+            buf.put_u16(*partition);
+            buf.put_u64(*seq);
+        }
+        NetLockMsg::CtrlChainPing {
+            partition,
+            member,
+            epoch,
+        } => {
+            buf.put_u8(Tag::CtrlChainPing as u8);
+            buf.put_u16(*partition);
+            buf.put_u16(*member);
+            buf.put_u32(*epoch);
+        }
+        NetLockMsg::CtrlChainConfig {
+            partition,
+            epoch,
+            members,
+        } => {
+            buf.put_u8(Tag::CtrlChainConfig as u8);
+            buf.put_u16(*partition);
+            buf.put_u32(*epoch);
+            buf.put_u16(members.len() as u16);
+            for m in members {
+                buf.put_u32(*m);
+            }
+        }
+        NetLockMsg::CtrlChainReset { partition, epoch } => {
+            buf.put_u8(Tag::CtrlChainReset as u8);
+            buf.put_u16(*partition);
+            buf.put_u32(*epoch);
+        }
+        NetLockMsg::CtrlPartitionMap { version, heads } => {
+            buf.put_u8(Tag::CtrlPartitionMap as u8);
+            buf.put_u32(*version);
+            buf.put_u16(heads.len() as u16);
+            for h in heads {
+                buf.put_u32(*h);
+            }
+        }
     }
-    buf.freeze()
 }
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
@@ -281,6 +346,62 @@ pub fn decode_msg(buf: &mut impl Buf) -> Result<NetLockMsg, DecodeError> {
             NetLockMsg::CtrlHandback {
                 lock: LockId(buf.get_u32()),
             }
+        }
+        Tag::ChainOp => {
+            need(buf, 18)?;
+            let partition = buf.get_u16();
+            let seq = buf.get_u64();
+            let stamp_ns = buf.get_u64();
+            let op = Box::new(decode_msg(buf)?);
+            NetLockMsg::ChainOp {
+                partition,
+                seq,
+                stamp_ns,
+                op,
+            }
+        }
+        Tag::ChainAck => {
+            need(buf, 10)?;
+            NetLockMsg::ChainAck {
+                partition: buf.get_u16(),
+                seq: buf.get_u64(),
+            }
+        }
+        Tag::CtrlChainPing => {
+            need(buf, 8)?;
+            NetLockMsg::CtrlChainPing {
+                partition: buf.get_u16(),
+                member: buf.get_u16(),
+                epoch: buf.get_u32(),
+            }
+        }
+        Tag::CtrlChainConfig => {
+            need(buf, 8)?;
+            let partition = buf.get_u16();
+            let epoch = buf.get_u32();
+            let n = buf.get_u16() as usize;
+            need(buf, n * 4)?;
+            let members = (0..n).map(|_| buf.get_u32()).collect();
+            NetLockMsg::CtrlChainConfig {
+                partition,
+                epoch,
+                members,
+            }
+        }
+        Tag::CtrlChainReset => {
+            need(buf, 6)?;
+            NetLockMsg::CtrlChainReset {
+                partition: buf.get_u16(),
+                epoch: buf.get_u32(),
+            }
+        }
+        Tag::CtrlPartitionMap => {
+            need(buf, 6)?;
+            let version = buf.get_u32();
+            let n = buf.get_u16() as usize;
+            need(buf, n * 4)?;
+            let heads = (0..n).map(|_| buf.get_u32()).collect();
+            NetLockMsg::CtrlPartitionMap { version, heads }
         }
     })
 }
@@ -370,6 +491,51 @@ mod tests {
             reqs: (0..3).map(req).collect(),
         });
         roundtrip(NetLockMsg::CtrlHandback { lock: LockId(17) });
+        roundtrip(NetLockMsg::ChainOp {
+            partition: 3,
+            seq: 0xDEAD_BEEF,
+            stamp_ns: 42_000,
+            op: Box::new(NetLockMsg::Acquire(req(18))),
+        });
+        roundtrip(NetLockMsg::ChainOp {
+            partition: 0,
+            seq: 1,
+            stamp_ns: 7,
+            op: Box::new(NetLockMsg::Release(ReleaseRequest {
+                lock: LockId(19),
+                txn: TxnId(20),
+                mode: LockMode::Shared,
+                client: ClientAddr(21),
+                priority: Priority(0),
+            })),
+        });
+        roundtrip(NetLockMsg::ChainAck {
+            partition: 5,
+            seq: 1 << 40,
+        });
+        roundtrip(NetLockMsg::CtrlChainPing {
+            partition: 2,
+            member: 1,
+            epoch: 9,
+        });
+        roundtrip(NetLockMsg::CtrlChainConfig {
+            partition: 1,
+            epoch: 4,
+            members: Box::new([10, 11, 12]),
+        });
+        roundtrip(NetLockMsg::CtrlChainConfig {
+            partition: 1,
+            epoch: 5,
+            members: Box::new([]),
+        });
+        roundtrip(NetLockMsg::CtrlChainReset {
+            partition: 6,
+            epoch: 2,
+        });
+        roundtrip(NetLockMsg::CtrlPartitionMap {
+            version: 3,
+            heads: Box::new([4, 9, 14]),
+        });
     }
 
     #[test]

@@ -194,6 +194,84 @@ pub enum NetLockMsg {
         /// Lock handed back to the original switch.
         lock: LockId,
     },
+    /// Chain member → its successor: one replicated lock operation.
+    ///
+    /// The head of a partition's replication chain assigns each admitted
+    /// client operation a dense sequence number and its own processing
+    /// timestamp, then forwards the operation down the chain. Every
+    /// member applies `op` at `stamp_ns` against an identical data
+    /// plane, so register state stays replicated by construction. The
+    /// inner message is boxed to keep the enum (and with it every
+    /// simulator event slot) compact.
+    ChainOp {
+        /// Partition whose chain this operation belongs to.
+        partition: u16,
+        /// Dense per-partition sequence number assigned by the head.
+        seq: u64,
+        /// The head's clock when it applied the operation; replicas
+        /// apply at the same stamp so lease math is identical.
+        stamp_ns: u64,
+        /// The admitted client operation (Acquire or Release).
+        op: Box<NetLockMsg>,
+    },
+    /// Chain tail → upstream members: cumulative apply acknowledgement.
+    ///
+    /// Everything `<= seq` has been applied (and its outputs emitted) at
+    /// the tail; upstream members may truncate their replication logs.
+    ChainAck {
+        /// Partition whose chain this acknowledges.
+        partition: u16,
+        /// Highest contiguous sequence number applied at the tail.
+        seq: u64,
+    },
+    /// Chain member → controller: liveness heartbeat, sent from the
+    /// member's control tick. Missed ticks are the failure detector.
+    CtrlChainPing {
+        /// Partition the member serves.
+        partition: u16,
+        /// The member's index in the partition's *original* chain.
+        member: u16,
+        /// Chain epoch the member currently believes in.
+        epoch: u32,
+    },
+    /// Controller → chain member: the (possibly spliced) chain layout.
+    ///
+    /// `members` lists the node ids of the live chain in order; a member
+    /// finds itself in the list to learn its role (first = head, last =
+    /// tail) and successor. A member whose successor changed retransmits
+    /// its unacknowledged log suffix to the new successor — that replay
+    /// is what makes a mid-chain crash lossless.
+    CtrlChainConfig {
+        /// Partition being (re)configured.
+        partition: u16,
+        /// Monotonic epoch; stale configs are ignored.
+        epoch: u32,
+        /// Node ids of the live chain, head first.
+        members: Box<[u32]>,
+    },
+    /// Controller → revived switch: wipe and rejoin as an empty chain.
+    ///
+    /// Sent when a partition's *only* member returns from a crash: real
+    /// switch registers do not survive a reboot, so the member must
+    /// discard all state, reprogram its directory, and refuse grants
+    /// for one lease (§4.5-style grace) before serving again.
+    CtrlChainReset {
+        /// Partition being reset.
+        partition: u16,
+        /// New epoch after the reset.
+        epoch: u32,
+    },
+    /// Controller → clients/ToR: the lock-space partition routing map.
+    ///
+    /// `heads[p]` is the node id of partition `p`'s current chain head;
+    /// clients route acquires and releases by `partition_of(lock)`.
+    /// Re-broadcast with a bumped version whenever a head changes.
+    CtrlPartitionMap {
+        /// Monotonic map version; stale maps are ignored.
+        version: u32,
+        /// Chain-head node id per partition, indexed by partition.
+        heads: Box<[u32]>,
+    },
 }
 
 impl NetLockMsg {
@@ -212,6 +290,12 @@ impl NetLockMsg {
             NetLockMsg::CtrlPromote { lock } => Some(*lock),
             NetLockMsg::CtrlPromoteReady { lock, .. } => Some(*lock),
             NetLockMsg::CtrlHandback { lock } => Some(*lock),
+            NetLockMsg::ChainOp { op, .. } => op.lock(),
+            NetLockMsg::ChainAck { .. }
+            | NetLockMsg::CtrlChainPing { .. }
+            | NetLockMsg::CtrlChainConfig { .. }
+            | NetLockMsg::CtrlChainReset { .. }
+            | NetLockMsg::CtrlPartitionMap { .. } => None,
         }
     }
 }

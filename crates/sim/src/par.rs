@@ -66,6 +66,9 @@ pub(crate) struct ParState<M> {
     /// the previous window; flushed into the owner's queue (sorted by
     /// `(at, seq, src_lp)`) at the start of the next window.
     pub(crate) staged: Vec<Vec<Staged<M>>>,
+    /// Faults validated since partitioning; gives rejection diagnostics
+    /// a stable index ("fault #3 is Custom(7)") to point at.
+    pub(crate) faults_validated: u64,
 }
 
 impl<M> ParState<M> {
@@ -96,12 +99,12 @@ impl<M> ParState<M> {
 /// argument of the window loop depends on it), and `Custom` faults —
 /// which pause the run for harness intervention — are not supported on
 /// a partitioned simulator.
-fn validate_fault(lookahead: u64, map: &[u32], action: &FaultAction) {
+fn validate_fault(lookahead: u64, map: &[u32], action: &FaultAction, idx: u64) {
     match action {
         FaultAction::SetDefaultLink(cfg) => {
             assert!(
                 lookahead == u64::MAX || cfg.delay.as_nanos() >= lookahead,
-                "SetDefaultLink delay {} ns below partition lookahead {} ns",
+                "fault #{idx}: SetDefaultLink delay {} ns below partition lookahead {} ns",
                 cfg.delay.as_nanos(),
                 lookahead
             );
@@ -111,13 +114,18 @@ fn validate_fault(lookahead: u64, map: &[u32], action: &FaultAction) {
             let dlp = map.get(dst.index()).copied().unwrap_or(0);
             assert!(
                 slp == dlp || cfg.delay.as_nanos() >= lookahead,
-                "SetLink {src}->{dst} delay {} ns below partition lookahead {} ns",
+                "fault #{idx}: SetLink {src}->{dst} delay {} ns below partition lookahead {} ns",
                 cfg.delay.as_nanos(),
                 lookahead
             );
         }
-        FaultAction::Custom(_) => {
-            panic!("partitioned simulator does not support Custom faults")
+        FaultAction::Custom(token) => {
+            panic!(
+                "partitioned simulator does not support Custom faults: \
+                 fault #{idx} is Custom({token}); Custom faults pause the run \
+                 for single-LP harness recovery — use in-protocol recovery \
+                 (FailNode/ReviveNode plus control-plane messages) instead"
+            )
         }
         FaultAction::ClearLink { .. } | FaultAction::FailNode(_) | FaultAction::ReviveNode(_) => {}
     }
@@ -134,7 +142,9 @@ pub(crate) fn schedule_fault_partitioned<M: Clone + Send + 'static>(
     action: FaultAction,
 ) {
     let par = sim.par.as_mut().expect("caller checked partitioned");
-    validate_fault(par.lookahead, &par.map, &action);
+    let idx = par.faults_validated;
+    par.faults_validated += 1;
+    validate_fault(par.lookahead, &par.map, &action, idx);
     match action {
         FaultAction::FailNode(id) | FaultAction::ReviveNode(id) => {
             let lp = par.owner_of(id);
@@ -263,6 +273,7 @@ impl<M: Clone + Send + 'static> Simulator<M> {
         // order with future pushes is unchanged). These were already
         // counted in the outer baseline stats, so they go through the
         // raw queue, not `push`.
+        let mut fault_idx = 0u64;
         while let Some((at, seq, kind)) = self.queue.pop() {
             match kind {
                 EventKind::Deliver(pkt) => {
@@ -276,7 +287,8 @@ impl<M: Clone + Send + 'static> Simulator<M> {
                         .push(at, seq, EventKind::Timer { node, token });
                 }
                 EventKind::Fault(action) => {
-                    validate_fault(lookahead, &map, &action);
+                    validate_fault(lookahead, &map, &action, fault_idx);
+                    fault_idx += 1;
                     match *action {
                         FaultAction::FailNode(id) | FaultAction::ReviveNode(id) => {
                             let owner = map.get(id.index()).copied().unwrap_or(0) as usize;
@@ -301,6 +313,7 @@ impl<M: Clone + Send + 'static> Simulator<M> {
             workers: workers.max(1),
             lookahead,
             staged: (0..k).map(|_| Vec::new()).collect(),
+            faults_validated: fault_idx,
         }));
     }
 
@@ -714,11 +727,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "Custom faults")]
+    #[should_panic(expected = "fault #0 is Custom(7)")]
     fn custom_fault_rejected_when_partitioned() {
         let mut s = ring_sim(2, 1);
         s.partition(vec![0, 1], 1);
         s.schedule_fault(SimTime(1_000), FaultAction::Custom(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault #2 is Custom(9)")]
+    fn custom_fault_rejection_names_index_and_kind() {
+        // The diagnostic must point at *which* plan entry is offending,
+        // counting every fault validated since partitioning.
+        let mut s = ring_sim(2, 1);
+        s.partition(vec![0, 1], 1);
+        s.schedule_fault(SimTime(500), FaultAction::FailNode(NodeId(0)));
+        s.schedule_fault(SimTime(900), FaultAction::ReviveNode(NodeId(0)));
+        s.schedule_fault(SimTime(1_000), FaultAction::Custom(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault #1 is Custom(3)")]
+    fn queued_custom_fault_rejected_at_partition_time() {
+        // A Custom fault scheduled *before* partition() is caught while
+        // migrating the queue, with the same indexed diagnostic.
+        let mut s = ring_sim(2, 1);
+        s.schedule_fault(SimTime(400), FaultAction::FailNode(NodeId(0)));
+        s.schedule_fault(SimTime(800), FaultAction::Custom(3));
+        s.partition(vec![0, 1], 1);
     }
 
     #[test]

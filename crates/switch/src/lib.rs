@@ -44,9 +44,11 @@ pub mod directory;
 pub mod engine;
 pub mod meter;
 pub mod node;
+pub mod partition;
 pub mod pipes;
 pub mod priority;
 pub mod register;
+pub mod replication;
 pub mod shared_queue;
 pub mod slot;
 pub mod txn;
@@ -54,3 +56,7 @@ pub mod txn;
 pub use action_buf::{ActionBuf, ACTION_BUF_CAP};
 pub use dataplane::{DataPlane, DpAction, DpStats, DropReason, Engine};
 pub use node::{AutoRealloc, SwitchConfig, SwitchNode, SwitchNodeStats};
+pub use partition::PartitionMap;
+pub use replication::{
+    ChainController, ControllerConfig, ControllerStats, ReplConfig, ReplStats, ReplSwitch,
+};

@@ -1,0 +1,1109 @@
+//! NetChain-style chain replication of one lock partition.
+//!
+//! Each partition's register state (queue slots, heads/tails, the
+//! granted-credit ledger, tenant meters) lives on a *chain* of
+//! switches. The head is the only member that admits client
+//! operations: it filters stale releases against the replicated credit
+//! ledger, assigns each admitted operation a dense sequence number,
+//! stamps it with its own clock, applies it to its data plane, and
+//! forwards it down the chain as `NetLockMsg::ChainOp`. Every member
+//! applies the same `(op, stamp)` against an identical data plane —
+//! the state machine is deterministic, so register state is replicated
+//! by construction. Only the *tail* emits the resulting grants
+//! (tail-ack: a grant reaching a client proves every member applied
+//! the op, so it survives any single crash) and acknowledges applied
+//! sequence numbers upstream so members can truncate their bounded
+//! replication logs.
+//!
+//! Failure handling is pure control plane, driven by missed control
+//! ticks: every member pings the [`ChainController`] from its tick;
+//! the controller declares a member dead after `dead_after` of
+//! silence, splices it out of the chain (`CtrlChainConfig`), and lets
+//! the predecessor *replay its unacknowledged log suffix* to its new
+//! successor — that replay is what makes a mid-chain crash lossless. A
+//! member promoted to tail re-emits its unacknowledged outputs (exact
+//! duplicates of anything the dead tail already sent; clients dedupe
+//! by issue stamp). A head death additionally re-routes clients via a
+//! fresh `CtrlPartitionMap` broadcast. If a partition loses *every*
+//! member, the first one to return from its reboot is reset
+//! (`CtrlChainReset`): registers wiped, directory reprogrammed, one
+//! lease of grace before granting again (§4.5), because real switch
+//! registers do not survive a crash.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use netlock_proto::{LockId, NetLockMsg, TxnId};
+use netlock_sim::{Context, Node, NodeId, Packet, SimDuration};
+
+use crate::action_buf::ActionBuf;
+use crate::analysis::layout::ProgramLayout;
+use crate::control::{self, Allocation};
+use crate::dataplane::{DataPlane, DpAction};
+use crate::partition::replicated_layout;
+
+/// Timer token of a chain member's control tick (ping + lease sweep).
+const TIMER_CHAIN_TICK: u64 = 1;
+/// Timer token of the controller's failure-detector tick.
+const TIMER_CONTROLLER_TICK: u64 = 1;
+
+/// One logged, applied operation: what a predecessor retransmits to a
+/// spliced-in successor, and what a freshly promoted tail re-emits.
+#[derive(Clone, Debug)]
+struct LogEntry {
+    seq: u64,
+    stamp_ns: u64,
+    op: NetLockMsg,
+    /// The data-plane outputs this op produced (identical on every
+    /// member); kept so a new tail can re-emit without re-applying.
+    outputs: Vec<DpAction>,
+    /// Extra pipeline passes the apply cost (latency accounting).
+    extra_passes: u64,
+}
+
+/// Configuration of one chain member.
+#[derive(Clone, Debug)]
+pub struct ReplConfig {
+    /// Partition this chain serves.
+    pub partition: u16,
+    /// This member's index in the chain as originally deployed.
+    pub member: u16,
+    /// The original chain, head first (node ids of all members).
+    pub chain: Vec<NodeId>,
+    /// The chain controller node.
+    pub controller: NodeId,
+    /// Ingress-to-egress traversal latency per emission.
+    pub traversal: SimDuration,
+    /// Added latency per extra pipeline pass.
+    pub pass_latency: SimDuration,
+    /// Lease duration (head force-releases expired holders). Zero
+    /// disables sweeping.
+    pub lease: SimDuration,
+    /// Control tick: ping cadence and lease-sweep granularity.
+    pub control_tick: SimDuration,
+}
+
+impl Default for ReplConfig {
+    fn default() -> Self {
+        ReplConfig {
+            partition: 0,
+            member: 0,
+            chain: Vec::new(),
+            controller: NodeId(0),
+            traversal: SimDuration::from_nanos(500),
+            pass_latency: SimDuration::from_nanos(100),
+            lease: SimDuration::from_millis(10),
+            control_tick: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Counters of one chain member.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplStats {
+    /// Grants emitted to clients (tail role only).
+    pub grants_sent: u64,
+    /// Packets dropped (policy, unknown lock, grace window).
+    pub drops: u64,
+    /// Client ops that arrived at a non-head member (stale routing).
+    pub misrouted: u64,
+    /// Acquires refused during the post-reset grace window.
+    pub grace_drops: u64,
+    /// Releases filtered by the replicated credit ledger.
+    pub stale_releases_filtered: u64,
+    /// Force-releases issued by the head's lease sweeper.
+    pub lease_expirations: u64,
+    /// Ops applied to the local data plane.
+    pub ops_applied: u64,
+    /// Ops forwarded to a successor.
+    pub ops_forwarded: u64,
+    /// Duplicate chain ops ignored (replay overlap).
+    pub dup_ops_ignored: u64,
+    /// Log entries retransmitted to a spliced-in successor.
+    pub replayed: u64,
+    /// Outputs re-emitted after a promotion to tail.
+    pub reemitted: u64,
+    /// Chain reconfigurations accepted.
+    pub splices: u64,
+    /// Full resets performed (sole-survivor rejoin).
+    pub resets: u64,
+}
+
+/// One switch in a partition's replication chain.
+pub struct ReplSwitch {
+    dp: DataPlane,
+    cfg: ReplConfig,
+    /// This member's own node id (`cfg.chain[cfg.member]`).
+    me: NodeId,
+    /// What the data plane is programmed with; reapplied on reset.
+    program: Allocation,
+    /// Current chain epoch (bumped by every controller config).
+    epoch: u32,
+    /// The live chain, head first.
+    chain: Vec<NodeId>,
+    /// Highest sequence number applied locally.
+    last_applied: u64,
+    /// Highest sequence number acknowledged by the tail.
+    acked: u64,
+    /// Ops received out of order (cross-link races during a splice),
+    /// held until the gap closes.
+    pending: BTreeMap<u64, (u64, NetLockMsg)>,
+    /// Applied-but-unacknowledged ops, ascending seq.
+    log: VecDeque<LogEntry>,
+    /// Replicated release guard: outstanding grants per `(lock, txn)`.
+    /// Maintained identically on every member (incremented when an
+    /// applied op emits a grant, decremented by applied releases), so
+    /// a freshly promoted head filters stale releases correctly.
+    granted_outstanding: HashMap<(LockId, TxnId), u32>,
+    /// Refuse acquires until this stamp (post-reset §4.5 grace).
+    grace_until_ns: u64,
+    /// Sabotage hook: drop the log-replay / re-emit duty on splice.
+    replay_disabled: bool,
+    actions: ActionBuf,
+    stats: ReplStats,
+}
+
+impl ReplSwitch {
+    /// Build a chain member around a programmed data plane.
+    ///
+    /// `program` is the allocation the data plane was programmed with;
+    /// the member keeps it to reprogram itself after a
+    /// `CtrlChainReset` (the control plane's copy of the directory).
+    pub fn new(dp: DataPlane, program: Allocation, cfg: ReplConfig) -> ReplSwitch {
+        assert!(
+            (cfg.member as usize) < cfg.chain.len(),
+            "member index outside chain"
+        );
+        let me = cfg.chain[cfg.member as usize];
+        let chain = cfg.chain.clone();
+        ReplSwitch {
+            dp,
+            cfg,
+            me,
+            program,
+            epoch: 0,
+            chain,
+            last_applied: 0,
+            acked: 0,
+            pending: BTreeMap::new(),
+            log: VecDeque::new(),
+            granted_outstanding: HashMap::new(),
+            grace_until_ns: 0,
+            replay_disabled: false,
+            actions: ActionBuf::new(),
+            stats: ReplStats::default(),
+        }
+    }
+
+    /// Disable log replay and tail re-emission on chain repair
+    /// (chaos-suite sabotage hook: proves the oracle notices when the
+    /// failover path silently loses the in-flight window).
+    #[doc(hidden)]
+    pub fn sabotage_disable_replay(&mut self) {
+        self.replay_disabled = true;
+    }
+
+    /// Node counters.
+    pub fn stats(&self) -> ReplStats {
+        self.stats
+    }
+
+    /// Data-plane handle (tests / harness).
+    pub fn dataplane(&self) -> &DataPlane {
+        &self.dp
+    }
+
+    /// Current chain epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Highest locally applied sequence number.
+    pub fn last_applied(&self) -> u64 {
+        self.last_applied
+    }
+
+    /// The feasibility layout of this member: the queue program plus
+    /// the replication metadata (see [`replicated_layout`]).
+    pub fn layout(&self, log_window: usize) -> ProgramLayout {
+        replicated_layout(&self.dp, log_window)
+    }
+
+    /// Timer token of the chain tick; a revived member gets its timer
+    /// chain back via `CtrlChainReset`, not via harness injection.
+    pub const CHAIN_TIMER_TOKEN: u64 = TIMER_CHAIN_TICK;
+
+    fn position(&self) -> Option<usize> {
+        self.chain.iter().position(|&n| n == self.me)
+    }
+
+    fn is_head(&self) -> bool {
+        self.position() == Some(0)
+    }
+
+    fn is_tail(&self) -> bool {
+        match self.position() {
+            Some(p) => p + 1 == self.chain.len(),
+            None => false,
+        }
+    }
+
+    fn successor(&self) -> Option<NodeId> {
+        let p = self.position()?;
+        self.chain.get(p + 1).copied()
+    }
+
+    /// Members upstream of this one (receive tail acks).
+    fn upstream(&self) -> Vec<NodeId> {
+        match self.position() {
+            Some(p) => self.chain[..p].to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether an outstanding grant authorizes releasing `(lock, txn)`.
+    /// Read-only: the credit is consumed when the release op is
+    /// *applied*, so every member's ledger stays identical.
+    fn release_authorized(&self, lock: LockId, txn: TxnId) -> bool {
+        self.granted_outstanding
+            .get(&(lock, txn))
+            .is_some_and(|n| *n > 0)
+    }
+
+    fn consume_credit(&mut self, lock: LockId, txn: TxnId) {
+        if let Some(n) = self.granted_outstanding.get_mut(&(lock, txn)) {
+            *n -= 1;
+            if *n == 0 {
+                self.granted_outstanding.remove(&(lock, txn));
+            }
+        }
+    }
+
+    /// Head only: admit one client operation into the chain.
+    fn admit(&mut self, op: NetLockMsg, ctx: &mut Context<'_, NetLockMsg>) {
+        let now = ctx.now().as_nanos();
+        if let NetLockMsg::Acquire(_) = &op {
+            if now < self.grace_until_ns {
+                // §4.5 grace after a state-losing reset: a pre-crash
+                // holder's lease may still be running; granting now
+                // could double-grant. Drop; the client's retry lands
+                // after the window.
+                self.stats.grace_drops += 1;
+                return;
+            }
+        }
+        if let NetLockMsg::Release(rel) = &op {
+            if !self.release_authorized(rel.lock, rel.txn) {
+                self.stats.stale_releases_filtered += 1;
+                return;
+            }
+        }
+        let seq = self.last_applied + 1;
+        self.ingest(seq, now, op, ctx);
+    }
+
+    /// Apply-or-buffer one sequenced op (head admission path and
+    /// `ChainOp` receipt path converge here).
+    fn ingest(
+        &mut self,
+        seq: u64,
+        stamp_ns: u64,
+        op: NetLockMsg,
+        ctx: &mut Context<'_, NetLockMsg>,
+    ) {
+        if seq <= self.last_applied {
+            self.stats.dup_ops_ignored += 1;
+            return;
+        }
+        if seq > self.last_applied + 1 {
+            // Gap: a replayed suffix and late in-flight ops from a
+            // spliced-out predecessor can interleave across links.
+            self.pending.insert(seq, (stamp_ns, op));
+            return;
+        }
+        self.apply(seq, stamp_ns, op, ctx);
+        while let Some((&next, _)) = self.pending.first_key_value() {
+            if next != self.last_applied + 1 {
+                // Drop already-applied stragglers, keep future ones.
+                if next <= self.last_applied {
+                    self.pending.pop_first();
+                    self.stats.dup_ops_ignored += 1;
+                    continue;
+                }
+                break;
+            }
+            let (seq, (stamp_ns, op)) = self.pending.pop_first().expect("checked non-empty");
+            self.apply(seq, stamp_ns, op, ctx);
+        }
+    }
+
+    fn apply(
+        &mut self,
+        seq: u64,
+        stamp_ns: u64,
+        op: NetLockMsg,
+        ctx: &mut Context<'_, NetLockMsg>,
+    ) {
+        let before = self.dp.stats().passes;
+        self.dp.process(op.clone(), stamp_ns, &mut self.actions);
+        let extra_passes = (self.dp.stats().passes - before).saturating_sub(1);
+        // Ledger, replicated: the release consumes its credit; every
+        // grant the op produced opens one.
+        if let NetLockMsg::Release(rel) = &op {
+            self.consume_credit(rel.lock, rel.txn);
+        }
+        let outputs: Vec<DpAction> = (0..self.actions.len()).map(|i| self.actions[i]).collect();
+        for act in &outputs {
+            if let DpAction::SendGrant(g) = act {
+                *self.granted_outstanding.entry((g.lock, g.txn)).or_insert(0) += 1;
+            }
+        }
+        self.last_applied = seq;
+        self.stats.ops_applied += 1;
+        if let Some(succ) = self.successor() {
+            self.stats.ops_forwarded += 1;
+            ctx.send_after(
+                succ,
+                NetLockMsg::ChainOp {
+                    partition: self.cfg.partition,
+                    seq,
+                    stamp_ns,
+                    op: Box::new(op.clone()),
+                },
+                self.cfg.traversal,
+            );
+        }
+        let entry = LogEntry {
+            seq,
+            stamp_ns,
+            op,
+            outputs,
+            extra_passes,
+        };
+        if self.is_tail() {
+            self.emit(&entry, ctx);
+            self.send_acks(ctx);
+        }
+        self.log.push_back(entry);
+    }
+
+    /// Tail: cumulative apply-ack to every upstream member.
+    fn send_acks(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        let ack = NetLockMsg::ChainAck {
+            partition: self.cfg.partition,
+            seq: self.last_applied,
+        };
+        for up in self.upstream() {
+            ctx.send_after(up, ack.clone(), self.cfg.traversal);
+        }
+    }
+
+    /// Emit one applied op's outputs into the network (tail duty).
+    fn emit(&mut self, entry: &LogEntry, ctx: &mut Context<'_, NetLockMsg>) {
+        let delay =
+            self.cfg.traversal + SimDuration(self.cfg.pass_latency.as_nanos() * entry.extra_passes);
+        for act in &entry.outputs {
+            match *act {
+                DpAction::SendGrant(grant) => {
+                    self.stats.grants_sent += 1;
+                    // Convention: ClientAddr(n) is node n.
+                    ctx.send_after(NodeId(grant.client.0), NetLockMsg::Grant(grant), delay);
+                }
+                // A partitioned chain deploy has no lock servers: the
+                // whole partition is switch-resident. Anything the
+                // data plane wanted to forward is dropped, like any
+                // unknown-lock traffic; client retries cover it.
+                DpAction::ForwardAcquire { .. }
+                | DpAction::ForwardRelease { .. }
+                | DpAction::SendQueueSpace { .. }
+                | DpAction::Drop { .. } => {
+                    self.stats.drops += 1;
+                }
+            }
+        }
+    }
+
+    fn on_ack(&mut self, seq: u64) {
+        // A sole-member chain has no upstream; any ack still in flight
+        // is from a pre-reset epoch and must not truncate the new log.
+        if self.chain.len() <= 1 {
+            return;
+        }
+        if seq > self.acked {
+            self.acked = seq;
+            while self.log.front().is_some_and(|e| e.seq <= self.acked) {
+                self.log.pop_front();
+            }
+        }
+    }
+
+    /// Accept a spliced chain layout from the controller.
+    fn on_config(&mut self, epoch: u32, members: &[u32], ctx: &mut Context<'_, NetLockMsg>) {
+        if epoch <= self.epoch {
+            return;
+        }
+        let was_tail = self.is_tail();
+        let old_succ = self.successor();
+        self.epoch = epoch;
+        self.chain = members.iter().map(|&m| NodeId(m)).collect();
+        self.stats.splices += 1;
+        if self.position().is_none() {
+            // Spliced out while alive (declared dead by the detector):
+            // go passive. State is kept but never consulted again.
+            return;
+        }
+        let new_succ = self.successor();
+        if self.replay_disabled {
+            return;
+        }
+        if let Some(succ) = new_succ {
+            if old_succ != Some(succ) {
+                // Replay the in-flight window: everything applied here
+                // that the tail has not acknowledged. The new successor
+                // ignores what it already has (seq dedupe) and fills
+                // whatever died with the old link.
+                for entry in &self.log {
+                    ctx.send_after(
+                        succ,
+                        NetLockMsg::ChainOp {
+                            partition: self.cfg.partition,
+                            seq: entry.seq,
+                            stamp_ns: entry.stamp_ns,
+                            op: Box::new(entry.op.clone()),
+                        },
+                        self.cfg.traversal,
+                    );
+                    self.stats.replayed += 1;
+                }
+            }
+        }
+        if self.is_tail() && !was_tail {
+            // Promoted to tail: the dead tail may have died before
+            // emitting some applied outputs. Re-emit everything
+            // unacknowledged — exact duplicates are deduped by the
+            // client (issue-stamp match), lost ones become visible for
+            // the first time. This is the tail-ack guarantee.
+            let entries: Vec<LogEntry> = self.log.iter().cloned().collect();
+            for entry in &entries {
+                self.emit(entry, ctx);
+                self.stats.reemitted += 1;
+            }
+            self.send_acks(ctx);
+        }
+    }
+
+    /// Wipe and rejoin as a sole-member chain after a full-chain loss.
+    fn on_reset(&mut self, epoch: u32, ctx: &mut Context<'_, NetLockMsg>) {
+        if epoch <= self.epoch {
+            return;
+        }
+        self.epoch = epoch;
+        self.dp.reset();
+        control::apply_allocation(&mut self.dp, &self.program);
+        self.chain = vec![self.me];
+        self.last_applied = 0;
+        self.acked = 0;
+        self.pending.clear();
+        self.log.clear();
+        self.granted_outstanding.clear();
+        // One lease of grace (plus a tick of slack): pre-crash holders
+        // may still be inside their leases.
+        self.grace_until_ns =
+            ctx.now().as_nanos() + self.cfg.lease.as_nanos() + self.cfg.control_tick.as_nanos();
+        self.stats.resets += 1;
+        // The crash killed the timer chain; restart it.
+        ctx.set_timer(self.cfg.control_tick, TIMER_CHAIN_TICK);
+    }
+
+    fn chain_tick(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        if self.position().is_some() {
+            ctx.send_after(
+                self.cfg.controller,
+                NetLockMsg::CtrlChainPing {
+                    partition: self.cfg.partition,
+                    member: self.cfg.member,
+                    epoch: self.epoch,
+                },
+                self.cfg.traversal,
+            );
+            // Lease sweep is a head duty: expiries become ordinary
+            // replicated ops, so every member's queues agree.
+            if self.is_head() && !self.cfg.lease.is_zero() {
+                let expired = control::expired_leases(
+                    &self.dp,
+                    ctx.now().as_nanos(),
+                    self.cfg.lease.as_nanos(),
+                );
+                for rel in expired {
+                    if !self.release_authorized(rel.lock, rel.txn) {
+                        continue;
+                    }
+                    self.stats.lease_expirations += 1;
+                    self.admit(NetLockMsg::Release(rel), ctx);
+                }
+            }
+        }
+        ctx.set_timer(self.cfg.control_tick, TIMER_CHAIN_TICK);
+    }
+}
+
+impl Node<NetLockMsg> for ReplSwitch {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        ctx.set_timer(self.cfg.control_tick, TIMER_CHAIN_TICK);
+    }
+
+    fn on_packet(&mut self, pkt: Packet<NetLockMsg>, ctx: &mut Context<'_, NetLockMsg>) {
+        match pkt.payload {
+            op @ (NetLockMsg::Acquire(_) | NetLockMsg::Release(_)) => {
+                if !self.is_head() {
+                    // Stale partition map (head moved) or passive
+                    // member: drop, the retry re-resolves the route.
+                    self.stats.misrouted += 1;
+                    return;
+                }
+                self.admit(op, ctx);
+            }
+            NetLockMsg::ChainOp {
+                partition,
+                seq,
+                stamp_ns,
+                op,
+            } if partition == self.cfg.partition && self.position().is_some() => {
+                self.ingest(seq, stamp_ns, *op, ctx);
+            }
+            NetLockMsg::ChainAck { partition, seq } if partition == self.cfg.partition => {
+                self.on_ack(seq);
+            }
+            // Controller probe (it thinks we may be back from the
+            // dead): answer with a liveness ping.
+            NetLockMsg::CtrlChainPing { partition, .. } if partition == self.cfg.partition => {
+                ctx.send_after(
+                    self.cfg.controller,
+                    NetLockMsg::CtrlChainPing {
+                        partition: self.cfg.partition,
+                        member: self.cfg.member,
+                        epoch: self.epoch,
+                    },
+                    self.cfg.traversal,
+                );
+            }
+            NetLockMsg::CtrlChainConfig {
+                partition,
+                epoch,
+                members,
+            } if partition == self.cfg.partition => {
+                self.on_config(epoch, &members, ctx);
+            }
+            NetLockMsg::CtrlChainReset { partition, epoch } if partition == self.cfg.partition => {
+                self.on_reset(epoch, ctx);
+            }
+            // Grants and the rest route by destination; a chain member
+            // is never that destination.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, NetLockMsg>) {
+        if token == TIMER_CHAIN_TICK {
+            self.chain_tick(ctx);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "repl-switch"
+    }
+}
+
+/// Per-partition bookkeeping inside the controller.
+#[derive(Clone, Debug)]
+struct PartitionState {
+    /// The chain as originally deployed, head first.
+    members: Vec<NodeId>,
+    /// Liveness per original member index.
+    alive: Vec<bool>,
+    /// Stamp of the last ping per original member index.
+    last_ping_ns: Vec<u64>,
+    /// Current chain epoch.
+    epoch: u32,
+}
+
+impl PartitionState {
+    fn live_chain(&self) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, &a)| a)
+            .map(|(&m, _)| m)
+            .collect()
+    }
+}
+
+/// Controller counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ControllerStats {
+    /// Members declared dead by the missed-tick detector.
+    pub deaths_detected: u64,
+    /// Chain reconfigurations issued.
+    pub splices: u64,
+    /// Sole-survivor resets issued.
+    pub resets: u64,
+    /// Partition-map broadcasts sent (per client message).
+    pub map_broadcasts: u64,
+}
+
+/// Configuration of the [`ChainController`].
+#[derive(Clone, Debug)]
+pub struct ControllerConfig {
+    /// Failure-detector polling interval.
+    pub tick: SimDuration,
+    /// Silence after which a member is declared dead. Must comfortably
+    /// exceed the member tick plus network latency; three member ticks
+    /// is the deployed default.
+    pub dead_after: SimDuration,
+    /// Send latency of control messages.
+    pub traversal: SimDuration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            tick: SimDuration::from_millis(1),
+            dead_after: SimDuration::from_millis(3),
+            traversal: SimDuration::from_nanos(500),
+        }
+    }
+}
+
+/// The chain-repair control plane (one per cluster, like the paper's
+/// lock-management controller): collects liveness pings, splices
+/// chains around dead members, resets sole survivors, and re-routes
+/// clients when a head moves. It deliberately holds *no* lock state —
+/// repair decisions are made purely from membership, which keeps the
+/// decision auditable (the *Paxos made switch-y* argument).
+pub struct ChainController {
+    cfg: ControllerConfig,
+    partitions: Vec<PartitionState>,
+    /// Every client that routes by partition map.
+    clients: Vec<NodeId>,
+    /// Current head per partition (broadcast state).
+    heads: Vec<NodeId>,
+    map_version: u32,
+    stats: ControllerStats,
+}
+
+impl ChainController {
+    /// Build a controller over `chains[p]` = partition `p`'s original
+    /// chain (head first). `clients` receive partition-map updates.
+    pub fn new(cfg: ControllerConfig, chains: Vec<Vec<NodeId>>, clients: Vec<NodeId>) -> Self {
+        assert!(!chains.is_empty(), "controller needs at least one chain");
+        let heads = chains.iter().map(|c| c[0]).collect();
+        let partitions = chains
+            .into_iter()
+            .map(|members| {
+                let n = members.len();
+                PartitionState {
+                    members,
+                    alive: vec![true; n],
+                    last_ping_ns: vec![0; n],
+                    epoch: 0,
+                }
+            })
+            .collect();
+        ChainController {
+            cfg,
+            partitions,
+            clients,
+            heads,
+            map_version: 0,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Controller counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Current head node per partition.
+    pub fn heads(&self) -> &[NodeId] {
+        &self.heads
+    }
+
+    /// Broadcast the routing map to every client.
+    fn broadcast_map(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        self.map_version += 1;
+        let msg = NetLockMsg::CtrlPartitionMap {
+            version: self.map_version,
+            heads: self.heads.iter().map(|h| h.0).collect(),
+        };
+        for &c in &self.clients {
+            self.stats.map_broadcasts += 1;
+            ctx.send_after(c, msg.clone(), self.cfg.traversal);
+        }
+    }
+
+    fn on_ping(&mut self, partition: u16, member: u16, ctx: &mut Context<'_, NetLockMsg>) {
+        let now = ctx.now().as_nanos();
+        let Some(p) = self.partitions.get_mut(partition as usize) else {
+            return;
+        };
+        let m = member as usize;
+        if m >= p.members.len() {
+            return;
+        }
+        p.last_ping_ns[m] = now;
+        if p.alive[m] {
+            return;
+        }
+        // A declared-dead member is talking again.
+        if p.alive.iter().any(|&a| a) {
+            // The chain got repaired without it; it stays retired
+            // (state transfer back into a live chain is out of scope —
+            // the chain simply runs shorter).
+            return;
+        }
+        // Sole survivor of a fully-dead partition: reset it to an
+        // empty, freshly programmed chain of one and re-route clients.
+        p.alive[m] = true;
+        p.epoch += 1;
+        self.stats.resets += 1;
+        let epoch = p.epoch;
+        let node = p.members[m];
+        ctx.send_after(
+            node,
+            NetLockMsg::CtrlChainReset { partition, epoch },
+            self.cfg.traversal,
+        );
+        self.heads[partition as usize] = node;
+        self.broadcast_map(ctx);
+    }
+
+    fn detector_tick(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        let now = ctx.now().as_nanos();
+        let dead_after = self.cfg.dead_after.as_nanos();
+        let mut heads_changed = false;
+        for pi in 0..self.partitions.len() {
+            let p = &mut self.partitions[pi];
+            let mut changed = false;
+            for m in 0..p.members.len() {
+                if p.alive[m] && now.saturating_sub(p.last_ping_ns[m]) > dead_after {
+                    p.alive[m] = false;
+                    changed = true;
+                    self.stats.deaths_detected += 1;
+                }
+            }
+            if changed {
+                let live = p.live_chain();
+                if !live.is_empty() {
+                    p.epoch += 1;
+                    self.stats.splices += 1;
+                    let epoch = p.epoch;
+                    let wire: Box<[u32]> = live.iter().map(|n| n.0).collect();
+                    for &member in &live {
+                        ctx.send_after(
+                            member,
+                            NetLockMsg::CtrlChainConfig {
+                                partition: pi as u16,
+                                epoch,
+                                members: wire.clone(),
+                            },
+                            self.cfg.traversal,
+                        );
+                    }
+                    if self.heads[pi] != live[0] {
+                        self.heads[pi] = live[0];
+                        heads_changed = true;
+                    }
+                }
+                // A fully-dead partition waits for a member to return;
+                // clients keep retrying into the void until then.
+            }
+            // Probe fully-dead partitions so a revived member (whose
+            // own timer chain died with it) gets a reason to speak.
+            let p = &self.partitions[pi];
+            if p.alive.iter().all(|&a| !a) {
+                for (m, &node) in p.members.iter().enumerate() {
+                    ctx.send_after(
+                        node,
+                        NetLockMsg::CtrlChainPing {
+                            partition: pi as u16,
+                            member: m as u16,
+                            epoch: p.epoch,
+                        },
+                        self.cfg.traversal,
+                    );
+                }
+            }
+        }
+        if heads_changed {
+            self.broadcast_map(ctx);
+        }
+        ctx.set_timer(self.cfg.tick, TIMER_CONTROLLER_TICK);
+    }
+}
+
+impl Node<NetLockMsg> for ChainController {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        // Treat deployment time as one fresh ping everywhere: the
+        // detector starts counting silence from t=0.
+        ctx.set_timer(self.cfg.tick, TIMER_CONTROLLER_TICK);
+    }
+
+    fn on_packet(&mut self, pkt: Packet<NetLockMsg>, ctx: &mut Context<'_, NetLockMsg>) {
+        if let NetLockMsg::CtrlChainPing {
+            partition, member, ..
+        } = pkt.payload
+        {
+            self.on_ping(partition, member, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, NetLockMsg>) {
+        if token == TIMER_CONTROLLER_TICK {
+            self.detector_tick(ctx);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "chain-controller"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{apply_allocation, knapsack_allocate, LockStats};
+    use crate::shared_queue::SharedQueueLayout;
+    use netlock_proto::{ClientAddr, LockMode, LockRequest, Priority, ReleaseRequest, TenantId};
+    use netlock_sim::{SimTime, Simulator};
+
+    struct Sink(Vec<NetLockMsg>);
+    impl Node<NetLockMsg> for Sink {
+        fn on_packet(&mut self, pkt: Packet<NetLockMsg>, _ctx: &mut Context<'_, NetLockMsg>) {
+            self.0.push(pkt.payload);
+        }
+        fn on_timer(&mut self, _t: u64, _c: &mut Context<'_, NetLockMsg>) {}
+    }
+
+    fn acquire(lock: u32, txn: u64, client: u32, at: u64) -> NetLockMsg {
+        NetLockMsg::Acquire(LockRequest {
+            lock: LockId(lock),
+            mode: LockMode::Exclusive,
+            txn: TxnId(txn),
+            client: ClientAddr(client),
+            tenant: TenantId(0),
+            priority: Priority(0),
+            issued_at_ns: at,
+        })
+    }
+
+    fn release(lock: u32, txn: u64, client: u32) -> NetLockMsg {
+        NetLockMsg::Release(ReleaseRequest {
+            lock: LockId(lock),
+            txn: TxnId(txn),
+            mode: LockMode::Exclusive,
+            client: ClientAddr(client),
+            priority: Priority(0),
+        })
+    }
+
+    fn program() -> (DataPlane, Allocation) {
+        let mut dp = DataPlane::new_fcfs(&SharedQueueLayout::small(2, 64, 16));
+        let stats: Vec<LockStats> = (0..4)
+            .map(|l| LockStats {
+                lock: LockId(l),
+                rate: 1.0,
+                contention: 8,
+                home_server: 0,
+            })
+            .collect();
+        let alloc = knapsack_allocate(&stats, 64);
+        apply_allocation(&mut dp, &alloc);
+        (dp, alloc)
+    }
+
+    /// client = node 0, controller = node 1, chain = nodes 2..2+factor.
+    fn chain_setup(
+        factor: usize,
+        lease: SimDuration,
+    ) -> (Simulator<NetLockMsg>, NodeId, NodeId, Vec<NodeId>) {
+        let mut sim: Simulator<NetLockMsg> = Simulator::with_seed(7);
+        let client = sim.add_node(Box::new(Sink(Vec::new())));
+        let members: Vec<NodeId> = (0..factor as u32).map(|i| NodeId(2 + i)).collect();
+        let controller = sim.add_node(Box::new(ChainController::new(
+            ControllerConfig::default(),
+            vec![members.clone()],
+            vec![client],
+        )));
+        assert_eq!(controller, NodeId(1));
+        for (i, &expect) in members.iter().enumerate() {
+            let (dp, alloc) = program();
+            let got = sim.add_node(Box::new(ReplSwitch::new(
+                dp,
+                alloc,
+                ReplConfig {
+                    partition: 0,
+                    member: i as u16,
+                    chain: members.clone(),
+                    controller,
+                    lease,
+                    ..ReplConfig::default()
+                },
+            )));
+            assert_eq!(got, expect);
+        }
+        (sim, client, controller, members)
+    }
+
+    fn grants_of(sink: &Sink) -> Vec<u64> {
+        sink.0
+            .iter()
+            .filter_map(|m| match m {
+                NetLockMsg::Grant(g) => Some(g.txn.0),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tail_emits_and_chain_stays_identical() {
+        let (mut sim, client, _ctl, members) = chain_setup(3, SimDuration::from_millis(50));
+        sim.inject(client, members[0], acquire(1, 10, client.0, 0));
+        sim.inject(client, members[0], acquire(2, 11, client.0, 0));
+        sim.run_until(SimTime(5_000_000));
+        sim.read_node::<Sink, _>(client, |s| {
+            assert_eq!(grants_of(s), vec![10, 11]);
+        });
+        // Only the tail emitted; every member applied both ops.
+        for (i, &m) in members.iter().enumerate() {
+            sim.read_node::<ReplSwitch, _>(m, |r| {
+                assert_eq!(r.last_applied(), 2, "member {i}");
+                let expect = if i == members.len() - 1 { 2 } else { 0 };
+                assert_eq!(r.stats().grants_sent, expect, "member {i}");
+            });
+        }
+        // Tail acks propagated: upstream logs truncated.
+        sim.read_node::<ReplSwitch, _>(members[0], |r| {
+            assert!(r.log.is_empty(), "head log should be acked away");
+        });
+    }
+
+    #[test]
+    fn mid_chain_crash_replays_in_flight_window() {
+        let (mut sim, client, _ctl, members) = chain_setup(3, SimDuration::from_millis(50));
+        // Two ops arrive at the head at ~1.2µs; the forwarded ChainOps
+        // reach the middle at ~2.9µs. Kill the middle at 2µs: the ops
+        // are applied at the head but lost in flight.
+        sim.inject(client, members[0], acquire(1, 10, client.0, 0));
+        sim.inject(client, members[0], acquire(2, 11, client.0, 0));
+        sim.run_until(SimTime(2_000));
+        sim.fail_node(members[1]);
+        sim.run_until(SimTime(20_000_000));
+        // Detection + splice + replay must surface both grants.
+        sim.read_node::<Sink, _>(client, |s| {
+            assert_eq!(grants_of(s), vec![10, 11]);
+        });
+        sim.read_node::<ReplSwitch, _>(members[0], |r| {
+            assert!(r.stats().replayed >= 2, "head must replay the window");
+            assert_eq!(r.epoch(), 1);
+        });
+        // Chain still works end to end after the splice.
+        sim.inject(client, members[0], release(1, 10, client.0));
+        sim.inject(client, members[0], acquire(1, 12, client.0, 0));
+        sim.run_until(SimTime(30_000_000));
+        sim.read_node::<Sink, _>(client, |s| {
+            assert_eq!(grants_of(s), vec![10, 11, 12]);
+        });
+    }
+
+    #[test]
+    fn tail_crash_promotes_and_reemits() {
+        let (mut sim, client, _ctl, members) = chain_setup(2, SimDuration::from_millis(50));
+        sim.inject(client, members[0], acquire(1, 10, client.0, 0));
+        sim.run_until(SimTime(1_500));
+        // The head has applied and forwarded; the tail dies before its
+        // ChainOp arrives — the grant was never emitted.
+        sim.fail_node(members[1]);
+        sim.run_until(SimTime(20_000_000));
+        sim.read_node::<Sink, _>(client, |s| {
+            assert_eq!(grants_of(s), vec![10], "promoted tail must re-emit");
+        });
+        sim.read_node::<ReplSwitch, _>(members[0], |r| {
+            assert!(r.stats().reemitted >= 1);
+            assert!(r.is_tail() && r.is_head());
+        });
+    }
+
+    #[test]
+    fn head_crash_reroutes_clients() {
+        let (mut sim, client, ctl, members) = chain_setup(2, SimDuration::from_millis(50));
+        sim.inject(client, members[0], acquire(1, 10, client.0, 0));
+        sim.run_until(SimTime(1_000_000));
+        sim.fail_node(members[0]);
+        sim.run_until(SimTime(20_000_000));
+        // The controller moved the head and told the client.
+        sim.read_node::<ChainController, _>(ctl, |c| {
+            assert_eq!(c.heads(), &[members[1]]);
+        });
+        sim.read_node::<Sink, _>(client, |s| {
+            assert!(
+                s.0.iter().any(|m| matches!(
+                    m,
+                    NetLockMsg::CtrlPartitionMap { heads, .. } if heads[0] == members[1].0
+                )),
+                "client must get the new routing map"
+            );
+        });
+        // The survivor serves as head now.
+        sim.inject(client, members[1], acquire(2, 11, client.0, 0));
+        sim.run_until(SimTime(30_000_000));
+        sim.read_node::<Sink, _>(client, |s| {
+            assert_eq!(grants_of(s), vec![10, 11]);
+        });
+    }
+
+    #[test]
+    fn sole_survivor_resets_with_grace() {
+        let lease = SimDuration::from_millis(2);
+        let (mut sim, client, _ctl, members) = chain_setup(1, lease);
+        sim.inject(client, members[0], acquire(1, 10, client.0, 0));
+        sim.run_until(SimTime(1_000_000));
+        sim.fail_node(members[0]);
+        sim.run_until(SimTime(6_000_000));
+        sim.revive_node(members[0]);
+        // The controller's probes find it; reset + grace follow.
+        sim.run_until(SimTime(9_000_000));
+        sim.read_node::<ReplSwitch, _>(members[0], |r| {
+            assert_eq!(r.stats().resets, 1);
+            assert_eq!(r.last_applied(), 0, "registers wiped");
+        });
+        // Mid-grace acquires are refused (a pre-crash lease may run).
+        sim.inject(client, members[0], acquire(1, 11, client.0, 0));
+        sim.run_until(SimTime(9_500_000));
+        sim.read_node::<ReplSwitch, _>(members[0], |r| {
+            assert!(r.stats().grace_drops >= 1);
+        });
+        // After the grace window service resumes from empty state.
+        sim.inject(client, members[0], acquire(1, 12, client.0, 0));
+        sim.run_until(SimTime(30_000_000));
+        sim.read_node::<Sink, _>(client, |s| {
+            assert_eq!(grants_of(s), vec![10, 12]);
+        });
+    }
+
+    #[test]
+    fn sabotaged_replay_loses_the_window() {
+        let (mut sim, client, _ctl, members) = chain_setup(3, SimDuration::from_millis(200));
+        for m in &members {
+            sim.with_node::<ReplSwitch, _>(*m, |r| r.sabotage_disable_replay());
+        }
+        sim.inject(client, members[0], acquire(1, 10, client.0, 0));
+        sim.run_until(SimTime(2_000));
+        sim.fail_node(members[1]);
+        sim.run_until(SimTime(20_000_000));
+        // No replay: the op never reaches the tail, the grant is lost
+        // (the lease is long enough that sweeping can't paper over it).
+        sim.read_node::<Sink, _>(client, |s| {
+            assert_eq!(grants_of(s), Vec::<u64>::new());
+        });
+    }
+}

@@ -100,6 +100,32 @@ fn observed_resubmit_depth_stays_under_declared_bound() {
 }
 
 #[test]
+fn partitioned_replicated_layouts_fit_a_tofino() {
+    // Multi-switch deployment (DESIGN §16): the lock space is split
+    // across 4 partitions, so each chain member carries a quarter of
+    // the paper-default slot pool *plus* the chain-replication
+    // metadata (sequence/ack/epoch registers and the in-flight log).
+    // Every partition's augmented layout must still fit one Tofino —
+    // replication that doesn't fit next to the queues is fiction.
+    let per_partition = SharedQueueLayout {
+        slot_arrays: vec![10_000; 3],
+        max_regions: 2_500,
+        stage_offset: 0,
+    };
+    for partition in 0..4 {
+        let dp = DataPlane::new_fcfs(&per_partition);
+        let layout = netlock_switch::partition::replicated_layout(&dp, 4_096);
+        layout
+            .check(&TofinoBudget::tofino())
+            .unwrap_or_else(|e| panic!("partition {partition} replicated layout must fit: {e}"));
+        let names: Vec<&str> = layout.arrays().iter().map(|a| a.name).collect();
+        for meta in ["repl_seq", "repl_ack", "repl_epoch", "repl_log"] {
+            assert!(names.contains(&meta), "{meta} missing from layout");
+        }
+    }
+}
+
+#[test]
 fn paper_default_fcfs_layout_fits_a_tofino() {
     let dp = DataPlane::new_fcfs(&SharedQueueLayout::paper_default());
     dp.layout()

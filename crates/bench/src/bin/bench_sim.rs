@@ -24,7 +24,9 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use netlock_bench::report::Json;
-use netlock_bench::{allocation_count, fig08, fig09, CountingAlloc, Runner, TimeScale};
+use netlock_bench::{
+    allocation_count, fig08, fig09, flash_crowd, CountingAlloc, Runner, TimeScale,
+};
 use netlock_proto::{
     ClientAddr, LockId, LockMode, LockRequest, NetLockMsg, Priority, ReleaseRequest, TenantId,
     TxnId,
@@ -555,8 +557,20 @@ fn main() {
     let txn_lowered_ns = txn_a.min(txn_b);
     let txn_allocs_per_packet = txn_allocs_a.max(txn_allocs_b);
 
+    eprintln!("# aggregate population path ...");
+    // Requests per wall-second through the batched aggregate path:
+    // 100K virtual clients on one population node driving the shared-
+    // queue scenario (same build `flash_crowd --speedup` compares
+    // against per-client nodes). Best of two runs.
+    let agg_measure = SimDuration::from_millis(if quick { 50 } else { 200 });
+    let agg_rate = {
+        let (s1, r1) = flash_crowd::aggregate_point(100_000, 20.0, agg_measure, 90);
+        let (s2, r2) = flash_crowd::aggregate_point(100_000, 20.0, agg_measure, 90);
+        (r1 as f64 / s1.max(1e-12)).max(r2 as f64 / s2.max(1e-12))
+    };
+
     let mut fields = vec![
-        ("schema", Json::str("netlock-bench-sim/5")),
+        ("schema", Json::str("netlock-bench-sim/6")),
         ("quick", Json::Bool(quick)),
         ("queue_churn", queue),
         ("sim_events_per_sec", Json::Num(sim_events_per_sec)),
@@ -580,6 +594,7 @@ fn main() {
         ("allocs_per_packet", Json::Num(allocs_per_packet)),
         ("txn_lowered_ns_per_op", Json::Num(txn_lowered_ns)),
         ("txn_allocs_per_packet", Json::Num(txn_allocs_per_packet)),
+        ("agg_requests_per_sec", Json::Num(agg_rate)),
     ];
 
     if !quick {
@@ -594,6 +609,13 @@ fn main() {
         let fig09_eps = fig09_stats.events_fired as f64 / fig09_elapsed.max(1e-12);
         let fig08_ms = timed_ms(|| {
             std::hint::black_box(fig08::run_8a(&seq, scale).len());
+        });
+        // The 100K-virtual-client flash-crowd scenario (quick scale of
+        // `flash_crowd --full`), serial.
+        let flash_ms = timed_ms(|| {
+            std::hint::black_box(
+                flash_crowd::run_series(&flash_crowd::FlashCrowdSpec::quick(), 1).len(),
+            );
         });
         // Parallel end-to-end point: the 2-rack fig09 cluster advanced
         // by every available core (serial windows on a 1-core host).
@@ -612,6 +634,7 @@ fn main() {
                 ("fig09_switch_shared", Json::Num(fig09_ms)),
                 ("fig08a_sweep", Json::Num(fig08_ms)),
                 ("fig09_cluster2_shared", Json::Num(cluster_elapsed * 1e3)),
+                ("fig_flash_crowd_100k", Json::Num(flash_ms)),
             ]),
         ));
         fields.push((

@@ -1,0 +1,30 @@
+//! Emits the tenant-churn scenario TSV (see
+//! `netlock_bench::tenant_churn`): a rotating hot-key burst churning
+//! through the tenants of a 100K+ virtual-client aggregate population.
+//!
+//! `--full` (default) reproduces the committed
+//! `results/tenant_churn.tsv`; `--quick` runs a smaller scale with the
+//! same TSV shape.
+
+use netlock_bench::tenant_churn::{self, TenantChurnSpec};
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                eprintln!("usage: tenant_churn [--quick | --full]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let spec = if quick {
+        TenantChurnSpec::quick()
+    } else {
+        TenantChurnSpec::full()
+    };
+    tenant_churn::run_and_print(&spec);
+}

@@ -21,7 +21,7 @@
 //! checks run.
 
 use netlock_core::prelude::*;
-use netlock_proto::{LockId, LockMode};
+use netlock_proto::{LockId, LockMode, TenantId};
 use netlock_server::ServerConfig;
 use netlock_sim::SimTime;
 use netlock_switch::shared_queue::SharedQueueLayout;
@@ -41,6 +41,10 @@ pub enum ChaosWorkload {
     Micro,
     /// Closed-loop TPC-C transaction clients (retries, multi-lock).
     Tpcc,
+    /// One aggregate population node (20K virtual clients, batched
+    /// traffic): the fault plan shakes its links but never crashes it,
+    /// and the oracle's conservation checks run over batch messages.
+    Population,
 }
 
 impl ChaosWorkload {
@@ -49,6 +53,7 @@ impl ChaosWorkload {
         match self {
             ChaosWorkload::Micro => "micro",
             ChaosWorkload::Tpcc => "tpcc",
+            ChaosWorkload::Population => "population",
         }
     }
 }
@@ -113,6 +118,72 @@ fn chaos_plan_config(workload: ChaosWorkload) -> ChaosPlanConfig {
         // (one request per worker), so crashes stay on there.
         client_crash: matches!(workload, ChaosWorkload::Tpcc),
     }
+}
+
+/// The population chaos rack: the micro rack's switch/server shape, but
+/// all traffic from one aggregate node — two shared tenants plus one
+/// exclusive tenant hammering a hot lock, 20K virtual clients total.
+/// The window-reclaim timeout stands in for retries: batches the
+/// network eats must not pin the tenant windows past the oracle's
+/// wedge horizon.
+pub fn build_population_chaos_rack(seed: u64) -> (Rack, Allocation) {
+    let mut rack = Rack::build(RackConfig {
+        seed,
+        lock_servers: 2,
+        server: ServerConfig {
+            lease: CHAOS_LEASE,
+            sweep_tick: CHAOS_TICK,
+            ..Default::default()
+        },
+        switch: SwitchConfig {
+            lease: CHAOS_LEASE,
+            control_tick: CHAOS_TICK,
+            ..Default::default()
+        },
+        engine: EngineSpec::Fcfs(SharedQueueLayout::small(2, 256, 16)),
+        ..Default::default()
+    });
+    let locks: Vec<LockId> = (0..8).map(LockId).collect();
+    let stats: Vec<LockStats> = locks
+        .iter()
+        .map(|&lock| LockStats {
+            lock,
+            rate: 1.0,
+            contention: 16,
+            home_server: (lock.0 as usize) % 2,
+        })
+        .collect();
+    // Half the demanded slots, as in the micro rack: some locks stay
+    // server-resident so batches cross the forwarding path too.
+    let alloc = knapsack_allocate(&stats, 64);
+    rack.program(&alloc);
+    let tenant = |t: u16, mode, locks: Vec<LockId>| TenantSpec {
+        tenant: TenantId(t),
+        virtual_clients: if mode == LockMode::Exclusive {
+            2_000
+        } else {
+            9_000
+        },
+        rate_rps_per_client: 2.5,
+        locks,
+        mode,
+        max_outstanding: 3_000,
+        ..Default::default()
+    };
+    rack.add_population_client(PopulationConfig {
+        poisson: true,
+        tenants: vec![
+            tenant(0, LockMode::Shared, locks.clone()),
+            tenant(1, LockMode::Shared, locks[..4].to_vec()),
+            // The exclusive tenant contends on one hot lock: a release
+            // guard failure double-pops its FCFS queue, which the
+            // oracle reads as overlapping exclusive holds.
+            tenant(2, LockMode::Exclusive, vec![LockId(3)]),
+        ],
+        retry_timeout: SimDuration::from_millis(3),
+        ..Default::default()
+    });
+    (rack, alloc)
 }
 
 fn oracle_config() -> OracleConfig {
@@ -248,6 +319,7 @@ pub fn run_chaos_seed_with(workload: ChaosWorkload, seed: u64, sabotage: Sabotag
     let (mut rack, alloc) = match workload {
         ChaosWorkload::Micro => build_micro_chaos_rack(seed),
         ChaosWorkload::Tpcc => build_tpcc_chaos_rack(seed),
+        ChaosWorkload::Population => build_population_chaos_rack(seed),
     };
     if sabotage.disable_release_guard {
         let switch = rack.switch;
@@ -285,10 +357,10 @@ pub fn run_chaos_seed_with(workload: ChaosWorkload, seed: u64, sabotage: Sabotag
         counts: oracle.counts(),
         violations: oracle.violations().to_vec(),
         audit: oracle.audit_log(),
-        grants: if workload == ChaosWorkload::Micro {
-            micro_grants
-        } else {
+        grants: if workload == ChaosWorkload::Tpcc {
             stats.grants
+        } else {
+            micro_grants
         },
         txns: stats.txns,
         surplus_released: stats.surplus_released,

@@ -20,8 +20,10 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod flash_crowd;
 pub mod report;
 pub mod runner;
+pub mod tenant_churn;
 
 pub use common::{
     build_netlock_tpcc, scale_for, tpcc_alloc_stats, tpcc_allocation, tpcc_sources, BinArgs, Fig,

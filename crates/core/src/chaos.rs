@@ -33,7 +33,7 @@ use netlock_switch::control::{apply_allocation, Allocation};
 use netlock_switch::SwitchNode;
 
 use crate::oracle::{Oracle, OracleConfig};
-use crate::rack::Rack;
+use crate::rack::{ClientKind, Rack};
 
 /// `Custom` token: the switch was revived; wipe and reprogram it.
 pub const CUSTOM_SWITCH_REBOOT: u64 = 1;
@@ -89,17 +89,33 @@ pub struct RackRoles {
     pub switch: NodeId,
     /// Lock servers, by directory index.
     pub servers: Vec<NodeId>,
-    /// Client nodes.
+    /// Individual client nodes (crashable).
     pub clients: Vec<NodeId>,
+    /// Aggregate client-population nodes. Their links misbehave like
+    /// any client's, but the generator never crashes them: one
+    /// `FailNode` would atomically kill ~100K virtual clients — a
+    /// correlated failure no machine-granular fault model produces —
+    /// and the oracle's dead-client exemptions would then excuse every
+    /// in-flight request of the whole population.
+    pub aggregates: Vec<NodeId>,
 }
 
 impl RackRoles {
-    /// Roles of an assembled rack.
+    /// Roles of an assembled rack, split by client kind.
     pub fn of(rack: &Rack) -> RackRoles {
+        let mut clients = Vec::new();
+        let mut aggregates = Vec::new();
+        for &(id, kind) in &rack.clients {
+            match kind {
+                ClientKind::Population => aggregates.push(id),
+                ClientKind::Micro | ClientKind::Txn => clients.push(id),
+            }
+        }
         RackRoles {
             switch: rack.switch,
             servers: rack.lock_servers.clone(),
-            clients: rack.clients.iter().map(|&(id, _)| id).collect(),
+            clients,
+            aggregates,
         }
     }
 }
@@ -120,9 +136,22 @@ fn episode_window(
     Some((SimTime(at), SimTime(fin)))
 }
 
+/// Pick a link-fault victim: any client, individual or aggregate. When
+/// `aggregates` is empty the draw sequence is identical to the
+/// pre-aggregate generator, so existing seeded plans stay byte-stable.
+fn pick_endpoint(rng: &mut SimRng, roles: &RackRoles) -> NodeId {
+    let n = roles.clients.len() + roles.aggregates.len();
+    let i = rng.index(n);
+    if i < roles.clients.len() {
+        roles.clients[i]
+    } else {
+        roles.aggregates[i - roles.clients.len()]
+    }
+}
+
 /// Pick a faulted client↔switch link direction.
 fn pick_link(rng: &mut SimRng, roles: &RackRoles) -> (NodeId, NodeId) {
-    let client = roles.clients[rng.index(roles.clients.len())];
+    let client = pick_endpoint(rng, roles);
     if rng.chance(0.5) {
         (client, roles.switch)
     } else {
@@ -213,7 +242,7 @@ pub fn generate_plan(seed: u64, roles: &RackRoles, cfg: &ChaosPlanConfig) -> Fau
                 let Some((at, fin)) = episode_window(&mut rng, cfg, 50_000) else {
                     continue;
                 };
-                let client = roles.clients[rng.index(roles.clients.len())];
+                let client = pick_endpoint(&mut rng, roles);
                 let dead = base_link.with_loss(1.0);
                 plan.push(
                     at,
@@ -351,6 +380,15 @@ pub fn standard_recovery(rack: &mut Rack, at: SimTime, token: u64, alloc: &Alloc
             }
             s.set_grace_until(at.as_nanos() + grace.as_nanos());
         });
+        // The restart wiped the server's q2 buffers, so any of its
+        // switch-resident locks caught mid-overflow would wait forever
+        // for pushes that can no longer come: reset their overflow
+        // bookkeeping (part of the same runbook step as re-declaring
+        // lock ownership above).
+        let switch = rack.switch;
+        rack.sim.with_node::<SwitchNode, _>(switch, |s| {
+            s.dataplane_mut().cp_reset_overflow_for_server(idx);
+        });
         if !sweep.is_zero() {
             rack.sim
                 .inject_timer(server, sweep, ServerNode::SWEEP_TIMER_TOKEN);
@@ -392,6 +430,14 @@ mod tests {
             switch: NodeId(2),
             servers: vec![NodeId(0), NodeId(1)],
             clients: vec![NodeId(3), NodeId(4), NodeId(5)],
+            aggregates: vec![],
+        }
+    }
+
+    fn roles_with_aggregates() -> RackRoles {
+        RackRoles {
+            aggregates: vec![NodeId(6), NodeId(7)],
+            ..roles()
         }
     }
 
@@ -439,5 +485,56 @@ mod tests {
             }
         }
         assert!(switch_fails <= 1);
+    }
+
+    #[test]
+    fn empty_aggregates_leave_plans_byte_stable() {
+        let cfg = ChaosPlanConfig {
+            episodes: 64,
+            ..Default::default()
+        };
+        let a = generate_plan(21, &roles(), &cfg);
+        let b = generate_plan(21, &roles_with_aggregates(), &cfg);
+        // Same seed, aggregates present: link faults may now pick them,
+        // so the plans differ...
+        assert_ne!(a.events(), b.events());
+        // ...but an aggregate-free RackRoles reproduces the exact
+        // pre-aggregate schedule (regression guard for old seeds).
+        let c = generate_plan(21, &roles(), &cfg);
+        assert_eq!(a.events(), c.events());
+    }
+
+    #[test]
+    fn aggregates_get_link_faults_but_never_crash() {
+        let cfg = ChaosPlanConfig {
+            episodes: 256,
+            settle_by: SimDuration::from_millis(400),
+            ..Default::default()
+        };
+        let r = roles_with_aggregates();
+        let mut aggregate_link_faults = 0;
+        for seed in 0..8 {
+            let plan = generate_plan(seed, &r, &cfg);
+            for ev in plan.events() {
+                match ev.action {
+                    FaultAction::FailNode(n) => {
+                        assert!(
+                            !r.aggregates.contains(&n),
+                            "crashed an aggregate population node: {ev:?}"
+                        );
+                    }
+                    FaultAction::SetLink { src, dst, .. }
+                        if r.aggregates.contains(&src) || r.aggregates.contains(&dst) =>
+                    {
+                        aggregate_link_faults += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            aggregate_link_faults > 0,
+            "aggregates must still see link faults"
+        );
     }
 }

@@ -89,6 +89,7 @@ pub struct MicroClient {
     outstanding: usize,
     release_key: u64,
     pending_releases: HashMap<u64, ReleaseRequest>,
+    stopped: bool,
     stats: MicroClientStats,
 }
 
@@ -104,8 +105,18 @@ impl MicroClient {
             outstanding: 0,
             release_key: 0,
             pending_releases: HashMap::new(),
+            stopped: false,
             stats: MicroClientStats::default(),
         }
+    }
+
+    /// Stop generating new requests: the next generation tick is a
+    /// no-op and the timer is not re-armed. In-flight requests still
+    /// complete (grants are consumed, releases go out), so a run can
+    /// quiesce to an exact issued count before draining — the
+    /// population-equivalence tests rely on this.
+    pub fn stop_generating(&mut self) {
+        self.stopped = true;
     }
 
     /// Counters (harness access).
@@ -134,6 +145,9 @@ impl MicroClient {
     }
 
     fn generate(&mut self, ctx: &mut Context<'_, NetLockMsg>) {
+        if self.stopped {
+            return;
+        }
         if self.outstanding >= self.cfg.max_outstanding {
             self.stats.throttled += 1;
         } else {

@@ -40,6 +40,7 @@ use crate::client_txn::{TxnClient, TxnClientConfig};
 use crate::db_server::{DbServer, DbServerConfig};
 use crate::harness::RunStats;
 use crate::oracle::{Oracle, OracleConfig};
+use crate::population::{PopulationClient, PopulationConfig};
 use crate::rack::{ClientKind, EngineSpec, RackConfig};
 use crate::txn::TxnSource;
 use netlock_proto::NetLockMsg;
@@ -169,6 +170,19 @@ impl RackCluster {
         id
     }
 
+    /// Add an aggregate client-population node to `rack` (see
+    /// [`crate::population`]): many virtual clients, batched traffic.
+    pub fn add_population_client(&mut self, rack: usize, cfg: PopulationConfig) -> NodeId {
+        assert!(!self.partitioned, "add clients before partition()");
+        let switch = self.racks[rack].switch;
+        let id = self
+            .sim
+            .add_node(Box::new(PopulationClient::new(cfg, switch)));
+        self.rack_of.push(rack as u32);
+        self.racks[rack].clients.push((id, ClientKind::Population));
+        id
+    }
+
     /// Add a closed-loop transaction client to `rack`.
     pub fn add_txn_client(
         &mut self,
@@ -214,13 +228,23 @@ impl RackCluster {
         });
     }
 
-    /// Fault-targeting roles of one rack.
+    /// Fault-targeting roles of one rack, split by client kind
+    /// (aggregate population nodes get link faults but never crash).
     pub fn roles(&self, rack: usize) -> RackRoles {
         let r = &self.racks[rack];
+        let mut clients = Vec::new();
+        let mut aggregates = Vec::new();
+        for &(id, kind) in &r.clients {
+            match kind {
+                ClientKind::Population => aggregates.push(id),
+                ClientKind::Micro | ClientKind::Txn => clients.push(id),
+            }
+        }
         RackRoles {
             switch: r.switch,
             servers: r.lock_servers.clone(),
-            clients: r.clients.iter().map(|&(id, _)| id).collect(),
+            clients,
+            aggregates,
         }
     }
 
@@ -269,6 +293,9 @@ impl RackCluster {
                         .sim
                         .with_node::<MicroClient, _>(id, |c| c.reset_stats()),
                     ClientKind::Txn => self.sim.with_node::<TxnClient, _>(id, |c| c.reset_stats()),
+                    ClientKind::Population => self
+                        .sim
+                        .with_node::<PopulationClient, _>(id, |c| c.reset_stats()),
                 }
             }
         }
@@ -305,6 +332,14 @@ impl RackCluster {
                     out.dup_grants_ignored += s.dup_grants_ignored;
                     out.lock_latency.merge(&s.wait_latency);
                     out.txn_latency.merge(&s.txn_latency);
+                }),
+                ClientKind::Population => self.sim.read_node::<PopulationClient, _>(id, |c| {
+                    let s = c.stats();
+                    out.issued += s.issued;
+                    out.grants += s.grants;
+                    out.grants_switch += s.grants; // switch-only path
+                    out.retries += s.reclaimed;
+                    out.lock_latency.merge(&s.latency);
                 }),
             }
         }

@@ -11,6 +11,7 @@ use netlock_switch::SwitchNode;
 
 use crate::client_micro::MicroClient;
 use crate::client_txn::TxnClient;
+use crate::population::PopulationClient;
 use crate::rack::{ClientKind, Rack};
 
 /// Aggregated results of one measurement window.
@@ -92,6 +93,9 @@ pub fn reset_clients(rack: &mut Rack) {
                 .sim
                 .with_node::<MicroClient, _>(id, |c| c.reset_stats()),
             ClientKind::Txn => rack.sim.with_node::<TxnClient, _>(id, |c| c.reset_stats()),
+            ClientKind::Population => rack
+                .sim
+                .with_node::<PopulationClient, _>(id, |c| c.reset_stats()),
         }
     }
 }
@@ -122,6 +126,14 @@ pub fn collect(rack: &Rack, measured: SimDuration) -> RunStats {
                 out.dup_grants_ignored += s.dup_grants_ignored;
                 out.lock_latency.merge(&s.wait_latency);
                 out.txn_latency.merge(&s.txn_latency);
+            }),
+            ClientKind::Population => rack.sim.read_node::<PopulationClient, _>(id, |c| {
+                let s = c.stats();
+                out.issued += s.issued;
+                out.grants += s.grants;
+                out.grants_switch += s.grants; // switch-only path
+                out.retries += s.reclaimed;
+                out.lock_latency.merge(&s.latency);
             }),
         }
     }
@@ -166,6 +178,9 @@ pub fn txns_by_client(rack: &Rack) -> Vec<u64> {
                 .sim
                 .read_node::<MicroClient, _>(id, |c| c.stats().grants),
             ClientKind::Txn => rack.sim.read_node::<TxnClient, _>(id, |c| c.stats().txns),
+            ClientKind::Population => rack
+                .sim
+                .read_node::<PopulationClient, _>(id, |c| c.stats().grants),
         })
         .collect()
 }

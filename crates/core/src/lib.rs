@@ -8,6 +8,8 @@
 //! - [`txn`] — transactions and workload sources
 //! - [`client_micro`] / [`client_txn`] — open-loop and closed-loop
 //!   clients with retry/lease-compatible behavior
+//! - [`population`] — aggregate nodes batching ~100K virtual clients'
+//!   traffic into single events (million-client scenarios)
 //! - [`db_server`] — the database server used by one-RTT mode (§4.1)
 //! - [`rack`] — assembles switch + servers + clients (Figure 2)
 //! - [`harness`] — warmup/measure/collect and time-series sampling
@@ -57,6 +59,7 @@ pub mod db_server;
 pub mod failover;
 pub mod harness;
 pub mod oracle;
+pub mod population;
 pub mod rack;
 pub mod txn;
 
@@ -81,6 +84,10 @@ pub mod prelude {
         RunStats,
     };
     pub use crate::oracle::{Oracle, OracleConfig, OracleCounts, Violation, ViolationKind};
+    pub use crate::population::{
+        tenant_index_of, BurstEpisode, Diurnal, PopulationClient, PopulationConfig,
+        PopulationStats, TenantSpec, TenantStats, MAX_TENANTS,
+    };
     pub use crate::rack::{ClientKind, EngineSpec, Rack, RackConfig};
     pub use crate::txn::{LockNeed, SingleLockSource, Transaction, TxnSource};
     pub use netlock_sim::{LatencySummary, SimDuration, SimTime};

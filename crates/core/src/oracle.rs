@@ -278,6 +278,21 @@ impl Oracle {
             }
             NetLockMsg::DbFetch { grant, .. } => self.touch(grant.txn, at),
             NetLockMsg::DbReply { grant } => self.touch(grant.txn, at),
+            NetLockMsg::AcquireBatch(reqs) => {
+                for req in reqs {
+                    self.touch(req.txn, at);
+                }
+            }
+            NetLockMsg::ReleaseBatch(rels) => {
+                for rel in rels {
+                    self.touch(rel.txn, at);
+                }
+            }
+            NetLockMsg::GrantBatch(grants) => {
+                for g in grants {
+                    self.touch(g.txn, at);
+                }
+            }
             _ => {}
         }
     }
@@ -411,8 +426,26 @@ impl Oracle {
                                 },
                             );
                         }
+                        NetLockMsg::AcquireBatch(reqs) => {
+                            // One wire event, many logical acquires: each
+                            // element is tracked exactly as if sent alone.
+                            for req in reqs {
+                                self.open.insert(
+                                    (src.0, req.lock.0, req.txn.0),
+                                    OpenReq {
+                                        issued_at_ns: req.issued_at_ns,
+                                        sent_at_ns: now,
+                                    },
+                                );
+                            }
+                        }
                         NetLockMsg::Release(rel) => {
                             self.on_release_sent(now, src, rel.lock, rel.txn);
+                        }
+                        NetLockMsg::ReleaseBatch(rels) => {
+                            for rel in rels {
+                                self.on_release_sent(now, src, rel.lock, rel.txn);
+                            }
                         }
                         _ => {}
                     }
@@ -440,11 +473,27 @@ impl Oracle {
                             }
                         }
                     }
+                    NetLockMsg::AcquireBatch(reqs) if self.clients.contains(&src) => {
+                        // Losing the batch loses every acquire in it.
+                        for req in reqs {
+                            let key = (src.0, req.lock.0, req.txn.0);
+                            if let Some(open) = self.open.get(&key) {
+                                if open.issued_at_ns == req.issued_at_ns {
+                                    self.open.remove(&key);
+                                }
+                            }
+                        }
+                    }
                     NetLockMsg::Forwarded { req, .. } => {
                         self.open.remove(&(req.client.0, req.lock.0, req.txn.0));
                     }
                     NetLockMsg::Grant(g) | NetLockMsg::DbReply { grant: g } => {
                         self.open.remove(&(g.client.0, g.lock.0, g.txn.0));
+                    }
+                    NetLockMsg::GrantBatch(grants) => {
+                        for g in grants {
+                            self.open.remove(&(g.client.0, g.lock.0, g.txn.0));
+                        }
                     }
                     _ => {}
                 }
@@ -469,6 +518,13 @@ impl Oracle {
                             let g = *g;
                             self.on_grant_delivered(now, pkt.dst, &g);
                         }
+                        NetLockMsg::GrantBatch(grants) => {
+                            // Coalesced grants confer one hold each, in
+                            // slice order — identical to arriving singly.
+                            for g in grants.iter() {
+                                self.on_grant_delivered(now, pkt.dst, g);
+                            }
+                        }
                         NetLockMsg::DbReply { grant } => {
                             let g = *grant;
                             self.on_grant_delivered(now, pkt.dst, &g);
@@ -489,11 +545,21 @@ impl Oracle {
                     NetLockMsg::Acquire(req) => {
                         self.open.remove(&(req.client.0, req.lock.0, req.txn.0));
                     }
+                    NetLockMsg::AcquireBatch(reqs) => {
+                        for req in reqs.iter() {
+                            self.open.remove(&(req.client.0, req.lock.0, req.txn.0));
+                        }
+                    }
                     NetLockMsg::Forwarded { req, .. } => {
                         self.open.remove(&(req.client.0, req.lock.0, req.txn.0));
                     }
                     NetLockMsg::Grant(g) | NetLockMsg::DbReply { grant: g } => {
                         self.open.remove(&(g.client.0, g.lock.0, g.txn.0));
+                    }
+                    NetLockMsg::GrantBatch(grants) => {
+                        for g in grants.iter() {
+                            self.open.remove(&(g.client.0, g.lock.0, g.txn.0));
+                        }
                     }
                     _ => {}
                 }
@@ -534,8 +600,28 @@ impl Oracle {
     /// by the surviving partitions still count toward liveness — a
     /// crash in partition A is no excuse for partition B wedging.
     pub fn note_amnesia_where(&mut self, now_ns: u64, mut affected: impl FnMut(LockId) -> bool) {
+        self.note_amnesia_scoped(now_ns, move |lock, _tenant_idx| affected(lock));
+    }
+
+    /// Like [`Self::note_amnesia_where`], additionally scoped per
+    /// tenant. The second argument is the tenant row index an aggregate
+    /// population node folded into the transaction id (bits 32–39, see
+    /// [`crate::population::tenant_index_of`]); individual clients'
+    /// sequence numbers leave those bits zero, so they always present
+    /// tenant index 0. This lets a chaos harness excuse exactly the
+    /// tenants whose leases a rebooted manager forgot while every other
+    /// tenant of the same aggregate node still counts toward liveness —
+    /// aggregates bundle ~100K virtual clients, so excusing the whole
+    /// node would blind the oracle to most of the population.
+    pub fn note_amnesia_scoped(
+        &mut self,
+        now_ns: u64,
+        mut affected: impl FnMut(LockId, usize) -> bool,
+    ) {
         let before = self.open.len();
-        self.open.retain(|&(_, lock, _), _| !affected(LockId(lock)));
+        self.open.retain(|&(_, lock, txn), _| {
+            !affected(LockId(lock), crate::population::tenant_index_of(TxnId(txn)))
+        });
         let excused = (before - self.open.len()) as u64;
         self.counts.amnesia_excused += excused;
         self.fold(b"A");
@@ -899,6 +985,131 @@ mod tests {
         });
         o.finish(50_000_000);
         assert!(o.is_clean(), "{:?}", o.violations());
+    }
+
+    fn acquire(lock: u32, txn: u64, client: u32, issued: u64) -> LockRequest {
+        LockRequest {
+            lock: LockId(lock),
+            mode: LockMode::Exclusive,
+            txn: TxnId(txn),
+            client: ClientAddr(client),
+            tenant: TenantId(0),
+            priority: Priority(0),
+            issued_at_ns: issued,
+        }
+    }
+
+    #[test]
+    fn batched_grants_confer_holds_like_singles() {
+        // Two exclusive grants for the same lock inside one GrantBatch:
+        // the second must clash with the first exactly as if they had
+        // been delivered as two Grant packets.
+        let mut o = oracle_with_clients(&[5]);
+        let batch: Box<[GrantMsg]> = vec![
+            grant(1, 100, LockMode::Exclusive, 5, 500),
+            grant(1, 200, LockMode::Exclusive, 5, 600),
+        ]
+        .into();
+        let pkt = Packet {
+            src: NodeId(0),
+            dst: NodeId(5),
+            payload: NetLockMsg::GrantBatch(batch),
+        };
+        o.observe(&TapEvent::Delivered {
+            at: SimTime(1_000),
+            pkt: &pkt,
+        });
+        assert_eq!(o.counts().grant_deliveries, 2);
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, ViolationKind::MutualExclusion);
+    }
+
+    #[test]
+    fn batched_over_release_is_caught() {
+        // Sabotage: a ReleaseBatch releasing the same grant twice must
+        // trip conservation — batching is no loophole.
+        let mut o = oracle_with_clients(&[5]);
+        deliver(&mut o, 1_000, 5, grant(1, 100, LockMode::Exclusive, 5, 500));
+        let rel = netlock_proto::ReleaseRequest {
+            lock: LockId(1),
+            txn: TxnId(100),
+            mode: LockMode::Exclusive,
+            client: ClientAddr(5),
+            priority: Priority(0),
+        };
+        let payload = NetLockMsg::ReleaseBatch(vec![rel, rel].into());
+        o.observe(&TapEvent::Sent {
+            at: SimTime(2_000),
+            src: NodeId(5),
+            dst: NodeId(0),
+            payload: &payload,
+        });
+        assert_eq!(o.counts().releases_sent, 2);
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, ViolationKind::Conservation);
+    }
+
+    #[test]
+    fn batched_acquires_open_and_lost_batches_close() {
+        let mut o = oracle_with_clients(&[5]);
+        let reqs: Box<[LockRequest]> =
+            vec![acquire(1, 100, 5, 1_000), acquire(2, 101, 5, 1_000)].into();
+        let payload = NetLockMsg::AcquireBatch(reqs.clone());
+        o.observe(&TapEvent::Sent {
+            at: SimTime(1_000),
+            src: NodeId(5),
+            dst: NodeId(0),
+            payload: &payload,
+        });
+        // Both un-answered: both wedge.
+        let mut probe = oracle_with_clients(&[5]);
+        std::mem::swap(&mut probe, &mut o);
+        probe.finish(50_000_000);
+        assert_eq!(probe.violations().len(), 2);
+        // Same send, then the batch is lost: nothing wedges.
+        o.observe(&TapEvent::Sent {
+            at: SimTime(1_000),
+            src: NodeId(5),
+            dst: NodeId(0),
+            payload: &payload,
+        });
+        o.observe(&TapEvent::Lost {
+            at: SimTime(1_000),
+            src: NodeId(5),
+            dst: NodeId(0),
+            payload: &payload,
+        });
+        o.finish(50_000_000);
+        assert!(o.is_clean(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn tenant_scoped_amnesia_excuses_one_tenant_only() {
+        // One aggregate node (id 5) with two tenants: txn ids carry the
+        // tenant row in bits 32-39. Tenant 1's leases are declared
+        // forgotten; tenant 0's open request must still wedge.
+        let mut o = oracle_with_clients(&[5]);
+        let txn_t0 = (5u64 << 40) | 7;
+        let txn_t1 = (5u64 << 40) | (1u64 << 32) | 7;
+        let reqs: Box<[LockRequest]> =
+            vec![acquire(1, txn_t0, 5, 1_000), acquire(2, txn_t1, 5, 1_000)].into();
+        let payload = NetLockMsg::AcquireBatch(reqs);
+        o.observe(&TapEvent::Sent {
+            at: SimTime(1_000),
+            src: NodeId(5),
+            dst: NodeId(0),
+            payload: &payload,
+        });
+        o.note_amnesia_scoped(2_000, |_, tenant_idx| tenant_idx == 1);
+        assert_eq!(o.counts().amnesia_excused, 1);
+        o.finish(50_000_000);
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, ViolationKind::WedgedRequest);
+        assert!(
+            o.violations()[0].detail.contains("lock 1"),
+            "wrong tenant excused: {:?}",
+            o.violations()
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use netlock_switch::{DataPlane, SwitchConfig, SwitchNode};
 use crate::client_micro::{MicroClient, MicroClientConfig};
 use crate::client_txn::{TxnClient, TxnClientConfig};
 use crate::db_server::{DbServer, DbServerConfig};
+use crate::population::{PopulationClient, PopulationConfig};
 use crate::txn::TxnSource;
 
 /// Which data-plane engine the switch is compiled with.
@@ -69,6 +70,8 @@ pub enum ClientKind {
     Micro,
     /// Closed-loop transaction client.
     Txn,
+    /// Aggregate client-population node (many virtual clients).
+    Population,
 }
 
 /// An assembled rack.
@@ -137,6 +140,16 @@ impl Rack {
             .sim
             .add_node(Box::new(MicroClient::new(cfg, self.switch)));
         self.clients.push((id, ClientKind::Micro));
+        id
+    }
+
+    /// Add an aggregate client-population node (see
+    /// [`crate::population`]): many virtual clients, batched traffic.
+    pub fn add_population_client(&mut self, cfg: PopulationConfig) -> NodeId {
+        let id = self
+            .sim
+            .add_node(Box::new(PopulationClient::new(cfg, self.switch)));
+        self.clients.push((id, ClientKind::Population));
         id
     }
 

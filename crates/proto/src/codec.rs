@@ -41,6 +41,9 @@ enum Tag {
     CtrlChainConfig = 16,
     CtrlChainReset = 17,
     CtrlPartitionMap = 18,
+    AcquireBatch = 19,
+    ReleaseBatch = 20,
+    GrantBatch = 21,
 }
 
 impl Tag {
@@ -64,6 +67,9 @@ impl Tag {
             16 => Tag::CtrlChainConfig,
             17 => Tag::CtrlChainReset,
             18 => Tag::CtrlPartitionMap,
+            19 => Tag::AcquireBatch,
+            20 => Tag::ReleaseBatch,
+            21 => Tag::GrantBatch,
             _ => return None,
         })
     }
@@ -261,6 +267,30 @@ fn encode_into(msg: &NetLockMsg, buf: &mut BytesMut) {
                 buf.put_u32(*h);
             }
         }
+        // Aggregate-population bursts: a u32 count (one quantum can
+        // carry far more than the u16 bound of the server-push lists),
+        // then fixed-size records.
+        NetLockMsg::AcquireBatch(reqs) => {
+            buf.put_u8(Tag::AcquireBatch as u8);
+            buf.put_u32(reqs.len() as u32);
+            for r in reqs {
+                put_request(buf, r, 0);
+            }
+        }
+        NetLockMsg::ReleaseBatch(rels) => {
+            buf.put_u8(Tag::ReleaseBatch as u8);
+            buf.put_u32(rels.len() as u32);
+            for r in rels {
+                put_release(buf, r);
+            }
+        }
+        NetLockMsg::GrantBatch(grants) => {
+            buf.put_u8(Tag::GrantBatch as u8);
+            buf.put_u32(grants.len() as u32);
+            for g in grants {
+                put_grant(buf, g);
+            }
+        }
     }
 }
 
@@ -403,6 +433,33 @@ pub fn decode_msg(buf: &mut impl Buf) -> Result<NetLockMsg, DecodeError> {
             let heads = (0..n).map(|_| buf.get_u32()).collect();
             NetLockMsg::CtrlPartitionMap { version, heads }
         }
+        Tag::AcquireBatch => {
+            need(buf, 4)?;
+            let n = buf.get_u32() as usize;
+            let mut reqs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                reqs.push(get_request(buf)?.0);
+            }
+            NetLockMsg::AcquireBatch(reqs.into())
+        }
+        Tag::ReleaseBatch => {
+            need(buf, 4)?;
+            let n = buf.get_u32() as usize;
+            let mut rels = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                rels.push(get_release(buf)?);
+            }
+            NetLockMsg::ReleaseBatch(rels.into())
+        }
+        Tag::GrantBatch => {
+            need(buf, 4)?;
+            let n = buf.get_u32() as usize;
+            let mut grants = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                grants.push(get_grant(buf)?);
+            }
+            NetLockMsg::GrantBatch(grants.into())
+        }
     })
 }
 
@@ -536,6 +593,32 @@ mod tests {
             version: 3,
             heads: Box::new([4, 9, 14]),
         });
+        roundtrip(NetLockMsg::AcquireBatch((0..7).map(req).collect()));
+        roundtrip(NetLockMsg::AcquireBatch(Box::new([])));
+        roundtrip(NetLockMsg::ReleaseBatch(
+            (0..4)
+                .map(|n| ReleaseRequest {
+                    lock: LockId(n),
+                    txn: TxnId(n as u64),
+                    mode: LockMode::Shared,
+                    client: ClientAddr(30 + n),
+                    priority: Priority(0),
+                })
+                .collect(),
+        ));
+        roundtrip(NetLockMsg::GrantBatch(
+            (0..3)
+                .map(|n| GrantMsg {
+                    lock: LockId(n),
+                    txn: TxnId(n as u64 + 50),
+                    mode: LockMode::Exclusive,
+                    client: ClientAddr(40),
+                    priority: Priority(1),
+                    grantor: Grantor::Switch,
+                    issued_at_ns: n as u64 * 11,
+                })
+                .collect(),
+        ));
     }
 
     #[test]

@@ -261,6 +261,35 @@ pub enum NetLockMsg {
         /// New epoch after the reset.
         epoch: u32,
     },
+    /// Aggregate client → lock manager: a burst of acquires issued by
+    /// many virtual clients inside one arrival-process quantum.
+    ///
+    /// One simulator event carries the whole burst (boxed slice, same
+    /// two-word slot math as [`NetLockMsg::Push`]); the switch unpacks
+    /// and admits each element exactly as if it had arrived as an
+    /// individual [`NetLockMsg::Acquire`], in slice order.
+    AcquireBatch(
+        /// The acquires, in virtual-client issue order.
+        Box<[LockRequest]>,
+    ),
+    /// Aggregate client → lock manager: a burst of releases.
+    ///
+    /// Element semantics are identical to individual
+    /// [`NetLockMsg::Release`] messages arriving back-to-back.
+    ReleaseBatch(
+        /// The releases, in slice order.
+        Box<[ReleaseRequest]>,
+    ),
+    /// Lock manager → aggregate client: grants coalesced per receiver.
+    ///
+    /// When the switch processes an [`NetLockMsg::AcquireBatch`] (or a
+    /// release burst unblocks queued requests), every grant destined for
+    /// the same client node within that handler invocation is folded
+    /// into one of these instead of one event per grant.
+    GrantBatch(
+        /// The grants, in grant order.
+        Box<[GrantMsg]>,
+    ),
     /// Controller → clients/ToR: the lock-space partition routing map.
     ///
     /// `heads[p]` is the node id of partition `p`'s current chain head;
@@ -291,6 +320,11 @@ impl NetLockMsg {
             NetLockMsg::CtrlPromoteReady { lock, .. } => Some(*lock),
             NetLockMsg::CtrlHandback { lock } => Some(*lock),
             NetLockMsg::ChainOp { op, .. } => op.lock(),
+            // Batches span many locks; per-element handling extracts
+            // each one, so the aggregate has no single lock.
+            NetLockMsg::AcquireBatch(_)
+            | NetLockMsg::ReleaseBatch(_)
+            | NetLockMsg::GrantBatch(_) => None,
             NetLockMsg::ChainAck { .. }
             | NetLockMsg::CtrlChainPing { .. }
             | NetLockMsg::CtrlChainConfig { .. }
@@ -381,5 +415,7 @@ mod tests {
             .lock(),
             Some(LockId(2))
         );
+        // Batches span many locks: no single lock to report.
+        assert_eq!(NetLockMsg::AcquireBatch(vec![req()].into()).lock(), None);
     }
 }

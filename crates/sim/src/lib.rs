@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fasthash;
 pub mod fault;
 mod link;
 pub mod metrics;
@@ -51,11 +52,12 @@ mod rng;
 mod sim;
 mod time;
 
+pub use fasthash::{FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, RunOutcome};
 pub use link::{GeParams, LinkConfig, LinkFaults, Topology};
 pub use metrics::{Histogram, IntervalCounter, LatencySummary, TimeSeries};
 pub use node::{AsAny, Context, Node, NodeId, Packet};
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use sim::{LinkCounters, SimStats, Simulator, Tap, TapEvent};
+pub use sim::{LinkCounters, SimStats, Simulator, Tap, TapEvent, MAX_NODES};
 pub use time::{SimDuration, SimTime};

@@ -84,6 +84,45 @@ impl SimRng {
         -mean * u.ln()
     }
 
+    /// Poisson-distributed count with the given mean.
+    ///
+    /// Used by aggregate population nodes to draw per-quantum arrival
+    /// counts for tens of thousands of virtual clients in one call.
+    /// Small means use Knuth's product method, chunked so the running
+    /// product never underflows; large means (where the exact method
+    /// would cost O(mean) uniform draws per sample) switch to a
+    /// Box-Muller normal approximation `N(mean, mean)`, whose relative
+    /// error at mean > 256 is far below the shot noise of the process
+    /// being modeled. Deterministic for a given RNG state.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean > 256.0 {
+            let u1 = self.unit().max(1e-18);
+            let u2 = self.unit();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let x = (mean + mean.sqrt() * z).round();
+            return if x <= 0.0 { 0 } else { x as u64 };
+        }
+        let mut count = 0u64;
+        let mut remaining = mean;
+        while remaining > 0.0 {
+            let chunk = remaining.min(16.0);
+            remaining -= chunk;
+            let limit = (-chunk).exp();
+            let mut p = 1.0;
+            loop {
+                p *= self.unit();
+                if p <= limit {
+                    break;
+                }
+                count += 1;
+            }
+        }
+        count
+    }
+
     /// Raw uniform `u64`.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -172,5 +211,37 @@ mod tests {
     fn exponential_zero_mean_is_zero() {
         let mut r = SimRng::new(8);
         assert_eq!(r.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_roughly_matches_small_and_large() {
+        let mut r = SimRng::new(9);
+        for target in [0.5, 4.0, 40.0, 2_000.0] {
+            let n = 5_000;
+            let mean: f64 = (0..n).map(|_| r.poisson(target) as f64).sum::<f64>() / n as f64;
+            // Standard error of the sample mean is sqrt(target / n).
+            let tol = 6.0 * (target / n as f64).sqrt() + 1e-9;
+            assert!(
+                (mean - target).abs() < tol,
+                "poisson({target}): sample mean {mean}, tol {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_and_negative_mean_are_zero() {
+        let mut r = SimRng::new(10);
+        assert_eq!(r.poisson(0.0), 0);
+        assert_eq!(r.poisson(-3.0), 0);
+    }
+
+    #[test]
+    fn poisson_is_deterministic() {
+        let mut a = SimRng::new(11);
+        let mut b = SimRng::new(11);
+        for _ in 0..200 {
+            assert_eq!(a.poisson(17.3), b.poisson(17.3));
+            assert_eq!(a.poisson(1_000.0), b.poisson(1_000.0));
+        }
     }
 }

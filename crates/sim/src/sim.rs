@@ -140,11 +140,16 @@ impl<M> TapHook<M> for DynTap<'_, M> {
     }
 }
 
-/// Node count beyond which the dense resolved link table is not worth
-/// its `n * n * sizeof(LinkConfig)` memory; larger topologies fall back
-/// to the hash fallback chain per transmit. Rack simulations here are
-/// tens of nodes.
-const DENSE_MAX_NODES: usize = 512;
+/// Hard node-count capacity of one simulator.
+///
+/// Per-hop link resolution uses a dense `n * n * sizeof(LinkConfig)`
+/// table, so node count is a quadratic memory cost; 512 nodes keep the
+/// table comfortably in cache while covering every rack/cluster layout
+/// here (tens of nodes per rack). [`Simulator::add_node`] rejects the
+/// 513th node with an actionable error: large client populations belong
+/// in aggregate population nodes (netlock-core's `population` module,
+/// ~100K virtual clients per node), not in per-client sim nodes.
+pub const MAX_NODES: usize = 512;
 
 /// One packet-level observation delivered to the tap.
 #[derive(Debug)]
@@ -400,6 +405,14 @@ impl<M: Clone + Send + 'static> Simulator<M> {
             self.par.is_none(),
             "add_node on a partitioned simulator: add every node before partition()"
         );
+        assert!(
+            self.nodes.len() < MAX_NODES,
+            "simulator is full: {MAX_NODES} nodes (the dense (src,dst) link table is \
+             O(n^2) and caps the topology at {MAX_NODES}). Per-node state for large \
+             client counts does not scale anyway — model big populations with one \
+             aggregate population node per ~100K virtual clients \
+             (netlock-core's `population` module) instead of one node per client."
+        );
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(node));
         self.alive.push(true);
@@ -548,10 +561,9 @@ impl<M: Clone + Send + 'static> Simulator<M> {
     /// table, rebuilding it if the topology or node count changed.
     #[inline]
     fn link_for(&mut self, src: NodeId, dst: NodeId) -> LinkConfig {
+        // `add_node` enforces n <= MAX_NODES, so the dense table always
+        // applies — there is no silent hash-lookup slow path.
         let n = self.nodes.len();
-        if n > DENSE_MAX_NODES {
-            return self.topology.link(src, dst);
-        }
         if self.links_version != self.topology.version() || self.links_n != n {
             self.topology.resolve_dense(n, &mut self.links);
             self.links_version = self.topology.version();
@@ -1043,6 +1055,27 @@ mod tests {
         s.read_node::<Echo, _>(a, |n| {
             assert_eq!(n.received[0], (SimTime(200), 1));
         });
+    }
+
+    #[test]
+    fn node_capacity_is_enforced_with_actionable_error() {
+        let mut s = sim();
+        for _ in 0..MAX_NODES {
+            s.add_node(Box::new(Echo { received: vec![] }));
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.add_node(Box::new(Echo { received: vec![] }));
+        }))
+        .expect_err("node 513 must be rejected");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(msg.contains("simulator is full"), "got: {msg}");
+        assert!(
+            msg.contains("population"),
+            "error must point at aggregate population nodes: {msg}"
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ impl ActionBuf {
     }
 
     /// Discard all actions (the buffer's capacity is retained).
+    #[inline]
     pub fn clear(&mut self) {
         self.len = 0;
     }
@@ -60,15 +61,23 @@ impl ActionBuf {
     /// If the buffer is full: a single packet provoking more than
     /// [`ACTION_BUF_CAP`] actions means the model diverged from a
     /// feasible switch program (see module docs).
+    #[inline]
     pub fn push(&mut self, action: DpAction) {
-        assert!(
-            self.len < ACTION_BUF_CAP,
+        if self.len >= ACTION_BUF_CAP {
+            Self::overflow();
+        }
+        self.slots[self.len] = action;
+        self.len += 1;
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn overflow() -> ! {
+        panic!(
             "infeasible action burst: one packet provoked more than {ACTION_BUF_CAP} \
              data-plane actions; Algorithm 2's per-packet fan-out is bounded by the \
              largest queue region, so this exceeds the Tofino feasibility envelope"
         );
-        self.slots[self.len] = action;
-        self.len += 1;
     }
 
     /// The recorded actions.

@@ -20,12 +20,14 @@
 //! index — mirroring the ASIC, whose tables and counters are all fixed
 //! at compile time.
 
-use netlock_proto::{GrantMsg, Grantor, LockId, LockRequest, NetLockMsg, ReleaseRequest, TenantId};
+use netlock_proto::{
+    GrantMsg, Grantor, LockId, LockRequest, NetLockMsg, ReleaseRequest, TenantId, TxnId,
+};
 
 use crate::action_buf::ActionBuf;
 use crate::analysis::layout::ProgramLayout;
 use crate::analysis::trace::TraceSink;
-use crate::directory::{LockDirectory, Residence};
+use crate::directory::{DirEntry, LockDirectory, Residence};
 use crate::engine::{AcquireOutcome, FcfsEngine, PassAllocator};
 use crate::meter::TokenBucket;
 use crate::priority::{PriorityEngine, PriorityLayout};
@@ -258,6 +260,25 @@ impl DataPlane {
     /// Counters.
     pub fn stats(&self) -> DpStats {
         self.stats
+    }
+
+    /// Total pipeline passes so far — the hot-path subset of
+    /// [`stats`], read twice per request to charge resubmit latency.
+    ///
+    /// [`stats`]: DataPlane::stats
+    #[inline]
+    pub fn passes(&self) -> u64 {
+        self.stats.passes
+    }
+
+    /// [`process`] an acquire without the message-enum round trip —
+    /// the batch path calls this once per unpacked element.
+    ///
+    /// [`process`]: DataPlane::process
+    #[inline]
+    pub fn process_acquire(&mut self, req: LockRequest, now_ns: u64, out: &mut ActionBuf) {
+        out.clear();
+        self.on_acquire(req, now_ns, out);
     }
 
     /// The static resource model registered at construction.
@@ -512,23 +533,54 @@ impl DataPlane {
     }
 
     fn on_release(&mut self, rel: ReleaseRequest, now_ns: u64, out: &mut ActionBuf) {
-        self.stats.passes += 1;
-        self.stats.releases += 1;
-        let entry = match self.directory.get(rel.lock) {
-            Some(e) => e,
-            None => match self.default_server_of(rel.lock) {
-                Some(server) => {
-                    out.push(DpAction::ForwardRelease { server, rel });
-                    return;
-                }
-                None => {
-                    out.push(DpAction::Drop {
-                        reason: DropReason::UnknownLock,
-                    });
-                    return;
-                }
-            },
-        };
+        self.process_release_guarded(rel, now_ns, out, |_, _| true);
+    }
+
+    /// [`process`] a release with the control plane's release guard
+    /// consulted in-line: `admit(lock, txn)` runs only for
+    /// switch-resident locks, after the single directory lookup both
+    /// decisions share (the guard used to cost a second lookup per
+    /// release on the batch path). Returns `false` — with no counters
+    /// touched and no actions emitted — when the guard rejects the
+    /// release; server-resident and unknown locks are forwarded
+    /// untouched, exactly as before.
+    ///
+    /// [`process`]: DataPlane::process
+    pub fn process_release_guarded(
+        &mut self,
+        rel: ReleaseRequest,
+        now_ns: u64,
+        out: &mut ActionBuf,
+        admit: impl FnOnce(LockId, TxnId) -> bool,
+    ) -> bool {
+        out.clear();
+        if let Some(entry) = self.directory.get(rel.lock) {
+            if matches!(entry.residence, Residence::Switch { .. }) && !admit(rel.lock, rel.txn) {
+                return false;
+            }
+            self.stats.passes += 1;
+            self.stats.releases += 1;
+            self.on_release_at(rel, entry, now_ns, out);
+        } else {
+            self.stats.passes += 1;
+            self.stats.releases += 1;
+            match self.default_server_of(rel.lock) {
+                Some(server) => out.push(DpAction::ForwardRelease { server, rel }),
+                None => out.push(DpAction::Drop {
+                    reason: DropReason::UnknownLock,
+                }),
+            }
+        }
+        true
+    }
+
+    fn on_release_at(
+        &mut self,
+        rel: ReleaseRequest,
+        entry: DirEntry,
+        now_ns: u64,
+        out: &mut ActionBuf,
+    ) {
         match entry.residence {
             Residence::Server => out.push(DpAction::ForwardRelease {
                 server: entry.home_server,
@@ -579,6 +631,28 @@ impl DataPlane {
                         });
                     }
                 }
+            }
+        }
+    }
+
+    /// Control-plane overflow reset after a lock server restarted with
+    /// total state loss. Every q2 that server buffered is gone, so the
+    /// forwarded/pushed ledgers of its switch-resident locks can never
+    /// reconcile again — without this reset, a lock that was in
+    /// overflow mode at the crash keeps forwarding acquires at a wiped
+    /// q2 forever. The stranded q2 requests died with the server and
+    /// are re-driven by client retries; the next q1 overflow restarts
+    /// the protocol from clean counters.
+    pub fn cp_reset_overflow_for_server(&mut self, server_idx: usize) {
+        for (_, qid, home) in self.directory.switch_resident() {
+            if home == server_idx {
+                let of = &mut self.overflow[qid];
+                of.active = false;
+                of.forwarded = 0;
+                of.pushed = 0;
+                of.space_pending = false;
+                // `draining`/`suppressed` belong to migration/handback
+                // control flows; a server restart does not touch them.
             }
         }
     }

@@ -8,9 +8,8 @@
 //! a directory service and set the destination IP; the ToR switch is on
 //! path and intercepts the locks it owns).
 
-use std::collections::HashMap;
-
 use netlock_proto::LockId;
+use netlock_sim::FastHashMap;
 
 /// Where lock requests for a given lock are processed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,15 +36,15 @@ pub struct DirEntry {
 /// The switch's view of lock placement.
 #[derive(Clone, Debug, Default)]
 pub struct LockDirectory {
-    entries: HashMap<LockId, DirEntry>,
+    entries: FastHashMap<LockId, DirEntry>,
     /// qid → lock reverse map, for control-plane sweeps.
-    by_qid: HashMap<usize, LockId>,
+    by_qid: FastHashMap<usize, LockId>,
     /// Dense interning of every lock the data plane has ever counted
     /// (directory entries and default-routed locks alike): stable
     /// index per lock, survives residence flips. Backs the data
     /// plane's dense per-lock counter arrays the way a compiled
     /// Tofino table backs its counters — the slot is assigned once.
-    index_of: HashMap<LockId, u32>,
+    index_of: FastHashMap<LockId, u32>,
     /// index → lock reverse map for `index_of`.
     interned: Vec<LockId>,
 }

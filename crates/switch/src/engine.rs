@@ -45,6 +45,7 @@ impl PassAllocator {
     }
 
     /// Begin a new pass at the given resubmit depth.
+    #[inline]
     pub fn begin(&mut self, resubmit_depth: u32) -> Pass {
         self.next += 1;
         let mut pass = Pass::new(PassId(self.next), resubmit_depth);
@@ -98,6 +99,7 @@ impl FcfsEngine {
     }
 
     /// Process an acquire (Algorithm 2 lines 1–5). One pipeline pass.
+    #[inline]
     pub fn acquire(
         queue: &mut SharedQueue,
         passes: &mut PassAllocator,
@@ -117,6 +119,7 @@ impl FcfsEngine {
     /// `released_mode` comes from the release packet header. Granted
     /// slots are appended to `grants` in grant order; the caller owns
     /// (and reuses) the buffer.
+    #[inline]
     pub fn release(
         queue: &mut SharedQueue,
         passes: &mut PassAllocator,

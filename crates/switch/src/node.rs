@@ -9,7 +9,7 @@
 use std::collections::{HashMap, HashSet};
 
 use netlock_proto::{GrantMsg, LockId, NetLockMsg, TxnId};
-use netlock_sim::{Context, Node, NodeId, Packet, SimDuration};
+use netlock_sim::{Context, FastHashMap, Node, NodeId, Packet, SimDuration};
 
 use crate::action_buf::ActionBuf;
 use crate::control::{self, MigrationOp};
@@ -114,8 +114,10 @@ pub struct SwitchNode {
     /// release (the paper's §4.2 queue is not content-addressable), so
     /// the control plane keeps this shadow ledger and drops releases
     /// that no outstanding grant authorizes — making releases
-    /// idempotent under duplication, retries and lease expiry.
-    granted_outstanding: HashMap<(LockId, TxnId), u32>,
+    /// idempotent under duplication, retries and lease expiry. Hit
+    /// twice per request (grant and release) — keyed through the
+    /// deterministic fast hasher, not SipHash.
+    granted_outstanding: FastHashMap<(LockId, TxnId), u32>,
     /// Test hook: when set, the release guard admits every release
     /// (restores the unguarded blind-dequeue behaviour).
     release_guard_disabled: bool,
@@ -137,7 +139,7 @@ impl SwitchNode {
             pending_demotes: HashSet::new(),
             pending_promotes: Vec::new(),
             promote_reservations: HashMap::new(),
-            granted_outstanding: HashMap::new(),
+            granted_outstanding: FastHashMap::default(),
             release_guard_disabled: false,
             actions: ActionBuf::new(),
             stats: SwitchNodeStats::default(),
@@ -155,15 +157,16 @@ impl SwitchNode {
     /// outstanding grant. Only consulted for switch-resident locks;
     /// server-resident releases are forwarded (the server's lock table
     /// matches holders by txn and is naturally idempotent).
-    fn admit_release(&mut self, lock: LockId, txn: TxnId) -> bool {
-        if self.release_guard_disabled {
-            return true;
-        }
-        match self.granted_outstanding.get_mut(&(lock, txn)) {
+    fn ledger_admit(
+        ledger: &mut FastHashMap<(LockId, TxnId), u32>,
+        lock: LockId,
+        txn: TxnId,
+    ) -> bool {
+        match ledger.get_mut(&(lock, txn)) {
             Some(n) if *n > 0 => {
                 *n -= 1;
                 if *n == 0 {
-                    self.granted_outstanding.remove(&(lock, txn));
+                    ledger.remove(&(lock, txn));
                 }
                 true
             }
@@ -284,11 +287,32 @@ impl SwitchNode {
     /// into the network. Actions are `Copy`, so reading them out by
     /// index keeps the buffer borrow disjoint from the sends below.
     fn emit(&mut self, extra_passes: u64, ctx: &mut Context<'_, NetLockMsg>) {
+        self.emit_with_sink(extra_passes, ctx, None);
+    }
+
+    /// `emit`, but with an optional grant sink: while unpacking a batch
+    /// the per-element `SendGrant` actions are collected instead of
+    /// sent, so the whole burst's grants can be coalesced into one
+    /// [`NetLockMsg::GrantBatch`] per destination client (one simulator
+    /// event instead of one per virtual request). One-RTT grants still
+    /// go through the database server individually — the fetch is
+    /// per-item. Non-grant actions are sent exactly as on the
+    /// individual path.
+    fn emit_with_sink(
+        &mut self,
+        extra_passes: u64,
+        ctx: &mut Context<'_, NetLockMsg>,
+        mut grant_sink: Option<&mut Vec<GrantMsg>>,
+    ) {
         let delay =
             self.cfg.traversal + SimDuration(self.cfg.pass_latency.as_nanos() * extra_passes);
+        let coalesce = grant_sink.is_some() && (!self.cfg.one_rtt || self.db_servers.is_empty());
         for i in 0..self.actions.len() {
             let act = self.actions[i];
             match act {
+                DpAction::SendGrant(grant) if coalesce => {
+                    grant_sink.as_deref_mut().expect("coalesce").push(grant);
+                }
                 DpAction::SendGrant(grant) => self.send_grant(grant, delay, ctx),
                 DpAction::ForwardAcquire {
                     server,
@@ -352,6 +376,112 @@ impl SwitchNode {
             // Convention: ClientAddr(n) is node n (assigned by the rack
             // builder).
             ctx.send_after(NodeId(grant.client.0), NetLockMsg::Grant(grant), delay);
+        }
+    }
+
+    /// Unpack an [`NetLockMsg::AcquireBatch`]: admit every element
+    /// through the data plane in slice order (identical per-request
+    /// semantics to individual acquires arriving back-to-back at one
+    /// timestamp), collecting grants for coalesced fan-back.
+    fn process_acquire_batch(
+        &mut self,
+        reqs: &[netlock_proto::LockRequest],
+        ctx: &mut Context<'_, NetLockMsg>,
+    ) {
+        let now = ctx.now().as_nanos();
+        let mut grants: Vec<GrantMsg> = Vec::with_capacity(reqs.len());
+        let mut max_extra = 0u64;
+        for req in reqs.iter() {
+            let before = self.dp.passes();
+            self.dp.process_acquire(*req, now, &mut self.actions);
+            let extra = (self.dp.passes() - before).saturating_sub(1);
+            max_extra = max_extra.max(extra);
+            self.emit_with_sink(extra, ctx, Some(&mut grants));
+        }
+        self.flush_grant_batches(grants, max_extra, ctx);
+    }
+
+    /// Unpack an [`NetLockMsg::ReleaseBatch`]: per element the release
+    /// guard is consulted exactly as for an individual release, then
+    /// the data plane processes it; grants popped for waiting requests
+    /// are coalesced per destination client.
+    fn process_release_batch(
+        &mut self,
+        rels: &[netlock_proto::ReleaseRequest],
+        ctx: &mut Context<'_, NetLockMsg>,
+    ) {
+        let now = ctx.now().as_nanos();
+        // Shared-mode releases can cascade one grant each; size for it.
+        let mut grants: Vec<GrantMsg> = Vec::with_capacity(rels.len());
+        let mut max_extra = 0u64;
+        for rel in rels.iter() {
+            let before = self.dp.passes();
+            let guard_disabled = self.release_guard_disabled;
+            let ledger = &mut self.granted_outstanding;
+            let admitted = self
+                .dp
+                .process_release_guarded(*rel, now, &mut self.actions, |l, t| {
+                    guard_disabled || Self::ledger_admit(ledger, l, t)
+                });
+            if !admitted {
+                self.stats.stale_releases_filtered += 1;
+                continue;
+            }
+            let extra = (self.dp.passes() - before).saturating_sub(1);
+            max_extra = max_extra.max(extra);
+            self.emit_with_sink(extra, ctx, Some(&mut grants));
+            if self.pending_demotes.contains(&rel.lock) {
+                self.try_complete_demote(rel.lock, ctx);
+            }
+        }
+        self.flush_grant_batches(grants, max_extra, ctx);
+    }
+
+    /// Send the grants a batch produced, one event per destination
+    /// client: a lone grant goes out as a plain [`NetLockMsg::Grant`]
+    /// (individual clients queued behind an aggregate burst keep their
+    /// wire format), two or more to the same client fold into one
+    /// [`NetLockMsg::GrantBatch`]. All grants of the burst leave the
+    /// egress together, so the whole flush is charged the batch's
+    /// worst-case resubmit count.
+    fn flush_grant_batches(
+        &mut self,
+        grants: Vec<GrantMsg>,
+        max_extra: u64,
+        ctx: &mut Context<'_, NetLockMsg>,
+    ) {
+        if grants.is_empty() {
+            return;
+        }
+        let delay = self.cfg.traversal + SimDuration(self.cfg.pass_latency.as_nanos() * max_extra);
+        // Group per destination, preserving grant order within each
+        // client. Bursts almost always target one aggregate node, so a
+        // linear scan over a tiny group list beats a hash map here.
+        let mut groups: Vec<(u32, Vec<GrantMsg>)> = Vec::with_capacity(1);
+        let burst = grants.len();
+        for g in grants {
+            *self.granted_outstanding.entry((g.lock, g.txn)).or_insert(0) += 1;
+            self.stats.grants_sent += 1;
+            match groups.iter_mut().find(|(c, _)| *c == g.client.0) {
+                Some((_, group)) => group.push(g),
+                None => {
+                    // Size for the whole burst up front: it almost
+                    // always lands on one aggregate client, and growing
+                    // a multi-thousand-grant vec by doubling shows up
+                    // on the batch hot path.
+                    let mut group = Vec::with_capacity(burst);
+                    group.push(g);
+                    groups.push((g.client.0, group));
+                }
+            }
+        }
+        for (client, mut group) in groups {
+            let msg = if group.len() == 1 {
+                NetLockMsg::Grant(group.pop().expect("len 1"))
+            } else {
+                NetLockMsg::GrantBatch(group.into())
+            };
+            ctx.send_after(NodeId(client), msg, delay);
         }
     }
 
@@ -449,14 +579,16 @@ impl SwitchNode {
                 // The expiry consumes the holder's outstanding grant;
                 // the holder's own (late) release will then be filtered
                 // instead of dequeuing whoever was granted next.
-                let _ = self.admit_release(rel.lock, rel.txn);
-                let before = self.dp.stats().passes;
+                if !self.release_guard_disabled {
+                    let _ = Self::ledger_admit(&mut self.granted_outstanding, rel.lock, rel.txn);
+                }
+                let before = self.dp.passes();
                 self.dp.process(
                     NetLockMsg::Release(rel),
                     ctx.now().as_nanos(),
                     &mut self.actions,
                 );
-                let extra = self.dp.stats().passes - before - 1;
+                let extra = self.dp.passes() - before - 1;
                 let lock = rel.lock;
                 self.emit(extra, ctx);
                 if self.pending_demotes.contains(&lock) {
@@ -484,37 +616,61 @@ impl Node<NetLockMsg> for SwitchNode {
     }
 
     fn on_packet(&mut self, pkt: Packet<NetLockMsg>, ctx: &mut Context<'_, NetLockMsg>) {
+        // Aggregate-population bursts take the batched path: unpack,
+        // admit per element, coalesce grant fan-back.
+        let pkt = match pkt.payload {
+            NetLockMsg::AcquireBatch(reqs) => {
+                self.process_acquire_batch(&reqs, ctx);
+                return;
+            }
+            NetLockMsg::ReleaseBatch(rels) => {
+                self.process_release_batch(&rels, ctx);
+                return;
+            }
+            payload => Packet { payload, ..pkt },
+        };
         let released_lock = match &pkt.payload {
             NetLockMsg::Release(rel) => Some(rel.lock),
             _ => None,
         };
         // Release guard: a release for a switch-resident lock is only
-        // admitted if an outstanding grant authorizes it. Server-resident
+        // admitted if an outstanding grant authorizes it (the guard and
+        // the data plane share one directory lookup). Server-resident
         // (and unknown) locks are forwarded untouched — the server's
         // lock table matches releases by txn itself.
         if let NetLockMsg::Release(rel) = &pkt.payload {
-            let switch_resident = matches!(
-                self.dp.directory().get(rel.lock).map(|e| e.residence),
-                Some(crate::directory::Residence::Switch { .. })
+            let rel = *rel;
+            let before = self.dp.passes();
+            let guard_disabled = self.release_guard_disabled;
+            let ledger = &mut self.granted_outstanding;
+            let admitted = self.dp.process_release_guarded(
+                rel,
+                ctx.now().as_nanos(),
+                &mut self.actions,
+                |l, t| guard_disabled || Self::ledger_admit(ledger, l, t),
             );
-            if switch_resident && !self.admit_release(rel.lock, rel.txn) {
+            if !admitted {
                 self.stats.stale_releases_filtered += 1;
                 return;
             }
-        }
-        // Complete a reserved promotion: install the region + directory
-        // entry just before the buffered requests are enqueued.
-        if let NetLockMsg::CtrlPromoteReady { lock, .. } = &pkt.payload {
-            if let Some((qid, left, right, home)) = self.promote_reservations.remove(lock) {
-                self.dp.prepare_promote(*lock, qid, left, right, home);
-                self.stats.migrations_done += 1;
+            let extra = (self.dp.passes() - before).saturating_sub(1);
+            self.emit(extra, ctx);
+        } else {
+            // Complete a reserved promotion: install the region +
+            // directory entry just before the buffered requests are
+            // enqueued.
+            if let NetLockMsg::CtrlPromoteReady { lock, .. } = &pkt.payload {
+                if let Some((qid, left, right, home)) = self.promote_reservations.remove(lock) {
+                    self.dp.prepare_promote(*lock, qid, left, right, home);
+                    self.stats.migrations_done += 1;
+                }
             }
+            let before = self.dp.passes();
+            self.dp
+                .process(pkt.payload, ctx.now().as_nanos(), &mut self.actions);
+            let extra = (self.dp.passes() - before).saturating_sub(1);
+            self.emit(extra, ctx);
         }
-        let before = self.dp.stats().passes;
-        self.dp
-            .process(pkt.payload, ctx.now().as_nanos(), &mut self.actions);
-        let extra = (self.dp.stats().passes - before).saturating_sub(1);
-        self.emit(extra, ctx);
         // A release may have completed a drain for a demoting lock.
         if let Some(lock) = released_lock {
             if self.pending_demotes.contains(&lock) {

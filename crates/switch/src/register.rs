@@ -164,22 +164,17 @@ impl<T: Copy> RegisterArray<T> {
     /// - if this array was already accessed during `pass` (needs resubmit)
     /// - if `pass` already accessed a later stage (cannot go backwards)
     /// - if `idx` is out of bounds
+    #[inline]
     pub fn access<R>(&mut self, pass: &mut Pass, idx: usize, f: impl FnOnce(&mut T) -> R) -> R {
-        assert!(
-            self.last_access != Some(pass.id),
-            "register array '{}' accessed twice in pass {:?}: the P4 data \
-             plane would need a resubmit here",
-            self.name,
-            pass.id
-        );
-        assert!(
-            self.stage >= pass.stage_cursor,
-            "register array '{}' (stage {}) accessed after stage {} in the \
-             same pass: a pipeline pass cannot revisit earlier stages",
-            self.name,
-            self.stage,
-            pass.stage_cursor
-        );
+        // The violation panics are out-of-line (`#[cold]`) so the
+        // discipline checks compile to two predicted branches on the
+        // per-packet hot path.
+        if self.last_access == Some(pass.id) {
+            self.double_access_violation(pass);
+        }
+        if self.stage < pass.stage_cursor {
+            self.stage_order_violation(pass);
+        }
         self.last_access = Some(pass.id);
         pass.stage_cursor = self.stage;
         if pass.tracing {
@@ -190,6 +185,26 @@ impl<T: Copy> RegisterArray<T> {
             .get_mut(idx)
             .unwrap_or_else(|| panic!("register array index out of bounds: {idx}"));
         f(cell)
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn double_access_violation(&self, pass: &Pass) -> ! {
+        panic!(
+            "register array '{}' accessed twice in pass {:?}: the P4 data \
+             plane would need a resubmit here",
+            self.name, pass.id
+        );
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn stage_order_violation(&self, pass: &Pass) -> ! {
+        panic!(
+            "register array '{}' (stage {}) accessed after stage {} in the \
+             same pass: a pipeline pass cannot revisit earlier stages",
+            self.name, self.stage, pass.stage_cursor
+        );
     }
 
     /// Control-plane read (PCIe path; not pass-constrained).

@@ -215,6 +215,7 @@ impl SharedQueue {
     /// Performs Algorithm 2 lines 1–5 in one pipeline pass: conditional
     /// enqueue + the grant check (`queue.is_empty()` via the count RMW,
     /// `queue.is_shared()` via the excl RMW).
+    #[inline]
     pub fn enqueue(&mut self, pass: &mut Pass, qid: usize, slot: Slot) -> EnqueueOutcome {
         let mode = slot.mode;
         let d = self.enqueue_deciding(pass, qid, slot, false, |count_old, excl_old| {
@@ -236,6 +237,7 @@ impl SharedQueue {
     /// in packet metadata mid-pipeline. When `mark` is set, the written
     /// slot's `granted` bit records the decision (the priority engine
     /// tracks holders explicitly; the FCFS engine does not need to).
+    #[inline]
     pub fn enqueue_deciding(
         &mut self,
         pass: &mut Pass,
@@ -308,6 +310,7 @@ impl SharedQueue {
     /// also the mode of the dequeued holder (only one exclusive holder
     /// can exist, and shared releases are commutative — §4.2), so the
     /// excl counter can be maintained without reading the slot.
+    #[inline]
     pub fn release_dequeue(
         &mut self,
         pass: &mut Pass,
@@ -348,6 +351,7 @@ impl SharedQueue {
 
     /// Data-plane pass: read the slot at region offset `offset`
     /// (Algorithm 2's `flag == 1/2` branches, each a resubmitted pass).
+    #[inline]
     pub fn read_at(&mut self, pass: &mut Pass, qid: usize, offset: u32) -> Slot {
         let (left, right) = self.bounds.access(pass, qid, |b| *b);
         let cap = right - left;
@@ -379,6 +383,7 @@ impl SharedQueue {
 
     /// The offset following `offset` within region `qid` (wraparound).
     /// Pure pointer arithmetic — no register access.
+    #[inline]
     pub fn next_offset(&self, qid: usize, offset: u32) -> u32 {
         let (left, right) = self.bounds.cp_read(qid);
         let cap = right - left;

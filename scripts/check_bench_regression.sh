@@ -31,6 +31,11 @@
 #     workers_1 / serial_ref, then workers_1 / sim_events_per_sec)
 #   - sim_parallel_events_per_sec.workers_1 < 0.6 × the committed
 #     baseline's (same cross-machine margin as the serial spine)
+#   - agg_requests_per_sec < 1e6 (the batched aggregate-population path
+#     must sustain >= 1M lock requests per wall-second on the 100K-
+#     client shared-queue scenario; this box measures ~10M/s, so the
+#     floor only trips on an order-of-magnitude loss like falling back
+#     to per-request events; skipped for pre-v6 runs without the field)
 #   - workers_max < 1.5 × workers_1 when the host has >= 4 cores (the
 #     parallel windows must actually buy wall-clock on multi-rack
 #     scenarios; skipped on small hosts where no speedup is possible)
@@ -64,6 +69,13 @@ if allocs > 0:
 txn_allocs = new.get("txn_allocs_per_packet", 0)
 if txn_allocs > 0:
     fail.append(f"txn_allocs_per_packet = {txn_allocs} (must be 0)")
+
+agg = new.get("agg_requests_per_sec")
+if agg is not None and agg < 1e6:
+    fail.append(
+        f"agg_requests_per_sec = {agg/1e6:.2f}M (batched aggregate path "
+        f"must sustain >= 1M requests/s)"
+    )
 
 pkt = new.get("packet_bytes", 0)
 if pkt > 48:
@@ -130,6 +142,7 @@ if fail:
     sys.exit(1)
 print(
     f"ok    allocs_per_packet=0  txn_allocs_per_packet=0  packet_bytes={pkt}  "
+    f"agg {(agg or 0)/1e6:.1f}M req/s  "
     f"spine {eps_new/1e6:.1f}M ev/s (baseline {eps_base/1e6:.1f}M)  "
     f"parallel ref {serial_ref/1e6:.1f}M w1 {w1/1e6:.1f}M "
     f"(paired {ratio:.2f}) wmax {wmax/1e6:.1f}M ({cores} cores)  "

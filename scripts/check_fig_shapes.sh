@@ -18,13 +18,15 @@ BIN_DIR=${BIN_DIR:-target/release}
 norm() { sed -E 's/-?[0-9]+(\.[0-9]+)?(e-?[0-9]+)?/N/g' "$1"; }
 
 fail=0
-for fig in fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15; do
+for fig in fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 flash_crowd tenant_churn; do
   out=$(mktemp)
   "$BIN_DIR/$fig" --quick >"$out"
-  if [ "$fig" = fig13 ]; then
+  if [ "$fig" = fig13 ] || [ "$fig" = flash_crowd ] || [ "$fig" = tenant_churn ]; then
     # fig13's CDF tail is downsampled from measured latencies, so its
     # row count is data-dependent; compare the collapsed sequence of
-    # distinct normalized line shapes instead of raw row counts.
+    # distinct normalized line shapes instead of raw row counts. The
+    # aggregate-population scenarios run fewer racks/intervals at quick
+    # scale, so they get the same collapsed-shape treatment.
     a=$(norm "$out" | uniq)
     b=$(norm "results/$fig.tsv" | uniq)
   else

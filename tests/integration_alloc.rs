@@ -156,3 +156,61 @@ fn lock_table_steady_state_is_allocation_free() {
         "steady-state lock table allocated {allocs} times over 32000 ops"
     );
 }
+
+/// The aggregate population path is allocation-*light*, not
+/// allocation-free: each quantum allocates the boxed request batch and
+/// the grant-coalescing buffers, amortized over the hundreds of
+/// requests the batch carries. Steady state must stay well under one
+/// allocation per request — the per-packet paths inside (data plane,
+/// release guard, action buffer) remain alloc-free as proven above.
+#[test]
+fn population_steady_state_allocates_sublinearly_in_requests() {
+    use netlock_core::prelude::*;
+
+    let mut rack = Rack::build(RackConfig {
+        seed: 77,
+        lock_servers: 1,
+        engine: EngineSpec::Fcfs(netlock_switch::shared_queue::SharedQueueLayout::small(
+            2, 16_384, 64,
+        )),
+        ..Default::default()
+    });
+    let stats: Vec<LockStats> = (0..64)
+        .map(|l| LockStats {
+            lock: LockId(l),
+            rate: 1.0,
+            contention: 64,
+            home_server: 0,
+        })
+        .collect();
+    rack.program(&knapsack_allocate(&stats, 32_000));
+    rack.add_population_client(PopulationConfig {
+        tenants: vec![TenantSpec {
+            virtual_clients: 100_000,
+            rate_rps_per_client: 10.0,
+            locks: (0..64).map(LockId).collect(),
+            max_outstanding: 1 << 20,
+            ..Default::default()
+        }],
+        ..Default::default()
+    });
+    // Warm-up: reach steady batch sizes, grown scratch buffers, grown
+    // hash tables.
+    rack.sim.run_for(SimDuration::from_millis(20));
+    let issued_before = rack
+        .sim
+        .read_node::<PopulationClient, _>(rack.clients[0].0, |c| c.stats().issued);
+    let allocs_before = allocation_count();
+    rack.sim.run_for(SimDuration::from_millis(20));
+    let allocs = allocation_count() - allocs_before;
+    let issued = rack
+        .sim
+        .read_node::<PopulationClient, _>(rack.clients[0].0, |c| c.stats().issued)
+        - issued_before;
+    assert!(issued > 10_000, "scenario too small: {issued} requests");
+    let per_request = allocs as f64 / issued as f64;
+    assert!(
+        per_request < 0.25,
+        "{allocs} allocations over {issued} requests = {per_request:.3}/request"
+    );
+}

@@ -517,20 +517,27 @@ fn main() {
     // unpartitioned on the fused serial loop; `workers_1` is the serial
     // window loop; `workers_max` uses every available core and shows
     // the actual speedup on this machine (equal to workers_1 on a
-    // 1-core host). The regression gate reads `w1_over_ref`, the best
-    // *paired* ratio across the interleaved (ref, w1) runs: on shared /
-    // throttled machines the absolute rates of any two runs can differ
-    // by 30% of pure noise, but noise hits both halves of an adjacent
-    // pair roughly equally — if the windowed loop were genuinely more
-    // than 5% slower per event, no pair could reach 0.95.
+    // 1-core host). Two ratios are reported:
+    //
+    // - `w1_over_ref` = workers_1 / serial_ref, the ratio of the two
+    //   recorded best-of-5 rates. It is self-consistent with the fields
+    //   next to it by construction (the regression script cross-checks
+    //   that) but mixes rates from different runs, so it wobbles with
+    //   machine noise.
+    // - `best_paired_ratio` = max over the 5 interleaved (ref, w1)
+    //   pairs of w/r. On shared / throttled machines the absolute rates
+    //   of any two runs can differ by 30% of pure noise, but noise hits
+    //   both halves of an adjacent pair roughly equally — if the
+    //   windowed loop were genuinely more than 5% slower per event, no
+    //   pair could reach 0.95. The regression gate reads this one.
     let par_ttl = if quick { 2_000 } else { 40_000 };
-    let (mut par_ref, mut par_w1, mut par_ratio) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut par_ref, mut par_w1, mut best_paired) = (0.0f64, 0.0f64, 0.0f64);
     for _ in 0..5 {
         let r = sim_parallel_events_point(4, 64, par_ttl, None);
         let w = sim_parallel_events_point(4, 64, par_ttl, Some(1));
         par_ref = par_ref.max(r);
         par_w1 = par_w1.max(w);
-        par_ratio = par_ratio.max(w / r.max(1e-12));
+        best_paired = best_paired.max(w / r.max(1e-12));
     }
     let par_wmax = if threads_available > 1 {
         let w = threads_available as usize;
@@ -570,7 +577,7 @@ fn main() {
     };
 
     let mut fields = vec![
-        ("schema", Json::str("netlock-bench-sim/6")),
+        ("schema", Json::str("netlock-bench-sim/7")),
         ("quick", Json::Bool(quick)),
         ("queue_churn", queue),
         ("sim_events_per_sec", Json::Num(sim_events_per_sec)),
@@ -580,7 +587,8 @@ fn main() {
                 ("lps", Json::Int(4)),
                 ("serial_ref", Json::Num(par_ref)),
                 ("workers_1", Json::Num(par_w1)),
-                ("w1_over_ref", Json::Num(par_ratio)),
+                ("w1_over_ref", Json::Num(par_w1 / par_ref.max(1e-12))),
+                ("best_paired_ratio", Json::Num(best_paired)),
                 ("workers_max", Json::Num(par_wmax)),
                 ("max_workers", Json::Int(threads_available)),
             ]),

@@ -12,6 +12,7 @@
 pub mod chaos;
 pub mod common;
 pub mod count_alloc;
+pub mod dlock;
 pub mod failover;
 pub mod fig08;
 pub mod fig09;

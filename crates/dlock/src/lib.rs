@@ -1,0 +1,289 @@
+//! # netlock-dlock
+//!
+//! Real-threads delegation/combining backends over the *actual*
+//! [`netlock_server::LockTable`].
+//!
+//! The simulator's server model ([`netlock_server::CoreModel`]) charges a
+//! literature constant per request (222 ns/message ≈ the paper's 18 MRPS
+//! per 8-core server). This crate exists to *measure* that number on real
+//! cores instead of assuming it: each backend drives the same sequential
+//! `LockTable` the simulation uses — correctness is shared, not
+//! re-implemented — while varying only the concurrency-control strategy
+//! threads use to reach it:
+//!
+//! - [`MutexTable`] — the baseline: one `std::sync::Mutex` around the
+//!   table. Every thread takes the lock, applies its own op, releases.
+//!   Under contention the lock bounces between cores and so does the
+//!   table's working set.
+//! - [`FlatCombining`] — publication-list combining (Hendler et al.):
+//!   each thread publishes its op in a per-thread record; whichever
+//!   thread gets the table lock becomes the *combiner* and drains every
+//!   pending record through the table. Threads whose ops were combined
+//!   never touch the shared lock at all, and the table stays hot in the
+//!   combiner's cache.
+//! - [`CcSynch`] — CCSynch-style queue delegation: ops enter an MPSC
+//!   combining ring in FIFO order; the combiner applies a bounded batch
+//!   per pass and then hands the role to a waiting thread, so no thread
+//!   combines unboundedly.
+//!
+//! All three implement [`ConcurrentLockTable`]; the `dlock_bench` binary
+//! (in `netlock-bench`) sweeps threads × critical-section length ×
+//! contention over them, and the property tests prove every backend's
+//! grant/release history linearizes to the sequential table (checked by
+//! the `netlock-core` lock-safety oracle).
+//!
+//! The crate is `forbid(unsafe_code)`-compatible: cross-thread op slots
+//! are small per-slot `Mutex`es (uncontended in steady state — only a
+//! publisher and the current combiner ever touch one), with `AtomicBool`
+//! / `AtomicU8` flags carrying the acquire/release edges.
+
+pub mod ccsynch;
+pub mod flat_combining;
+pub mod mutex_table;
+
+pub use ccsynch::CcSynch;
+pub use flat_combining::FlatCombining;
+pub use mutex_table::MutexTable;
+
+use netlock_proto::{LockId, LockRequest, TxnId};
+use netlock_server::{LockTable, TableAcquire};
+
+/// One lock-table operation, as a lock server would see it arrive off
+/// the wire.
+#[derive(Clone, Copy, Debug)]
+pub enum LockOp {
+    /// Acquire (shared or exclusive, FCFS).
+    Acquire(LockRequest),
+    /// Release a held `(lock, txn)`; stale pairs are ignored by the
+    /// table exactly as in the simulation.
+    Release {
+        /// The lock being released.
+        lock: LockId,
+        /// The releasing transaction.
+        txn: TxnId,
+    },
+}
+
+/// The outcome of one [`LockOp`], as produced by whichever thread
+/// applied it to the sequential table.
+#[derive(Debug)]
+pub struct OpResponse {
+    /// `Some` for acquires (granted or queued), `None` for releases.
+    pub acquired: Option<TableAcquire>,
+    /// Position of this op in the backend's linearization order: the
+    /// table applies ops one at a time, and `apply_seq` is the 0-based
+    /// index of this op in that total order. The equivalence tests
+    /// replay the ops sorted by `apply_seq` through a fresh sequential
+    /// table and require identical outcomes.
+    pub apply_seq: u64,
+    /// Requests promoted from the wait queue by this op, in grant
+    /// order. The buffer is the one the caller passed to
+    /// [`ConcurrentLockTable::run`], cleared and refilled — steady
+    /// state does not allocate.
+    pub grants: Vec<LockRequest>,
+}
+
+/// A lock table safe to drive from many real threads at once.
+///
+/// `run` is the whole interface: submit one op on behalf of thread
+/// `tid`, get its outcome back. Implementations differ only in *who*
+/// applies the op to the underlying sequential [`LockTable`] — the
+/// calling thread (mutex) or a combiner acting for many callers
+/// (delegation).
+pub trait ConcurrentLockTable: Sync {
+    /// Number of thread slots this instance was built for. `tid`
+    /// arguments to [`ConcurrentLockTable::run`] must be below this.
+    fn thread_slots(&self) -> usize;
+
+    /// Execute `op` for thread `tid` and return its outcome. `grants`
+    /// is a reusable out-buffer (cleared by the backend, returned in
+    /// the response) so the steady-state path allocates nothing.
+    ///
+    /// Blocks until the op has been applied; ops from different
+    /// threads may be applied in any order, but the order is total and
+    /// exposed via [`OpResponse::apply_seq`].
+    fn run(&self, tid: usize, op: LockOp, grants: Vec<LockRequest>) -> OpResponse;
+
+    /// Short stable name for reports (`mutex`, `flat_combining`,
+    /// `ccsynch`).
+    fn name(&self) -> &'static str;
+
+    /// Tear down and return the underlying sequential table (for
+    /// post-run inspection). Requires all worker threads to be done —
+    /// ownership enforces that.
+    fn into_table(self) -> LockTable
+    where
+        Self: Sized;
+}
+
+/// Apply one op to the sequential table, then burn `cs_spins` rounds of
+/// serial work — the "critical-section length" axis of the bench: extra
+/// per-op processing a real server would do while the table entry is
+/// hot (lease bookkeeping, payload copies). The work is a data-dependent
+/// multiply chain so the optimizer cannot delete it.
+///
+/// `grants` is cleared first; promotions are appended in grant order.
+#[inline]
+pub fn apply_sequential(
+    table: &mut LockTable,
+    op: &LockOp,
+    grants: &mut Vec<LockRequest>,
+    cs_spins: u32,
+) -> Option<TableAcquire> {
+    grants.clear();
+    let out = match *op {
+        LockOp::Acquire(req) => Some(table.acquire(req)),
+        LockOp::Release { lock, txn } => {
+            table.release(lock, txn, grants);
+            None
+        }
+    };
+    spin_work(cs_spins);
+    out
+}
+
+/// Serial busy-work of `spins` dependent multiply-adds (~1 cycle-ish
+/// each). Used both for critical-section padding and think time.
+#[inline]
+pub fn spin_work(spins: u32) {
+    let mut x = 0x9E37_79B9u64;
+    for i in 0..spins {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+    }
+    std::hint::black_box(x);
+}
+
+/// One bounded wait step for spin loops: a few pause instructions, then
+/// a scheduler yield every 64th call. The yield matters on hosts with
+/// fewer cores than threads (CI smoke runs): a combiner that lost the
+/// CPU makes no progress while its peers spin, so waiting threads must
+/// donate their timeslice.
+#[inline]
+pub(crate) fn wait_step(iter: &mut u32) {
+    *iter += 1;
+    if (*iter).is_multiple_of(64) {
+        std::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlock_proto::{ClientAddr, LockMode, Priority, TenantId};
+
+    pub(crate) fn req(lock: u32, mode: LockMode, txn: u64) -> LockRequest {
+        LockRequest {
+            lock: LockId(lock),
+            mode,
+            txn: TxnId(txn),
+            client: ClientAddr(txn as u32),
+            tenant: TenantId(0),
+            priority: Priority(0),
+            issued_at_ns: txn,
+        }
+    }
+
+    /// Exercise one backend single-threaded through a fixed script and
+    /// compare against the sequential table op by op.
+    pub(crate) fn single_thread_matches_sequential<T: ConcurrentLockTable>(backend: T) {
+        let mut reference = LockTable::new();
+        let script: Vec<LockOp> = vec![
+            LockOp::Acquire(req(1, LockMode::Exclusive, 1)),
+            LockOp::Acquire(req(1, LockMode::Exclusive, 2)),
+            LockOp::Acquire(req(2, LockMode::Shared, 3)),
+            LockOp::Acquire(req(2, LockMode::Shared, 4)),
+            LockOp::Release {
+                lock: LockId(1),
+                txn: TxnId(1),
+            },
+            LockOp::Acquire(req(2, LockMode::Exclusive, 5)),
+            LockOp::Release {
+                lock: LockId(2),
+                txn: TxnId(3),
+            },
+            LockOp::Release {
+                lock: LockId(2),
+                txn: TxnId(4),
+            },
+            // Stale release: the table must ignore it in both worlds.
+            LockOp::Release {
+                lock: LockId(9),
+                txn: TxnId(9),
+            },
+        ];
+        let mut buf = Vec::new();
+        let mut ref_grants = Vec::new();
+        for (i, op) in script.iter().enumerate() {
+            let resp = backend.run(0, *op, buf);
+            let want = apply_sequential(&mut reference, op, &mut ref_grants, 0);
+            assert_eq!(resp.acquired, want, "op {i} outcome diverged");
+            assert_eq!(resp.grants, ref_grants, "op {i} grants diverged");
+            assert_eq!(resp.apply_seq, i as u64, "op {i} sequence diverged");
+            buf = resp.grants;
+        }
+        let table = backend.into_table();
+        assert_eq!(table.len(), reference.len());
+    }
+
+    /// Hammer one backend from several real threads and check the
+    /// merged history linearizes: apply_seqs form a permutation and the
+    /// replay in that order reproduces every outcome.
+    pub(crate) fn multi_thread_linearizes<T: ConcurrentLockTable>(backend: T, threads: usize) {
+        type LogEntry = (u64, LockOp, Option<TableAcquire>, Vec<LockRequest>);
+        let per_thread = 200usize;
+        let logs: Vec<Vec<LogEntry>> = std::thread::scope(|s| {
+            let backend = &backend;
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    s.spawn(move || {
+                        let mut log = Vec::with_capacity(per_thread);
+                        let mut buf = Vec::new();
+                        for i in 0..per_thread {
+                            let txn = ((tid as u64) << 32) | i as u64;
+                            // Alternate acquire / release of the
+                            // previous acquire on a tiny hot lock
+                            // space to force real interleaving.
+                            let op = if i % 2 == 0 {
+                                LockOp::Acquire(req(
+                                    (i as u32 / 2) % 3,
+                                    if i % 4 == 0 {
+                                        LockMode::Exclusive
+                                    } else {
+                                        LockMode::Shared
+                                    },
+                                    txn,
+                                ))
+                            } else {
+                                LockOp::Release {
+                                    lock: LockId(((i as u32) / 2) % 3),
+                                    txn: TxnId(txn - 1),
+                                }
+                            };
+                            let resp = backend.run(tid, op, buf);
+                            log.push((resp.apply_seq, op, resp.acquired, resp.grants.clone()));
+                            buf = resp.grants;
+                        }
+                        log
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut merged: Vec<_> = logs.into_iter().flatten().collect();
+        merged.sort_by_key(|(seq, _, _, _)| *seq);
+        let total = threads * per_thread;
+        assert_eq!(merged.len(), total);
+        for (i, (seq, _, _, _)) in merged.iter().enumerate() {
+            assert_eq!(*seq, i as u64, "apply_seq not a permutation");
+        }
+        let mut reference = LockTable::new();
+        let mut ref_grants = Vec::new();
+        for (seq, op, acquired, grants) in &merged {
+            let want = apply_sequential(&mut reference, op, &mut ref_grants, 0);
+            assert_eq!(*acquired, want, "seq {seq} outcome diverged");
+            assert_eq!(grants, &ref_grants, "seq {seq} grants diverged");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The baseline backend: one big `std::sync::Mutex` around the
+//! sequential table. Every thread locks, applies its own op, unlocks —
+//! the textbook server design the delegation backends are measured
+//! against. Under hot-key contention the lock (and the table's cache
+//! lines) ping-pong between cores on every op.
+
+use std::sync::Mutex;
+
+use netlock_proto::LockRequest;
+use netlock_server::LockTable;
+
+use crate::{apply_sequential, ConcurrentLockTable, LockOp, OpResponse};
+
+struct Inner {
+    table: LockTable,
+    seq: u64,
+}
+
+/// `Mutex<LockTable>` — the lock-handoff baseline.
+pub struct MutexTable {
+    inner: Mutex<Inner>,
+    thread_slots: usize,
+    cs_spins: u32,
+}
+
+impl MutexTable {
+    /// A table for up to `thread_slots` threads, burning `cs_spins`
+    /// rounds of serial work per op (see [`crate::apply_sequential`]).
+    pub fn new(thread_slots: usize, cs_spins: u32) -> MutexTable {
+        assert!(thread_slots > 0, "need at least one thread slot");
+        MutexTable {
+            inner: Mutex::new(Inner {
+                table: LockTable::new(),
+                seq: 0,
+            }),
+            thread_slots,
+            cs_spins,
+        }
+    }
+}
+
+impl ConcurrentLockTable for MutexTable {
+    fn thread_slots(&self) -> usize {
+        self.thread_slots
+    }
+
+    fn run(&self, tid: usize, op: LockOp, mut grants: Vec<LockRequest>) -> OpResponse {
+        debug_assert!(tid < self.thread_slots);
+        let mut inner = self.inner.lock().expect("lock-table mutex poisoned");
+        let acquired = apply_sequential(&mut inner.table, &op, &mut grants, self.cs_spins);
+        let apply_seq = inner.seq;
+        inner.seq += 1;
+        OpResponse {
+            acquired,
+            apply_seq,
+            grants,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mutex"
+    }
+
+    fn into_table(self) -> LockTable {
+        self.inner
+            .into_inner()
+            .expect("lock-table mutex poisoned")
+            .table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_matches_sequential() {
+        crate::tests::single_thread_matches_sequential(MutexTable::new(1, 0));
+    }
+
+    #[test]
+    fn multi_thread_linearizes() {
+        crate::tests::multi_thread_linearizes(MutexTable::new(4, 0), 4);
+    }
+}

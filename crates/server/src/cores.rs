@@ -12,7 +12,99 @@
 //! pins a lock to one core and arrivals are FIFO), while *outputs* carry
 //! the queueing + service delay.
 
+use std::sync::OnceLock;
+
 use netlock_proto::LockId;
+
+/// The paper's per-message CPU cost: 222 ns ≈ 18 M lock requests/s per
+/// 8-core server once each grant's release is accounted for. This is
+/// the literature constant every committed figure TSV and chaos digest
+/// is pinned to.
+pub const PAPER_SERVICE_NS: u64 = 222;
+
+/// Where the per-message service cost comes from.
+///
+/// The simulation's server model charges a constant per message. By
+/// default that constant is the paper's ([`PAPER_SERVICE_NS`]); the
+/// `dlock_bench` harness *measures* the sequential lock-table cost on
+/// this machine's cores and writes it to `BENCH_dlock.json` as
+/// `calibrated_service_ns`, and an opt-in flag feeds that measurement
+/// back in so capacity studies reflect local hardware instead of the
+/// paper's testbed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceModel {
+    /// The paper's constant ([`PAPER_SERVICE_NS`]). The default:
+    /// committed artifacts stay byte-identical.
+    Paper,
+    /// A measured per-message cost in nanoseconds.
+    CalibratedNs(u64),
+}
+
+impl ServiceModel {
+    /// The per-message cost this model charges.
+    pub fn service_ns(&self) -> u64 {
+        match *self {
+            ServiceModel::Paper => PAPER_SERVICE_NS,
+            ServiceModel::CalibratedNs(ns) => ns.max(1),
+        }
+    }
+
+    /// The model selected by the environment (cached after first call):
+    ///
+    /// - `NETLOCK_CALIBRATED_NS=<ns>` — use that cost directly;
+    /// - `NETLOCK_CALIBRATED=<path>` — read `calibrated_service_ns`
+    ///   from that report (`=1` / `=true` reads `BENCH_dlock.json` in
+    ///   the current directory);
+    /// - neither (or an unreadable/unparseable report) — [`Paper`].
+    ///
+    /// The `--calibrated` flag of the figure binaries sets the
+    /// environment before any server is built.
+    ///
+    /// [`Paper`]: ServiceModel::Paper
+    pub fn from_env() -> ServiceModel {
+        static CACHE: OnceLock<ServiceModel> = OnceLock::new();
+        *CACHE.get_or_init(|| {
+            if let Ok(v) = std::env::var("NETLOCK_CALIBRATED_NS") {
+                if let Ok(ns) = v.trim().parse::<u64>() {
+                    if ns > 0 {
+                        return ServiceModel::CalibratedNs(ns);
+                    }
+                }
+            }
+            if let Ok(v) = std::env::var("NETLOCK_CALIBRATED") {
+                let path = match v.trim() {
+                    "" | "0" | "false" => return ServiceModel::Paper,
+                    "1" | "true" => "BENCH_dlock.json",
+                    p => p,
+                };
+                if let Ok(text) = std::fs::read_to_string(path) {
+                    if let Some(ns) = parse_calibrated_ns(&text) {
+                        return ServiceModel::CalibratedNs(ns);
+                    }
+                }
+            }
+            ServiceModel::Paper
+        })
+    }
+}
+
+/// Extract `"calibrated_service_ns": <number>` from a `BENCH_dlock.json`
+/// report without a JSON parser (the workspace builds offline, no
+/// serde). Returns `None` when the field is missing or malformed.
+pub fn parse_calibrated_ns(text: &str) -> Option<u64> {
+    let key = "\"calibrated_service_ns\"";
+    let rest = &text[text.find(key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(rest.len());
+    let ns = rest[..end].parse::<f64>().ok()?;
+    if ns.is_finite() && ns >= 1.0 {
+        Some(ns.round() as u64)
+    } else {
+        None
+    }
+}
 
 /// The per-core service model.
 #[derive(Clone, Debug)]
@@ -141,6 +233,32 @@ mod tests {
         assert_eq!(m.processed(), 2);
         assert!((m.utilization(1_000) - 0.1).abs() < 1e-9);
         assert_eq!(m.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn service_model_costs() {
+        assert_eq!(ServiceModel::Paper.service_ns(), PAPER_SERVICE_NS);
+        assert_eq!(ServiceModel::CalibratedNs(950).service_ns(), 950);
+        // A degenerate calibration can never stall the core model.
+        assert_eq!(ServiceModel::CalibratedNs(0).service_ns(), 1);
+    }
+
+    #[test]
+    fn parse_calibrated_ns_from_report() {
+        let report = r#"{
+  "schema": "netlock-bench-dlock/1",
+  "seq_lock_table_ns_per_op": 81.25,
+  "calibrated_service_ns": 81.25,
+  "backends": []
+}"#;
+        assert_eq!(parse_calibrated_ns(report), Some(81));
+        assert_eq!(parse_calibrated_ns("{}"), None);
+        assert_eq!(parse_calibrated_ns("\"calibrated_service_ns\": x"), None);
+        assert_eq!(parse_calibrated_ns("\"calibrated_service_ns\": 0.2"), None);
+        assert_eq!(
+            parse_calibrated_ns("{\"calibrated_service_ns\":  1500}"),
+            Some(1500)
+        );
     }
 
     #[test]

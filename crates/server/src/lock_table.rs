@@ -160,11 +160,14 @@ impl LockTable {
         Self::promote(st, granted);
     }
 
-    /// Locks with any state, for sweep iteration.
-    pub fn touched_locks(&self) -> Vec<LockId> {
-        let mut v: Vec<LockId> = self.locks.keys().copied().collect();
-        v.sort();
-        v
+    /// Locks with any state, for sweep iteration. Appends the ids in
+    /// sorted order to `out` (which is NOT cleared — the caller owns and
+    /// reuses the buffer, matching the `ActionBuf` zero-alloc
+    /// convention used throughout the hot paths).
+    pub fn touched_locks(&self, out: &mut Vec<LockId>) {
+        let start = out.len();
+        out.extend(self.locks.keys().copied());
+        out[start..].sort();
     }
 
     /// Grant from the wait queue whatever is now compatible, appending

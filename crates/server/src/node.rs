@@ -36,7 +36,11 @@ pub struct ServerConfig {
     /// CPU time per lock *message* (acquires and releases both cost
     /// CPU). 222 ns/message ≈ the paper's measured 18 M lock requests/s
     /// per 8-core server, since each granted request also brings a
-    /// release to process.
+    /// release to process. The default resolves through
+    /// [`crate::cores::ServiceModel::from_env`], so an opt-in
+    /// calibration (`--calibrated` / `NETLOCK_CALIBRATED*`) substitutes
+    /// the cost `dlock_bench` measured on this machine; with the
+    /// environment unset it is exactly the paper constant.
     pub service: SimDuration,
     /// Lease duration for owned locks (zero disables sweeping).
     pub lease: SimDuration,
@@ -48,7 +52,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             cores: 8,
-            service: SimDuration::from_nanos(222),
+            service: SimDuration::from_nanos(crate::cores::ServiceModel::from_env().service_ns()),
             lease: SimDuration::from_millis(10),
             sweep_tick: SimDuration::from_millis(1),
         }
@@ -93,6 +97,9 @@ pub struct ServerNode {
     /// Reusable grant out-buffer for `LockTable::release` /
     /// `expire_leases`: one allocation per node, not per release.
     grant_buf: Vec<LockRequest>,
+    /// Reusable lock-id out-buffer for `LockTable::touched_locks`: one
+    /// allocation per node, not per sweep tick.
+    sweep_buf: Vec<LockId>,
     stats: ServerStats,
 }
 
@@ -110,6 +117,7 @@ impl ServerNode {
             grace_until_ns: 0,
             grace_buf: Vec::new(),
             grant_buf: Vec::new(),
+            sweep_buf: Vec::new(),
             stats: ServerStats::default(),
         }
     }
@@ -363,7 +371,10 @@ impl ServerNode {
             return;
         }
         let now = ctx.now().as_nanos();
-        for lock in self.table.touched_locks() {
+        let mut sweep = std::mem::take(&mut self.sweep_buf);
+        sweep.clear();
+        self.table.touched_locks(&mut sweep);
+        for &lock in &sweep {
             let mut granted = std::mem::take(&mut self.grant_buf);
             granted.clear();
             self.table
@@ -380,6 +391,7 @@ impl ServerNode {
                 self.maybe_finish_promote(lock, delay, ctx);
             }
         }
+        self.sweep_buf = sweep;
         ctx.set_timer(self.cfg.sweep_tick, TIMER_LEASE_SWEEP);
     }
 }
